@@ -1,0 +1,111 @@
+// Package adahealth is the public API of the ADA-HEALTH reproduction:
+// an automated medical data-analysis engine that, given an examination
+// log, characterizes it, selects a data transformation, adaptively
+// mines growing portions of it, self-configures its clustering
+// algorithm, extracts and ranks knowledge items, and recommends viable
+// analysis end-goals — reproducing Cerquitelli et al., "Data mining
+// for better healthcare: A path towards automated data analysis?"
+// (ICDE Workshops 2016).
+//
+// Quickstart:
+//
+//	log, _ := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+//	engine, _ := adahealth.NewEngine(adahealth.DefaultConfig())
+//	report, _ := engine.Analyze(log)
+//	fmt.Println(report.Sweep.BestK)
+package adahealth
+
+import (
+	"adahealth/internal/core"
+	"adahealth/internal/dataset"
+	"adahealth/internal/endgoal"
+	"adahealth/internal/kdb"
+	"adahealth/internal/knowledge"
+	"adahealth/internal/ranking"
+	"adahealth/internal/stats"
+	"adahealth/internal/synth"
+)
+
+// Re-exported core types. The internal packages stay authoritative;
+// these aliases are the supported public surface.
+type (
+	// Engine runs the automated analysis pipeline.
+	Engine = core.Engine
+	// Config configures an Engine.
+	Config = core.Config
+	// Report is the outcome of one automated analysis.
+	Report = core.Report
+
+	// Log is a medical examination log (patients, exam types, records).
+	Log = dataset.Log
+	// Patient is one anonymized patient.
+	Patient = dataset.Patient
+	// ExamType is one kind of examination.
+	ExamType = dataset.ExamType
+	// Record is one examination event.
+	Record = dataset.Record
+
+	// DataConfig controls the synthetic diabetic-log generator.
+	DataConfig = synth.Config
+
+	// KDB is the knowledge database (the paper's six collections).
+	KDB = kdb.KDB
+	// Feedback is one expert judgement stored in the K-DB.
+	Feedback = kdb.Feedback
+
+	// KnowledgeItem is one unit of extracted knowledge.
+	KnowledgeItem = knowledge.Item
+	// Interest is a degree of interestingness {high, medium, low}.
+	Interest = knowledge.Interest
+
+	// Descriptor is the statistical characterization of a log.
+	Descriptor = stats.Descriptor
+
+	// Recommendation is an end-goal verdict for a dataset.
+	Recommendation = endgoal.Recommendation
+
+	// Ranker orders knowledge items and adapts to feedback.
+	Ranker = ranking.Ranker
+	// NavigationSession pages through ranked knowledge interactively.
+	NavigationSession = ranking.Session
+)
+
+// Interest degrees.
+const (
+	InterestHigh    = knowledge.InterestHigh
+	InterestMedium  = knowledge.InterestMedium
+	InterestLow     = knowledge.InterestLow
+	InterestUnknown = knowledge.InterestUnknown
+)
+
+// NewEngine builds an analysis engine.
+func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
+
+// DefaultConfig returns the paper-faithful engine configuration
+// (in-memory K-DB; set KDBDir for persistence).
+func DefaultConfig() Config { return Config{} }
+
+// GenerateSyntheticLog builds a synthetic diabetic examination log
+// (the substitution for the paper's proprietary dataset; see
+// DESIGN.md).
+func GenerateSyntheticLog(cfg DataConfig) (*Log, error) { return synth.Generate(cfg) }
+
+// PaperDataConfig reproduces the published dataset shape: 6,380
+// patients, 95,788 records, 159 exam types, ages 4-95, one year.
+func PaperDataConfig() DataConfig { return synth.DefaultConfig() }
+
+// SmallDataConfig is a fast structurally-identical dataset for
+// experimentation and tests.
+func SmallDataConfig() DataConfig { return synth.SmallConfig() }
+
+// Characterize computes the statistical descriptor of a log without
+// running the full pipeline.
+func Characterize(l *Log) Descriptor { return stats.Characterize(l) }
+
+// NewRanker returns a fresh feedback-adaptive ranker.
+func NewRanker() *Ranker { return ranking.NewRanker() }
+
+// NewNavigationSession starts an interactive navigation over items.
+func NewNavigationSession(items []KnowledgeItem, r *Ranker, pageSize int) *NavigationSession {
+	return ranking.NewSession(items, r, pageSize)
+}

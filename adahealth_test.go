@@ -1,0 +1,82 @@
+package adahealth_test
+
+import (
+	"testing"
+
+	"adahealth"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	log, err := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+	if err != nil {
+		t.Fatalf("GenerateSyntheticLog: %v", err)
+	}
+	cfg := adahealth.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Sweep.Ks = []int{3, 4}
+	cfg.Sweep.CVFolds = 3
+	cfg.Partial.Ks = []int{4}
+	engine, err := adahealth.NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	report, err := engine.Analyze(log)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if report.Sweep.BestK < 3 || report.Sweep.BestK > 4 {
+		t.Errorf("BestK = %d", report.Sweep.BestK)
+	}
+	if len(report.Ranked) == 0 {
+		t.Error("no ranked knowledge")
+	}
+}
+
+func TestPublicNavigation(t *testing.T) {
+	log, err := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := adahealth.DefaultConfig()
+	cfg.Seed = 2
+	cfg.Sweep.Ks = []int{4}
+	cfg.Sweep.CVFolds = 3
+	cfg.Partial.Ks = []int{4}
+	engine, err := adahealth.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := engine.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := adahealth.NewNavigationSession(report.Ranked, adahealth.NewRanker(), 5)
+	page := session.Next()
+	if len(page) == 0 {
+		t.Fatal("empty first page")
+	}
+	if err := session.Feedback(page[0].ID, adahealth.InterestHigh); err != nil {
+		t.Fatalf("Feedback: %v", err)
+	}
+}
+
+func TestPaperDataConfigShape(t *testing.T) {
+	cfg := adahealth.PaperDataConfig()
+	if cfg.NumPatients != 6380 || cfg.TargetRecords != 95788 || cfg.NumExamTypes != 159 {
+		t.Errorf("PaperDataConfig drifted: %+v", cfg)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	log, err := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := adahealth.Characterize(log)
+	if d.NumPatients != 300 {
+		t.Errorf("descriptor patients = %d", d.NumPatients)
+	}
+	if d.VSMSparsity <= 0 {
+		t.Errorf("sparsity = %v, want > 0", d.VSMSparsity)
+	}
+}

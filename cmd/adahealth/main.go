@@ -1,0 +1,120 @@
+// Command adahealth runs the automated ADA-HEALTH analysis pipeline
+// on an examination log and prints the resulting report: dataset
+// characterization, the partial-mining decision, the optimization
+// table, the selected clustering, end-goal recommendations and the
+// top-ranked knowledge items.
+//
+//	adahealth -synthetic                  # analyze a synthetic paper-scale log
+//	adahealth -data dir/                  # analyze CSVs written by datagen
+//	adahealth -kdb kdbdir/ -top 15        # persist the K-DB, show 15 items
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adahealth/internal/core"
+	"adahealth/internal/dataset"
+	"adahealth/internal/synth"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("data", "", "directory with exams/patients/records CSVs")
+		synthetic = flag.Bool("synthetic", false, "analyze a synthetic paper-scale dataset")
+		small     = flag.Bool("small", false, "with -synthetic: use the small test-scale dataset")
+		kdbDir    = flag.String("kdb", "", "knowledge-base directory (default: in-memory)")
+		seed      = flag.Int64("seed", 1, "seed for data generation and algorithms")
+		top       = flag.Int("top", 10, "number of ranked knowledge items to print")
+	)
+	flag.Parse()
+
+	var (
+		log *dataset.Log
+		err error
+	)
+	switch {
+	case *dataDir != "":
+		log, err = dataset.LoadCSVFiles("csv-dataset", *dataDir)
+	case *synthetic:
+		cfg := synth.DefaultConfig()
+		if *small {
+			cfg = synth.SmallConfig()
+		}
+		cfg.Seed = *seed
+		log, err = synth.Generate(cfg)
+	default:
+		fmt.Fprintln(os.Stderr, "adahealth: pass -data DIR or -synthetic")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealth: loading data: %v\n", err)
+		os.Exit(1)
+	}
+
+	engine, err := core.New(core.Config{KDBDir: *kdbDir, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealth: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := engine.Analyze(log)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealth: analysis: %v\n", err)
+		os.Exit(1)
+	}
+	printReport(rep, *top)
+}
+
+func printReport(rep *core.Report, top int) {
+	d := rep.Descriptor
+	fmt.Printf("=== Dataset characterization: %s ===\n", d.DatasetName)
+	fmt.Printf("patients %d · records %d · exam types %d · visits %d · span %d days\n",
+		d.NumPatients, d.NumRecords, d.NumExamTypes, d.NumVisits, d.SpanDays)
+	fmt.Printf("VSM sparsity %.3f · frequency Gini %.3f · top-20%% coverage %.1f%%\n\n",
+		d.VSMSparsity, d.FrequencyGini, d.Top20Coverage*100)
+
+	fmt.Println("=== Adaptive partial mining ===")
+	for i, s := range rep.Partial.Steps {
+		marker := "   "
+		if i == rep.Partial.Selected {
+			marker = "-> "
+		}
+		fmt.Printf("%s%.0f%% of exam types (%d features, %.1f%% of rows): rel.diff %.2f%%\n",
+			marker, s.Fraction*100, s.NumFeatures, s.RowCoverage*100, s.RelDiff*100)
+	}
+	fmt.Println()
+
+	fmt.Println("=== Algorithm optimization (K sweep) ===")
+	fmt.Printf("%-4s %10s %8s %8s %8s\n", "K", "SSE", "Acc", "Prec", "Rec")
+	for _, r := range rep.Sweep.Rows {
+		sel := ""
+		if r.K == rep.Sweep.BestK {
+			sel = "  <- selected"
+		}
+		fmt.Printf("%-4d %10.2f %7.2f%% %7.2f%% %7.2f%%%s\n",
+			r.K, r.SSE, r.Accuracy*100, r.Precision*100, r.Recall*100, sel)
+	}
+	fmt.Printf("final clustering: K=%d, SSE %.2f, %d iterations\n\n",
+		rep.BestClustering.K, rep.BestClustering.SSE, rep.BestClustering.Iterations)
+
+	fmt.Println("=== End-goal recommendations ===")
+	for _, rec := range rep.Recommendations {
+		status := "not viable"
+		if rec.Feasible {
+			status = "viable"
+		}
+		fmt.Printf("[%-9s interest=%-6s %-6s] %s\n    %s\n",
+			status, rec.Interest, rec.Source, rec.Goal.Name, rec.Reason)
+	}
+	fmt.Println()
+
+	fmt.Printf("=== Top %d knowledge items ===\n", top)
+	for i, it := range rep.Ranked {
+		if i >= top {
+			break
+		}
+		fmt.Printf("%2d. [%-11s] %s\n", i+1, it.Kind, it.Title)
+	}
+}

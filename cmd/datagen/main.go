@@ -1,0 +1,57 @@
+// Command datagen generates a synthetic diabetic examination log (the
+// substitution for the paper's proprietary dataset) and writes it as
+// CSV files (exams.csv, patients.csv, records.csv) under -out.
+//
+//	datagen -out data/           # paper scale: 6,380 patients
+//	datagen -out data/ -patients 500 -records 7500 -exams 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adahealth/internal/stats"
+	"adahealth/internal/synth"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "data", "output directory for CSV files")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		patients = flag.Int("patients", 6380, "number of patients")
+		records  = flag.Int("records", 95788, "total examination records")
+		exams    = flag.Int("exams", 159, "number of examination types")
+		profiles = flag.Int("profiles", 8, "latent clinical profiles")
+		quiet    = flag.Bool("quiet", false, "suppress the descriptor summary")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumPatients = *patients
+	cfg.TargetRecords = *records
+	cfg.NumExamTypes = *exams
+	cfg.NumProfiles = *profiles
+
+	log, err := synth.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := log.SaveCSVFiles(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if *quiet {
+		return
+	}
+	d := stats.Characterize(log)
+	fmt.Printf("wrote %s/{exams,patients,records}.csv\n", *out)
+	fmt.Printf("patients: %d   records: %d   exam types: %d   visits: %d\n",
+		d.NumPatients, d.NumRecords, d.NumExamTypes, d.NumVisits)
+	fmt.Printf("age: %.0f-%.0f (mean %.1f)   records/patient: mean %.1f\n",
+		d.Age.Min, d.Age.Max, d.Age.Mean, d.RecordsPerPatient.Mean)
+	fmt.Printf("VSM sparsity: %.3f   top-20%% exam coverage: %.1f%%   top-40%%: %.1f%%\n",
+		d.VSMSparsity, d.Top20Coverage*100, d.Top40Coverage*100)
+}

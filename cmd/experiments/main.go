@@ -1,0 +1,73 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation:
+//
+//	experiments -table1          # Table I (optimization metrics)
+//	experiments -partial         # §IV-B partial-mining series
+//	experiments -arch            # Figure 1 (architecture)
+//	experiments -all             # everything
+//	experiments -scale small     # fast smoke run
+//
+// The -table1 run at full scale takes a few minutes: it re-runs
+// K-means and a 10-fold cross-validated decision tree for each of the
+// eight K values of Table I on 6,380 patients.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adahealth/internal/experiments"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "reproduce Table I (optimization metrics)")
+		partial = flag.Bool("partial", false, "reproduce the §IV-B partial-mining series")
+		arch    = flag.Bool("arch", false, "print the Figure 1 architecture diagram")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.String("scale", "full", `dataset scale: "full" (paper) or "small" (smoke)`)
+		seed    = flag.Int64("seed", 1, "generator / algorithm seed")
+	)
+	flag.Parse()
+
+	if !*table1 && !*partial && !*arch && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.FullScale
+	case "small":
+		sc = experiments.SmallScale
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if *arch || *all {
+		fmt.Println(experiments.ArchitectureDiagram())
+	}
+	if *partial || *all {
+		start := time.Now()
+		_, res, err := experiments.RunPartial(experiments.PartialConfig{Scale: sc, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: partial: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.FormatPartial(os.Stdout, res)
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if *table1 || *all {
+		start := time.Now()
+		res, err := experiments.RunTableI(experiments.TableIConfig{Scale: sc, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: table1: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.FormatTableI(os.Stdout, res)
+		fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+	}
+}

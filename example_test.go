@@ -1,0 +1,62 @@
+package adahealth_test
+
+import (
+	"fmt"
+	"log"
+
+	"adahealth"
+)
+
+// ExampleNewEngine demonstrates the one-call automated analysis: the
+// engine characterizes the data, selects the data portion to mine,
+// self-configures K-means, extracts and ranks knowledge — with no
+// mining parameters from the user.
+func ExampleNewEngine() {
+	data, err := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := adahealth.NewEngine(adahealth.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := engine.Analyze(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("patients analyzed: %d\n", report.Descriptor.NumPatients)
+	fmt.Printf("feasible end-goals: %d of %d\n",
+		countFeasible(report.Recommendations), len(report.Recommendations))
+	// Output:
+	// patients analyzed: 300
+	// feasible end-goals: 5 of 6
+}
+
+func countFeasible(recs []adahealth.Recommendation) int {
+	n := 0
+	for _, r := range recs {
+		if r.Feasible {
+			n++
+		}
+	}
+	return n
+}
+
+// ExampleCharacterize shows the data-characterization step on its own:
+// the statistical descriptor ADA-HEALTH stores in its knowledge base
+// and feeds to the end-goal feasibility rules.
+func ExampleCharacterize() {
+	cfg := adahealth.SmallDataConfig()
+	data, err := adahealth.GenerateSyntheticLog(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := adahealth.Characterize(data)
+	fmt.Printf("records: %d\n", d.NumRecords)
+	fmt.Printf("exam types: %d\n", d.NumExamTypes)
+	fmt.Printf("sparse: %v\n", d.VSMSparsity > 0.5)
+	// Output:
+	// records: 4500
+	// exam types: 40
+	// sparse: true
+}

@@ -1,0 +1,53 @@
+// Quickstart: generate a synthetic examination log, run the whole
+// automated ADA-HEALTH pipeline with one call, and print what it found
+// — no mining parameters supplied by the user at all, which is exactly
+// the paper's point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adahealth"
+)
+
+func main() {
+	// A small structurally-faithful diabetic examination log (use
+	// adahealth.PaperDataConfig() for the full 6,380-patient shape).
+	data, err := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, err := adahealth.NewEngine(adahealth.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := engine.Analyze(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dataset: %d patients, %d records, %d exam types\n",
+		report.Descriptor.NumPatients, report.Descriptor.NumRecords,
+		report.Descriptor.NumExamTypes)
+	sel := report.Partial.SelectedStep()
+	fmt.Printf("partial mining: kept %d of %d exam types (%.0f%% of raw rows)\n",
+		sel.NumFeatures, report.Transformed.NumFeatures, sel.RowCoverage*100)
+	fmt.Printf("optimizer selected K = %d\n", report.Sweep.BestK)
+
+	fmt.Println("\ntop 5 knowledge items:")
+	for i, item := range report.Ranked {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. [%s] %s\n", i+1, item.Kind, item.Title)
+	}
+
+	fmt.Println("\nrecommended analysis end-goals:")
+	for _, rec := range report.Recommendations {
+		if rec.Feasible {
+			fmt.Printf("  - %s (interest: %s)\n", rec.Goal.Name, rec.Interest)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package classify
+
+import (
+	"math"
+)
+
+// GaussianNB is a Gaussian naive Bayes classifier: features are
+// modelled as independent normals per class. It serves as a fast
+// second assessor in the optimization component and as a baseline for
+// the end-goal interestingness predictor.
+type GaussianNB struct {
+	// VarSmoothing is added to every per-feature variance for
+	// numerical stability; <= 0 means 1e-9 times the largest feature
+	// variance.
+	VarSmoothing float64
+
+	classes  int
+	features int
+	logPrior []float64
+	mean     [][]float64
+	variance [][]float64
+}
+
+// NewGaussianNB returns an unfitted Gaussian naive Bayes model.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(X [][]float64, y []int) error {
+	dim, classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	g.features = dim
+	g.classes = classes
+	g.logPrior = make([]float64, classes)
+	g.mean = make([][]float64, classes)
+	g.variance = make([][]float64, classes)
+	counts := make([]int, classes)
+	for c := range g.mean {
+		g.mean[c] = make([]float64, dim)
+		g.variance[c] = make([]float64, dim)
+	}
+	for i, row := range X {
+		c := y[i]
+		counts[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			g.logPrior[c] = math.Inf(-1)
+			continue
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= float64(counts[c])
+		}
+		g.logPrior[c] = math.Log(float64(counts[c]) / float64(len(X)))
+	}
+	for i, row := range X {
+		c := y[i]
+		for j, v := range row {
+			d := v - g.mean[c][j]
+			g.variance[c][j] += d * d
+		}
+	}
+	maxVar := 0.0
+	for c := 0; c < classes; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.variance[c] {
+			g.variance[c][j] /= float64(counts[c])
+			if g.variance[c][j] > maxVar {
+				maxVar = g.variance[c][j]
+			}
+		}
+	}
+	smooth := g.VarSmoothing
+	if smooth <= 0 {
+		smooth = 1e-9 * maxVar
+		if smooth == 0 {
+			smooth = 1e-9
+		}
+	}
+	for c := 0; c < classes; c++ {
+		for j := range g.variance[c] {
+			g.variance[c][j] += smooth
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GaussianNB) Predict(x []float64) int {
+	if g.mean == nil {
+		panic("classify: GaussianNB.Predict before Fit")
+	}
+	best, bestLL := 0, math.Inf(-1)
+	for c := 0; c < g.classes; c++ {
+		if math.IsInf(g.logPrior[c], -1) {
+			continue
+		}
+		ll := g.logPrior[c]
+		for j, v := range x {
+			va := g.variance[c][j]
+			d := v - g.mean[c][j]
+			ll += -0.5*math.Log(2*math.Pi*va) - d*d/(2*va)
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMajority(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	y := []int{1, 1, 1, 0, 2}
+	m := NewMajority()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{99}); got != 1 {
+		t.Errorf("majority = %d, want 1", got)
+	}
+}
+
+func TestMajorityPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic before Fit")
+		}
+	}()
+	NewMajority().Predict([]float64{1})
+}
+
+func TestGaussianNBSeparatedClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	X, y := gaussianClasses(rng, 80)
+	nb := NewGaussianNB()
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := gaussianClasses(rng, 30)
+	correct := 0
+	for i, x := range testX {
+		if nb.Predict(x) == testY[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(testX)); acc < 0.95 {
+		t.Errorf("NB accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestGaussianNBConstantFeature(t *testing.T) {
+	// Zero variance must not produce NaN scores.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 0}, {1, 5}}
+	y := []int{0, 1, 0, 1}
+	nb := NewGaussianNB()
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.Predict([]float64{1, 4}); got != 1 {
+		t.Errorf("NB with constant feature predicted %d, want 1", got)
+	}
+}
+
+func TestGaussianNBPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic before Fit")
+		}
+	}()
+	NewGaussianNB().Predict([]float64{1})
+}
+
+func TestKNNBasic(t *testing.T) {
+	X := [][]float64{{0}, {0.1}, {0.2}, {10}, {10.1}, {10.2}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	k := NewKNN(3)
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{0.05}); got != 0 {
+		t.Errorf("knn near cluster 0 = %d", got)
+	}
+	if got := k.Predict([]float64{9.9}); got != 1 {
+		t.Errorf("knn near cluster 1 = %d", got)
+	}
+}
+
+func TestKNNTieBreakTowardNearer(t *testing.T) {
+	// k=2 with one neighbour from each class: the nearer class wins.
+	X := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	k := NewKNN(2)
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{0.3}); got != 0 {
+		t.Errorf("tie-break = %d, want nearer class 0", got)
+	}
+	if got := k.Predict([]float64{0.7}); got != 1 {
+		t.Errorf("tie-break = %d, want nearer class 1", got)
+	}
+}
+
+func TestKNNDefaults(t *testing.T) {
+	k := NewKNN(0)
+	X := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if k.K != 5 {
+		t.Errorf("default K = %d, want 5", k.K)
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	k := NewKNN(50)
+	X := [][]float64{{0}, {1}, {2}}
+	y := []int{0, 0, 1}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{0}); got != 0 {
+		t.Errorf("overall majority = %d, want 0", got)
+	}
+}
+
+func TestValidateXYClassCount(t *testing.T) {
+	_, classes, err := validateXY([][]float64{{1}, {2}, {3}}, []int{0, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes != 5 {
+		t.Errorf("classes = %d, want 5 (max label + 1)", classes)
+	}
+}

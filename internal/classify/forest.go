@@ -1,0 +1,149 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// ForestOptions configures a random forest.
+type ForestOptions struct {
+	// NumTrees is the ensemble size; <= 0 means 20.
+	NumTrees int
+	// Tree bounds each member tree.
+	Tree TreeOptions
+	// FeatureFraction is the fraction of features considered per tree
+	// (feature bagging); <= 0 means sqrt(d)/d.
+	FeatureFraction float64
+	// Seed drives bootstrap sampling and feature bagging.
+	Seed int64
+	// Parallelism bounds concurrent tree fits; <= 0 means 4.
+	Parallelism int
+}
+
+// RandomForest is a bagged ensemble of CART trees with feature
+// subsampling. It is the natural upgrade of the paper's single
+// decision tree for the cluster-robustness assessment, offered as an
+// ablation of that design choice.
+type RandomForest struct {
+	Opts ForestOptions
+
+	trees    []*DecisionTree
+	features [][]int // per-tree feature subset
+	classes  int
+}
+
+// NewRandomForest returns an unfitted forest.
+func NewRandomForest(opts ForestOptions) *RandomForest {
+	return &RandomForest{Opts: opts}
+}
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(X [][]float64, y []int) error {
+	dim, classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	opts := f.Opts
+	if opts.NumTrees <= 0 {
+		opts.NumTrees = 20
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	nFeatures := dim
+	if opts.FeatureFraction > 0 {
+		nFeatures = int(opts.FeatureFraction * float64(dim))
+	} else {
+		nFeatures = int(math.Ceil(math.Sqrt(float64(dim))))
+	}
+	if nFeatures < 1 {
+		nFeatures = 1
+	}
+	if nFeatures > dim {
+		nFeatures = dim
+	}
+
+	f.classes = classes
+	f.trees = make([]*DecisionTree, opts.NumTrees)
+	f.features = make([][]int, opts.NumTrees)
+
+	// Deterministic per-tree seeds drawn up-front, so parallel
+	// scheduling cannot change the model.
+	seeds := make([]int64, opts.NumTrees)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, opts.Parallelism)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for t := 0; t < opts.NumTrees; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			treeRng := rand.New(rand.NewSource(seeds[t]))
+			// Feature bag.
+			perm := treeRng.Perm(dim)[:nFeatures]
+			f.features[t] = perm
+			// Bootstrap sample.
+			bootX := make([][]float64, len(X))
+			bootY := make([]int, len(X))
+			for i := range bootX {
+				j := treeRng.Intn(len(X))
+				row := make([]float64, nFeatures)
+				for fi, col := range perm {
+					row[fi] = X[j][col]
+				}
+				bootX[i] = row
+				bootY[i] = y[j]
+			}
+			tree := NewDecisionTree(opts.Tree)
+			if err := tree.Fit(bootX, bootY); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("classify: forest tree %d: %w", t, err)
+				}
+				mu.Unlock()
+				return
+			}
+			f.trees[t] = tree
+		}(t)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Predict implements Classifier by majority vote over the ensemble.
+func (f *RandomForest) Predict(x []float64) int {
+	if len(f.trees) == 0 {
+		panic("classify: RandomForest.Predict before Fit")
+	}
+	votes := make([]int, f.classes)
+	buf := make([]float64, 0, len(x))
+	for t, tree := range f.trees {
+		if tree == nil {
+			continue
+		}
+		buf = buf[:0]
+		for _, col := range f.features[t] {
+			buf = append(buf, x[col])
+		}
+		votes[tree.Predict(buf)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,97 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestForestFitErrors(t *testing.T) {
+	f := NewRandomForest(ForestOptions{NumTrees: 3})
+	if err := f.Fit(nil, nil); err == nil {
+		t.Error("accepted empty training set")
+	}
+}
+
+func TestForestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic before Fit")
+		}
+	}()
+	NewRandomForest(ForestOptions{}).Predict([]float64{1})
+}
+
+func TestForestSeparatedClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	X, y := gaussianClasses(rng, 80)
+	f := NewRandomForest(ForestOptions{NumTrees: 15, Seed: 1})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := gaussianClasses(rng, 30)
+	correct := 0
+	for i, x := range testX {
+		if f.Predict(x) == testY[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(testX)); acc < 0.95 {
+		t.Errorf("forest accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestForestDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	X, y := gaussianClasses(rng, 50)
+	a := NewRandomForest(ForestOptions{NumTrees: 9, Seed: 7, Parallelism: 1})
+	b := NewRandomForest(ForestOptions{NumTrees: 9, Seed: 7, Parallelism: 8})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("parallelism changed forest predictions")
+		}
+	}
+}
+
+func TestForestNoisyFeaturesStillLearns(t *testing.T) {
+	// 2 informative features among 20 noise columns: feature bagging
+	// must not prevent learning with enough trees.
+	rng := rand.New(rand.NewSource(17))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		label := i % 2
+		row := make([]float64, 22)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[3] = float64(label)*5 + rng.NormFloat64()*0.3
+		row[11] = -float64(label)*5 + rng.NormFloat64()*0.3
+		X = append(X, row)
+		y = append(y, label)
+	}
+	f := NewRandomForest(ForestOptions{NumTrees: 40, Seed: 3})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		if f.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.9 {
+		t.Errorf("forest training accuracy with noise = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestForestAsCVFactory(t *testing.T) {
+	// The forest must satisfy the Classifier contract used by
+	// cross-validation in the optimization component.
+	var _ Classifier = NewRandomForest(ForestOptions{})
+}

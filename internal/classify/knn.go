@@ -1,0 +1,92 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"adahealth/internal/vec"
+)
+
+// KNN is a k-nearest-neighbour classifier under a configurable
+// distance (default squared Euclidean). Fit retains references to the
+// training data.
+type KNN struct {
+	// K is the number of neighbours; <= 0 means 5.
+	K int
+	// Distance is the dissimilarity used; nil means squared Euclidean.
+	Distance vec.DistanceFunc
+
+	x       [][]float64
+	y       []int
+	classes int
+}
+
+// NewKNN returns an unfitted k-NN model with the given k.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit implements Classifier. The training set is retained by
+// reference; callers must not mutate it while the model is in use.
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	_, classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	if k.Distance == nil {
+		k.Distance = vec.SquaredEuclidean
+	}
+	k.x = X
+	k.y = y
+	k.classes = classes
+	return nil
+}
+
+// Predict implements Classifier: majority vote among the K nearest
+// training points, ties broken toward the nearer class.
+func (k *KNN) Predict(q []float64) int {
+	if k.x == nil {
+		panic("classify: KNN.Predict before Fit")
+	}
+	type hit struct {
+		d     float64
+		label int
+	}
+	hits := make([]hit, len(k.x))
+	for i, p := range k.x {
+		hits[i] = hit{k.Distance(q, p), k.y[i]}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].d < hits[b].d })
+	kk := k.K
+	if kk > len(hits) {
+		kk = len(hits)
+	}
+	votes := make([]int, k.classes)
+	nearest := make([]float64, k.classes)
+	for i := range nearest {
+		nearest[i] = -1
+	}
+	for _, h := range hits[:kk] {
+		votes[h.label]++
+		if nearest[h.label] < 0 {
+			nearest[h.label] = h.d
+		}
+	}
+	best := -1
+	for c, v := range votes {
+		if v == 0 {
+			continue
+		}
+		switch {
+		case best < 0, v > votes[best]:
+			best = c
+		case v == votes[best] && nearest[c] < nearest[best]:
+			best = c
+		}
+	}
+	return best
+}
+
+// String describes the model configuration.
+func (k *KNN) String() string { return fmt.Sprintf("knn(k=%d)", k.K) }

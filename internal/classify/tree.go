@@ -1,0 +1,325 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TreeOptions bounds decision-tree growth.
+type TreeOptions struct {
+	// MaxDepth limits tree height; <= 0 means the default of 16.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for a split;
+	// <= 0 means 2.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum size of each child; <= 0 means 1.
+	MinSamplesLeaf int
+	// MinImpurityDecrease is the minimum weighted Gini decrease a
+	// split must achieve.
+	MinImpurityDecrease float64
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 16
+	}
+	if o.MinSamplesSplit <= 0 {
+		o.MinSamplesSplit = 2
+	}
+	if o.MinSamplesLeaf <= 0 {
+		o.MinSamplesLeaf = 1
+	}
+	return o
+}
+
+// DecisionTree is a CART-style binary classification tree using Gini
+// impurity and numeric threshold splits — the classification model the
+// paper uses to assess the robustness of clustering results.
+type DecisionTree struct {
+	Opts TreeOptions
+
+	root     *treeNode
+	classes  int
+	features int
+	// importance[f] accumulates the total weighted impurity decrease
+	// contributed by splits on feature f.
+	importance []float64
+	// goesLeft is per-Fit scratch for the stable partition step.
+	goesLeft []bool
+}
+
+type treeNode struct {
+	// Internal nodes route x[feature] <= threshold to left.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// Leaves carry a prediction and the training class histogram.
+	prediction int
+	counts     []int
+	samples    int
+}
+
+func (n *treeNode) isLeaf() bool { return n.left == nil }
+
+// NewDecisionTree returns an unfitted tree with the given options.
+func NewDecisionTree(opts TreeOptions) *DecisionTree {
+	return &DecisionTree{Opts: opts}
+}
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	dim, classes, err := validateXY(X, y)
+	if err != nil {
+		return err
+	}
+	t.Opts = t.Opts.withDefaults()
+	t.classes = classes
+	t.features = dim
+	t.importance = make([]float64, dim)
+	t.goesLeft = make([]bool, len(X))
+
+	// Pre-sort every feature column once; nodes then partition these
+	// lists stably instead of re-sorting (classic optimized CART).
+	sorted := make([][]int32, dim)
+	for f := 0; f < dim; f++ {
+		col := make([]int32, len(X))
+		for i := range col {
+			col[i] = int32(i)
+		}
+		sort.Slice(col, func(a, b int) bool { return X[col[a]][f] < X[col[b]][f] })
+		sorted[f] = col
+	}
+	t.root = t.grow(X, y, sorted, 0)
+	t.goesLeft = nil // release per-Fit scratch
+	return nil
+}
+
+// gini returns the Gini impurity of a class histogram with n samples.
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func argmax(h []int) int {
+	best := 0
+	for c, n := range h {
+		if n > h[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// grow builds the subtree for the samples listed (feature-sorted) in
+// sorted. All columns of sorted list the same sample set, each ordered
+// by its own feature.
+func (t *DecisionTree) grow(X [][]float64, y []int, sorted [][]int32, depth int) *treeNode {
+	m := len(sorted[0])
+	counts := make([]int, t.classes)
+	for _, i := range sorted[0] {
+		counts[y[i]]++
+	}
+	node := &treeNode{
+		prediction: argmax(counts),
+		counts:     counts,
+		samples:    m,
+	}
+	imp := gini(counts, m)
+	if imp == 0 || depth >= t.Opts.MaxDepth || m < t.Opts.MinSamplesSplit {
+		return node
+	}
+
+	// Zero-gain splits are allowed (as in CART): on XOR-like data the
+	// root split has zero immediate Gini decrease but enables pure
+	// children. Growth is still bounded by MaxDepth / MinSamplesLeaf.
+	bestFeature, bestThreshold := -1, 0.0
+	bestDecrease := math.Inf(-1)
+	n := float64(m)
+	leftCounts := make([]int, t.classes)
+
+	for f := 0; f < t.features; f++ {
+		col := sorted[f]
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		for i := 0; i < m-1; i++ {
+			leftCounts[y[col[i]]]++
+			nLeft := i + 1
+			v, next := X[col[i]][f], X[col[i+1]][f]
+			if v == next {
+				continue // can't split between equal values
+			}
+			nRight := m - nLeft
+			if nLeft < t.Opts.MinSamplesLeaf || nRight < t.Opts.MinSamplesLeaf {
+				continue
+			}
+			gl := 0.0
+			for _, c := range leftCounts {
+				p := float64(c) / float64(nLeft)
+				gl += p * p
+			}
+			gl = 1 - gl
+			gr := 0.0
+			for ci, c := range counts {
+				r := c - leftCounts[ci]
+				p := float64(r) / float64(nRight)
+				gr += p * p
+			}
+			gr = 1 - gr
+			decrease := imp - (float64(nLeft)*gl+float64(nRight)*gr)/n
+			if decrease >= t.Opts.MinImpurityDecrease && decrease > bestDecrease {
+				bestFeature = f
+				bestThreshold = (v + next) / 2
+				bestDecrease = decrease
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+
+	// Stable partition of every sorted column by the chosen split.
+	// t.goesLeft is shared scratch: only this node's sample entries
+	// are read, and all of them are written first.
+	goesLeft := t.goesLeft
+	nLeft := 0
+	for _, i := range sorted[bestFeature] {
+		l := X[i][bestFeature] <= bestThreshold
+		goesLeft[i] = l
+		if l {
+			nLeft++
+		}
+	}
+	if nLeft == 0 || nLeft == m {
+		return node // numerically degenerate split
+	}
+	leftSorted := make([][]int32, t.features)
+	rightSorted := make([][]int32, t.features)
+	for f := 0; f < t.features; f++ {
+		l := make([]int32, 0, nLeft)
+		r := make([]int32, 0, m-nLeft)
+		for _, i := range sorted[f] {
+			if goesLeft[i] {
+				l = append(l, i)
+			} else {
+				r = append(r, i)
+			}
+		}
+		leftSorted[f] = l
+		rightSorted[f] = r
+		sorted[f] = nil // release the parent's column early
+	}
+	t.importance[bestFeature] += bestDecrease * n
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = t.grow(X, y, leftSorted, depth+1)
+	node.right = t.grow(X, y, rightSorted, depth+1)
+	return node
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	if t.root == nil {
+		panic("classify: DecisionTree.Predict before Fit")
+	}
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prediction
+}
+
+// Depth returns the height of the fitted tree (0 for a single leaf).
+func (t *DecisionTree) Depth() int {
+	var h func(n *treeNode) int
+	h = func(n *treeNode) int {
+		if n == nil || n.isLeaf() {
+			return 0
+		}
+		l, r := h(n.left), h(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.root)
+}
+
+// NumLeaves counts the leaves of the fitted tree.
+func (t *DecisionTree) NumLeaves() int {
+	var c func(n *treeNode) int
+	c = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.isLeaf() {
+			return 1
+		}
+		return c(n.left) + c(n.right)
+	}
+	return c(t.root)
+}
+
+// FeatureImportance returns the normalized impurity-decrease
+// importance per feature (sums to 1 when any split occurred).
+func (t *DecisionTree) FeatureImportance() []float64 {
+	out := make([]float64, len(t.importance))
+	total := 0.0
+	for _, v := range t.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range t.importance {
+		out[i] = v / total
+	}
+	return out
+}
+
+// Rules renders the fitted tree as human-readable IF/THEN rules, one
+// per leaf, using featureNames (nil falls back to x[i] notation).
+// Knowledge items in the K-DB store these strings.
+func (t *DecisionTree) Rules(featureNames []string) []string {
+	if t.root == nil {
+		return nil
+	}
+	name := func(f int) string {
+		if f < len(featureNames) {
+			return featureNames[f]
+		}
+		return fmt.Sprintf("x[%d]", f)
+	}
+	var rules []string
+	var walk func(n *treeNode, conds []string)
+	walk = func(n *treeNode, conds []string) {
+		if n.isLeaf() {
+			cond := "always"
+			if len(conds) > 0 {
+				cond = strings.Join(conds, " AND ")
+			}
+			rules = append(rules, fmt.Sprintf("IF %s THEN class=%d (n=%d)",
+				cond, n.prediction, n.samples))
+			return
+		}
+		walk(n.left, append(conds, fmt.Sprintf("%s <= %.4g", name(n.feature), n.threshold)))
+		walk(n.right, append(conds[:len(conds):len(conds)],
+			fmt.Sprintf("%s > %.4g", name(n.feature), n.threshold)))
+	}
+	walk(t.root, nil)
+	return rules
+}

@@ -1,0 +1,220 @@
+package classify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// xorData is not linearly separable; trees must nail it.
+func xorData() ([][]float64, []int) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		X = append(X, []float64{a*2 - 1, b*2 - 1})
+		if (a == 1) != (b == 1) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	return X, y
+}
+
+func gaussianClasses(rng *rand.Rand, perClass int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0, 0}, {5, 5, 0}, {0, 5, 5}}
+	var X [][]float64
+	var y []int
+	for c, ctr := range centers {
+		for i := 0; i < perClass; i++ {
+			row := make([]float64, 3)
+			for j := range row {
+				row[j] = ctr[j] + rng.NormFloat64()*0.5
+			}
+			X = append(X, row)
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestTreeFitErrors(t *testing.T) {
+	tr := NewDecisionTree(TreeOptions{})
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Error("accepted empty training set")
+	}
+	if err := tr.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("accepted X/y length mismatch")
+	}
+	if err := tr.Fit([][]float64{{1}, {2}}, []int{0, -1}); err == nil {
+		t.Error("accepted negative label")
+	}
+	if err := tr.Fit([][]float64{{1, 2}, {3}}, []int{0, 1}); err == nil {
+		t.Error("accepted ragged rows")
+	}
+}
+
+func TestTreePredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict before Fit did not panic")
+		}
+	}()
+	NewDecisionTree(TreeOptions{}).Predict([]float64{1})
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	X, y := xorData()
+	tr := NewDecisionTree(TreeOptions{MaxDepth: 4})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if got := tr.Predict(x); got != y[i] {
+			t.Fatalf("XOR training point %d misclassified: got %d want %d", i, got, y[i])
+		}
+	}
+}
+
+func TestTreeGeneralizesGaussians(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, y := gaussianClasses(rng, 60)
+	testX, testY := gaussianClasses(rng, 20)
+	tr := NewDecisionTree(TreeOptions{MaxDepth: 8})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range testX {
+		if tr.Predict(x) == testY[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(testX))
+	if acc < 0.95 {
+		t.Errorf("test accuracy = %.3f, want >= 0.95 on separated gaussians", acc)
+	}
+}
+
+func TestTreeMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := gaussianClasses(rng, 50)
+	tr := NewDecisionTree(TreeOptions{MaxDepth: 2})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 2 {
+		t.Errorf("Depth = %d, want <= 2", d)
+	}
+}
+
+func TestTreeMinSamplesLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := gaussianClasses(rng, 30)
+	tr := NewDecisionTree(TreeOptions{MinSamplesLeaf: 10})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *treeNode)
+	check = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		if n.isLeaf() && n.samples < 10 {
+			t.Errorf("leaf with %d samples violates MinSamplesLeaf=10", n.samples)
+		}
+		check(n.left)
+		check(n.right)
+	}
+	check(tr.root)
+}
+
+func TestTreePureNodeIsLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []int{0, 0, 0, 0}
+	tr := NewDecisionTree(TreeOptions{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Errorf("pure training set grew %d leaves, want 1", tr.NumLeaves())
+	}
+	if tr.Predict([]float64{99}) != 0 {
+		t.Error("pure tree mispredicts")
+	}
+}
+
+func TestTreeConstantFeatures(t *testing.T) {
+	// No split possible: all feature values identical but labels mixed.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 1, 0, 1}
+	tr := NewDecisionTree(TreeOptions{})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Errorf("unsplittable data grew %d leaves, want 1", tr.NumLeaves())
+	}
+}
+
+func TestTreeFeatureImportance(t *testing.T) {
+	// Only feature 0 is informative.
+	rng := rand.New(rand.NewSource(6))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		X = append(X, []float64{float64(label)*4 + rng.NormFloat64()*0.2, rng.NormFloat64()})
+		y = append(y, label)
+	}
+	tr := NewDecisionTree(TreeOptions{MaxDepth: 6})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance()
+	if imp[0] < 0.9 {
+		t.Errorf("importance of informative feature = %v, want > 0.9 (all: %v)", imp[0], imp)
+	}
+	sum := imp[0] + imp[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v, want 1", sum)
+	}
+}
+
+func TestTreeRules(t *testing.T) {
+	X, y := xorData()
+	tr := NewDecisionTree(TreeOptions{MaxDepth: 4})
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	rules := tr.Rules([]string{"examA", "examB"})
+	if len(rules) != tr.NumLeaves() {
+		t.Fatalf("rules = %d, leaves = %d", len(rules), tr.NumLeaves())
+	}
+	joined := strings.Join(rules, "\n")
+	if !strings.Contains(joined, "examA") {
+		t.Errorf("rules do not use feature names: %s", joined)
+	}
+	if !strings.Contains(joined, "THEN class=") {
+		t.Errorf("rules missing THEN clause: %s", joined)
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	X, y := gaussianClasses(rng, 40)
+	a := NewDecisionTree(TreeOptions{})
+	b := NewDecisionTree(TreeOptions{})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("two fits on identical data disagree")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+
+	"adahealth/internal/kdtree"
+	"adahealth/internal/vec"
+)
+
+// DBSCANOptions configures density-based clustering.
+type DBSCANOptions struct {
+	// Eps is the neighbourhood radius (Euclidean).
+	Eps float64
+	// MinPts is the minimum neighbourhood size (including the point
+	// itself) for a core point; <= 0 means 4.
+	MinPts int
+}
+
+// Noise is the label DBSCAN assigns to points in no cluster.
+const Noise = -1
+
+// DBSCANResult is a fitted density-based clustering. Labels use
+// 0..K-1 for clusters and Noise (-1) for outliers.
+type DBSCANResult struct {
+	K         int
+	Labels    []int
+	Sizes     []int
+	NumNoise  int
+	CorePoint []bool
+}
+
+// DBSCAN clusters data by density (Ester et al.). It complements the
+// center-based K-means of the paper's preliminary implementation: the
+// paper's partial-mining discussion notes that rarely-prescribed exams
+// "could affect other types of analyses such as outlier detection" —
+// DBSCAN's noise set is exactly that analysis.
+func DBSCAN(data [][]float64, opts DBSCANOptions) (*DBSCANResult, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no data")
+	}
+	if opts.Eps <= 0 {
+		return nil, fmt.Errorf("cluster: DBSCAN needs Eps > 0, got %g", opts.Eps)
+	}
+	if opts.MinPts <= 0 {
+		opts.MinPts = 4
+	}
+	tree, err := kdtree.Build(data, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building kd-tree: %w", err)
+	}
+	eps2 := opts.Eps * opts.Eps
+
+	// rangeQuery returns indices within eps of q (including q itself).
+	rangeQuery := func(q []float64) []int {
+		var out []int
+		var walk func(node *kdtree.Node)
+		walk = func(node *kdtree.Node) {
+			if node == nil || node.BoxSquaredDistance(q) > eps2 {
+				return
+			}
+			if node.Left == nil {
+				for i := node.Lo; i < node.Hi; i++ {
+					idx := tree.Perm[i]
+					if vec.SquaredEuclidean(q, data[idx]) <= eps2 {
+						out = append(out, idx)
+					}
+				}
+				return
+			}
+			walk(node.Left)
+			walk(node.Right)
+		}
+		walk(tree.Root)
+		return out
+	}
+
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	core := make([]bool, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neighbours := rangeQuery(data[i])
+		if len(neighbours) < opts.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		core[i] = true
+		labels[i] = k
+		// Expand the cluster with a seed queue.
+		queue := append([]int(nil), neighbours...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = k // border point reached from a core
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = k
+			nb := rangeQuery(data[j])
+			if len(nb) >= opts.MinPts {
+				core[j] = true
+				queue = append(queue, nb...)
+			}
+		}
+		k++
+	}
+
+	res := &DBSCANResult{K: k, Labels: labels, Sizes: make([]int, k), CorePoint: core}
+	for _, l := range labels {
+		if l == Noise {
+			res.NumNoise++
+		} else {
+			res.Sizes[l]++
+		}
+	}
+	return res, nil
+}

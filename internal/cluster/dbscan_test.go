@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDBSCANErrors(t *testing.T) {
+	if _, err := DBSCAN(nil, DBSCANOptions{Eps: 1}); err == nil {
+		t.Error("accepted empty data")
+	}
+	if _, err := DBSCAN([][]float64{{1}}, DBSCANOptions{Eps: 0}); err == nil {
+		t.Error("accepted Eps=0")
+	}
+}
+
+func TestDBSCANFindsBlobsAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var data [][]float64
+	// Two dense blobs.
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 60; i++ {
+			data = append(data, []float64{
+				float64(c)*10 + rng.NormFloat64()*0.3,
+				rng.NormFloat64() * 0.3,
+			})
+		}
+	}
+	// Three isolated outliers.
+	outliers := [][]float64{{5, 50}, {-40, -40}, {100, 0}}
+	data = append(data, outliers...)
+
+	res, err := DBSCAN(data, DBSCANOptions{Eps: 1.2, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d, want 2", res.K)
+	}
+	if res.NumNoise != 3 {
+		t.Errorf("noise = %d, want 3", res.NumNoise)
+	}
+	for i := len(data) - 3; i < len(data); i++ {
+		if res.Labels[i] != Noise {
+			t.Errorf("outlier %d labelled %d, want Noise", i, res.Labels[i])
+		}
+	}
+	// Both blobs fully assigned, one cluster each.
+	for c := 0; c < 2; c++ {
+		first := res.Labels[c*60]
+		if first == Noise {
+			t.Fatalf("blob %d core labelled noise", c)
+		}
+		for i := c * 60; i < (c+1)*60; i++ {
+			if res.Labels[i] != first {
+				t.Errorf("blob %d split: point %d has %d, want %d", c, i, res.Labels[i], first)
+			}
+		}
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	data := [][]float64{{0, 0}, {10, 10}, {20, 0}, {30, 30}}
+	res, err := DBSCAN(data, DBSCANOptions{Eps: 1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 || res.NumNoise != 4 {
+		t.Errorf("K=%d noise=%d, want 0/4", res.K, res.NumNoise)
+	}
+}
+
+func TestDBSCANSingleDenseCluster(t *testing.T) {
+	var data [][]float64
+	for i := 0; i < 30; i++ {
+		data = append(data, []float64{float64(i) * 0.1, 0})
+	}
+	res, err := DBSCAN(data, DBSCANOptions{Eps: 0.2, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("chained dense points: K = %d, want 1", res.K)
+	}
+	if res.Sizes[0] != 30 {
+		t.Errorf("cluster size = %d, want 30", res.Sizes[0])
+	}
+}
+
+func TestDBSCANSizesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var data [][]float64
+	for i := 0; i < 200; i++ {
+		data = append(data, []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+	}
+	res, err := DBSCAN(data, DBSCANOptions{Eps: 0.8, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.NumNoise
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes+noise = %d, want %d", total, len(data))
+	}
+	// Core points are never noise.
+	for i, isCore := range res.CorePoint {
+		if isCore && res.Labels[i] == Noise {
+			t.Errorf("core point %d labelled noise", i)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package cluster implements the center-based clustering algorithms
+// used by ADA-HEALTH: K-means with k-means++ seeding, in both the
+// classic Lloyd formulation and the kd-tree filtering formulation of
+// Kanungo et al. (the paper's reference [3]), plus bisecting K-means.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adahealth/internal/kdtree"
+	"adahealth/internal/vec"
+)
+
+// Algorithm selects the assignment-step implementation.
+type Algorithm int
+
+const (
+	// Lloyd is the classic O(n·K·d) per-iteration algorithm.
+	Lloyd Algorithm = iota
+	// Filtering is the kd-tree filtering algorithm of Kanungo et al.
+	Filtering
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Lloyd:
+		return "lloyd"
+	case Filtering:
+		return "filtering"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// InitMethod selects centroid seeding.
+type InitMethod int
+
+const (
+	// KMeansPP is k-means++ (D² sampling); the default.
+	KMeansPP InitMethod = iota
+	// RandomInit picks K distinct points uniformly.
+	RandomInit
+)
+
+func (m InitMethod) String() string {
+	switch m {
+	case KMeansPP:
+		return "kmeans++"
+	case RandomInit:
+		return "random"
+	default:
+		return fmt.Sprintf("InitMethod(%d)", int(m))
+	}
+}
+
+// Options configures a K-means run. Zero values get sensible defaults
+// from (Options).withDefaults.
+type Options struct {
+	K         int
+	MaxIter   int     // default 100
+	Tolerance float64 // max centroid movement for convergence; default 1e-8
+	Seed      int64
+	Init      InitMethod
+	Algorithm Algorithm
+	LeafSize  int // kd-tree leaf size for Filtering; default kdtree.DefaultLeafSize
+
+	// InitialCentroids, when non-nil, bypasses seeding (used by tests
+	// and by the Lloyd-vs-Filtering equivalence property).
+	InitialCentroids [][]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-8
+	}
+	return o
+}
+
+// Result is a fitted cluster model.
+type Result struct {
+	K          int
+	Centroids  [][]float64
+	Labels     []int
+	Sizes      []int
+	SSE        float64
+	Iterations int
+	Converged  bool
+	Algorithm  string
+}
+
+// KMeans clusters data into opts.K groups. Data must be non-empty and
+// rectangular, with opts.K in [1, len(data)].
+func KMeans(data [][]float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no data")
+	}
+	d := len(data[0])
+	for i, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("cluster: row %d has dimension %d, want %d", i, len(row), d)
+		}
+	}
+	if opts.K < 1 || opts.K > n {
+		return nil, fmt.Errorf("cluster: K=%d outside [1,%d]", opts.K, n)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var centroids [][]float64
+	switch {
+	case opts.InitialCentroids != nil:
+		if len(opts.InitialCentroids) != opts.K {
+			return nil, fmt.Errorf("cluster: %d initial centroids for K=%d",
+				len(opts.InitialCentroids), opts.K)
+		}
+		centroids = make([][]float64, opts.K)
+		for i, c := range opts.InitialCentroids {
+			if len(c) != d {
+				return nil, fmt.Errorf("cluster: initial centroid %d has dimension %d, want %d",
+					i, len(c), d)
+			}
+			centroids[i] = vec.Clone(c)
+		}
+	case opts.Init == RandomInit:
+		centroids = randomInit(data, opts.K, rng)
+	default:
+		centroids = kmeansPPInit(data, opts.K, rng)
+	}
+
+	var tree *kdtree.Tree
+	if opts.Algorithm == Filtering {
+		var err error
+		tree, err = kdtree.Build(data, opts.LeafSize)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building kd-tree: %w", err)
+		}
+	}
+
+	labels := make([]int, n)
+	counts := make([]int, opts.K)
+	sums := make([][]float64, opts.K)
+	for i := range sums {
+		sums[i] = make([]float64, d)
+	}
+
+	res := &Result{K: opts.K, Algorithm: opts.Algorithm.String()}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+
+		// Assignment step.
+		if opts.Algorithm == Filtering {
+			tree.FilterStep(centroids, labels, sums, counts)
+		} else {
+			for i := range sums {
+				for j := range sums[i] {
+					sums[i][j] = 0
+				}
+				counts[i] = 0
+			}
+			for i, x := range data {
+				c, _ := vec.ArgMinDistance(x, centroids)
+				labels[i] = c
+				counts[c]++
+				vec.AddTo(sums[c], x)
+			}
+		}
+
+		// Update step, with empty-cluster repair: an empty cluster is
+		// reseeded at the point currently farthest from its centroid.
+		moved := 0.0
+		for c := 0; c < opts.K; c++ {
+			if counts[c] == 0 {
+				far := farthestPoint(data, centroids, labels)
+				delta := vec.Euclidean(centroids[c], data[far])
+				copy(centroids[c], data[far])
+				if delta > moved {
+					moved = delta
+				}
+				continue
+			}
+			prev := vec.Clone(centroids[c])
+			for j := 0; j < d; j++ {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+			if delta := vec.Euclidean(prev, centroids[c]); delta > moved {
+				moved = delta
+			}
+		}
+		if moved <= opts.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Final assignment against the converged centroids, plus SSE.
+	res.Centroids = centroids
+	res.Labels = make([]int, n)
+	res.Sizes = make([]int, opts.K)
+	for i, x := range data {
+		c, dist := vec.ArgMinDistance(x, centroids)
+		res.Labels[i] = c
+		res.Sizes[c]++
+		res.SSE += dist
+	}
+	return res, nil
+}
+
+// farthestPoint returns the index of the point with the largest
+// distance to its assigned centroid.
+func farthestPoint(data [][]float64, centroids [][]float64, labels []int) int {
+	best, bestD := 0, -1.0
+	for i, x := range data {
+		if d := vec.SquaredEuclidean(x, centroids[labels[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func randomInit(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	perm := rng.Perm(len(data))
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = vec.Clone(data[perm[i]])
+	}
+	return out
+}
+
+// kmeansPPInit seeds centroids by D² sampling (Arthur & Vassilvitskii).
+func kmeansPPInit(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(data)
+	out := make([][]float64, 0, k)
+	out = append(out, vec.Clone(data[rng.Intn(n)]))
+	dist := make([]float64, n)
+	for i, x := range data {
+		dist[i] = vec.SquaredEuclidean(x, out[0])
+	}
+	for len(out) < k {
+		total := 0.0
+		for _, w := range dist {
+			total += w
+		}
+		var next int
+		if total == 0 {
+			// All points coincide with chosen centroids; pick any.
+			next = rng.Intn(n)
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			next = n - 1
+			for i, w := range dist {
+				acc += w
+				if acc >= u {
+					next = i
+					break
+				}
+			}
+		}
+		out = append(out, vec.Clone(data[next]))
+		for i, x := range data {
+			if d := vec.SquaredEuclidean(x, out[len(out)-1]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return out
+}
+
+// SSEOf recomputes the sum of squared errors of data against a fitted
+// model's centroids/labels. It is exported for evaluation code.
+func SSEOf(data [][]float64, centroids [][]float64, labels []int) float64 {
+	sse := 0.0
+	for i, x := range data {
+		sse += vec.SquaredEuclidean(x, centroids[labels[i]])
+	}
+	return sse
+}
+
+// BisectingKMeans builds K clusters by repeatedly 2-means-splitting
+// the cluster with the largest SSE. It returns a Result in the same
+// shape as KMeans.
+func BisectingKMeans(data [][]float64, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no data")
+	}
+	if opts.K < 1 || opts.K > n {
+		return nil, fmt.Errorf("cluster: K=%d outside [1,%d]", opts.K, n)
+	}
+	type clust struct {
+		members []int
+		center  []float64
+		sse     float64
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	center := vec.Mean(data)
+	start := clust{members: all, center: center}
+	for _, i := range all {
+		start.sse += vec.SquaredEuclidean(data[i], center)
+	}
+	clusters := []clust{start}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for len(clusters) < opts.K {
+		// Pick the cluster with the largest SSE that can be split.
+		worst := -1
+		for i, c := range clusters {
+			if len(c.members) < 2 {
+				continue
+			}
+			if worst == -1 || c.sse > clusters[worst].sse {
+				worst = i
+			}
+		}
+		if worst == -1 {
+			break // nothing splittable
+		}
+		target := clusters[worst]
+		sub := make([][]float64, len(target.members))
+		for i, m := range target.members {
+			sub[i] = data[m]
+		}
+		split, err := KMeans(sub, Options{
+			K: 2, MaxIter: opts.MaxIter, Tolerance: opts.Tolerance,
+			Seed: rng.Int63(), Init: opts.Init, Algorithm: Lloyd,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var parts [2]clust
+		for i := range parts {
+			parts[i].center = split.Centroids[i]
+		}
+		for i, m := range target.members {
+			c := split.Labels[i]
+			parts[c].members = append(parts[c].members, m)
+			parts[c].sse += vec.SquaredEuclidean(data[m], split.Centroids[c])
+		}
+		if len(parts[0].members) == 0 || len(parts[1].members) == 0 {
+			// Degenerate split (identical points): stop splitting.
+			break
+		}
+		clusters[worst] = parts[0]
+		clusters = append(clusters, parts[1])
+	}
+
+	res := &Result{
+		K:         len(clusters),
+		Labels:    make([]int, n),
+		Sizes:     make([]int, len(clusters)),
+		Algorithm: "bisecting",
+		Converged: true,
+	}
+	res.Centroids = make([][]float64, len(clusters))
+	for c, cl := range clusters {
+		res.Centroids[c] = cl.center
+		res.Sizes[c] = len(cl.members)
+		for _, m := range cl.members {
+			res.Labels[m] = c
+		}
+		res.SSE += cl.sse
+	}
+	return res, nil
+}

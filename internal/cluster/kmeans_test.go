@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adahealth/internal/vec"
+)
+
+// blobs generates k well-separated Gaussian blobs.
+func blobs(rng *rand.Rand, k, perCluster, d int, sep float64) ([][]float64, []int) {
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = make([]float64, d)
+		for j := range centers[i] {
+			centers[i][j] = rng.NormFloat64() * sep
+		}
+	}
+	var data [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		for p := 0; p < perCluster; p++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = centers[c][j] + rng.NormFloat64()*0.3
+			}
+			data = append(data, x)
+			truth = append(truth, c)
+		}
+	}
+	return data, truth
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, Options{K: 2}); err == nil {
+		t.Error("accepted empty data")
+	}
+	data := [][]float64{{1}, {2}}
+	if _, err := KMeans(data, Options{K: 0}); err == nil {
+		t.Error("accepted K=0")
+	}
+	if _, err := KMeans(data, Options{K: 3}); err == nil {
+		t.Error("accepted K > n")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {3}}, Options{K: 1}); err == nil {
+		t.Error("accepted ragged data")
+	}
+	if _, err := KMeans(data, Options{K: 2, InitialCentroids: [][]float64{{1}}}); err == nil {
+		t.Error("accepted wrong number of initial centroids")
+	}
+	if _, err := KMeans(data, Options{K: 1, InitialCentroids: [][]float64{{1, 2}}}); err == nil {
+		t.Error("accepted initial centroid of wrong dimension")
+	}
+}
+
+func TestKMeansRecoverseparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data, truth := blobs(rng, 3, 60, 4, 12)
+	res, err := KMeans(data, Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge on easy blobs")
+	}
+	// Every true cluster must map to exactly one predicted label.
+	mapping := map[int]map[int]int{}
+	for i, lbl := range res.Labels {
+		if mapping[truth[i]] == nil {
+			mapping[truth[i]] = map[int]int{}
+		}
+		mapping[truth[i]][lbl]++
+	}
+	for tc, preds := range mapping {
+		best, total := 0, 0
+		for _, c := range preds {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		purity := float64(best) / float64(total)
+		if purity < 0.98 {
+			t.Errorf("true cluster %d purity = %.3f, want ≈1", tc, purity)
+		}
+	}
+}
+
+func TestKMeansSizesAndSSEConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data, _ := blobs(rng, 4, 40, 3, 8)
+	res, err := KMeans(data, Options{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes sum = %d, want %d", total, len(data))
+	}
+	if got := SSEOf(data, res.Centroids, res.Labels); math.Abs(got-res.SSE) > 1e-6 {
+		t.Errorf("SSE mismatch: result %v vs recomputed %v", res.SSE, got)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, _ := blobs(rng, 3, 30, 3, 6)
+	a, _ := KMeans(data, Options{K: 3, Seed: 42})
+	b, _ := KMeans(data, Options{K: 3, Seed: 42})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+	if a.SSE != b.SSE {
+		t.Fatalf("same seed produced different SSE: %v vs %v", a.SSE, b.SSE)
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	data := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := KMeans(data, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[0][0] != 1 || res.Centroids[0][1] != 1 {
+		t.Errorf("K=1 centroid = %v, want mean [1 1]", res.Centroids[0])
+	}
+	if res.SSE != 8 {
+		t.Errorf("K=1 SSE = %v, want 8", res.SSE)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	data := [][]float64{{0}, {5}, {10}}
+	res, err := KMeans(data, Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-12 {
+		t.Errorf("K=n SSE = %v, want 0", res.SSE)
+	}
+}
+
+// Property (paper's core optimizer assumption): SSE is non-increasing
+// in K for a fixed seed and well-behaved data.
+func TestSSEDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data, _ := blobs(rng, 5, 50, 4, 5)
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 6, 8, 12} {
+		best := math.Inf(1)
+		// Take the best of a few seeds to smooth local minima.
+		for seed := int64(0); seed < 4; seed++ {
+			res, err := KMeans(data, Options{K: k, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SSE < best {
+				best = res.SSE
+			}
+		}
+		if best > prev*1.02 { // small tolerance for local minima
+			t.Errorf("SSE at K=%d (%v) exceeds smaller K (%v)", k, best, prev)
+		}
+		prev = best
+	}
+}
+
+// Property: Lloyd and Filtering produce identical assignments from the
+// same initial centroids (the filtering algorithm is exact).
+func TestFilteringMatchesLloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		data, _ := blobs(rng, 3, 40, 1+rng.Intn(5), 6)
+		init := make([][]float64, 3)
+		perm := rng.Perm(len(data))
+		for i := range init {
+			init[i] = vec.Clone(data[perm[i]])
+		}
+		lloyd, err := KMeans(data, Options{K: 3, InitialCentroids: init, Algorithm: Lloyd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		filt, err := KMeans(data, Options{K: 3, InitialCentroids: init, Algorithm: Filtering, LeafSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lloyd.SSE-filt.SSE) > 1e-6*(1+lloyd.SSE) {
+			t.Fatalf("trial %d: SSE lloyd %v vs filtering %v", trial, lloyd.SSE, filt.SSE)
+		}
+		for i := range lloyd.Labels {
+			dl := vec.SquaredEuclidean(data[i], lloyd.Centroids[lloyd.Labels[i]])
+			df := vec.SquaredEuclidean(data[i], filt.Centroids[filt.Labels[i]])
+			if math.Abs(dl-df) > 1e-6*(1+dl) {
+				t.Fatalf("trial %d point %d: assignment distance differs (%v vs %v)",
+					trial, i, dl, df)
+			}
+		}
+	}
+}
+
+func TestEmptyClusterRepair(t *testing.T) {
+	// Force an empty cluster: initial centroid far away from all data.
+	data := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {5, 5}, {5.1, 5}, {5, 5.1}}
+	init := [][]float64{{0, 0}, {5, 5}, {100, 100}}
+	res, err := KMeans(data, Options{K: 3, InitialCentroids: init, MaxIter: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes sum %d after repair, want %d", total, len(data))
+	}
+}
+
+func TestRandomInitDistinctPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data, _ := blobs(rng, 2, 20, 2, 5)
+	res, err := KMeans(data, Options{K: 4, Seed: 5, Init: RandomInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 4 {
+		t.Errorf("centroids = %d", len(res.Centroids))
+	}
+}
+
+func TestBisectingKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data, _ := blobs(rng, 4, 50, 3, 10)
+	res, err := BisectingKMeans(data, Options{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("K = %d, want 4", res.K)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes sum = %d, want %d", total, len(data))
+	}
+	// Should score comparably to plain K-means on separated blobs.
+	plain, _ := KMeans(data, Options{K: 4, Seed: 2})
+	if res.SSE > plain.SSE*2.5 {
+		t.Errorf("bisecting SSE %v far worse than plain %v", res.SSE, plain.SSE)
+	}
+}
+
+func TestBisectingErrors(t *testing.T) {
+	if _, err := BisectingKMeans(nil, Options{K: 2}); err == nil {
+		t.Error("accepted empty data")
+	}
+	if _, err := BisectingKMeans([][]float64{{1}}, Options{K: 2}); err == nil {
+		t.Error("accepted K > n")
+	}
+}
+
+func TestBisectingDegenerateDuplicates(t *testing.T) {
+	data := make([][]float64, 10)
+	for i := range data {
+		data[i] = []float64{1, 1}
+	}
+	res, err := BisectingKMeans(data, Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 1 {
+		t.Errorf("K = %d", res.K)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes sum = %d, want %d", total, len(data))
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if Lloyd.String() != "lloyd" || Filtering.String() != "filtering" {
+		t.Error("Algorithm String() drifted")
+	}
+	if KMeansPP.String() != "kmeans++" || RandomInit.String() != "random" {
+		t.Error("InitMethod String() drifted")
+	}
+}

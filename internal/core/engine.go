@@ -1,0 +1,243 @@
+// Package core orchestrates the full ADA-HEALTH pipeline of Figure 1:
+// data characterization → data transformation → adaptive partial
+// mining → data-analytics optimization → knowledge extraction →
+// K-DB storage → end-goal recommendation → knowledge ranking.
+//
+// Given an examination log and minimal configuration, Analyze produces
+// a ranked, manageable set of knowledge items with no further user
+// intervention — the paper's headline behaviour.
+package core
+
+import (
+	"fmt"
+
+	"adahealth/internal/classify"
+	"adahealth/internal/cluster"
+	"adahealth/internal/dataset"
+	"adahealth/internal/endgoal"
+	"adahealth/internal/fpm"
+	"adahealth/internal/kdb"
+	"adahealth/internal/knowledge"
+	"adahealth/internal/optimize"
+	"adahealth/internal/partial"
+	"adahealth/internal/ranking"
+	"adahealth/internal/stats"
+	"adahealth/internal/vsm"
+)
+
+// Config configures an Engine. The zero value plus a KDB directory is
+// a working paper-faithful configuration (defaults are filled in).
+type Config struct {
+	// VSM selects the data transformation (paper: raw counts).
+	VSM vsm.Options
+	// Partial configures the adaptive horizontal partial mining
+	// (paper: fractions 20%/40%/100% of exam types, 5% tolerance).
+	Partial partial.Config
+	// Sweep configures the K optimization (paper: Table I grid,
+	// 10-fold CV decision tree).
+	Sweep optimize.SweepConfig
+	// MinSupportFrac is the relative support threshold for pattern
+	// mining over visits; default 0.02.
+	MinSupportFrac float64
+	// MinConfidence is the association-rule threshold; default 0.6.
+	MinConfidence float64
+	// MaxPatternItems bounds how many pattern knowledge items are
+	// stored (the "manageable set"); default 50.
+	MaxPatternItems int
+	// KDBDir is the knowledge-base directory ("" = in-memory).
+	KDBDir string
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupportFrac <= 0 {
+		c.MinSupportFrac = 0.02
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.6
+	}
+	if c.MaxPatternItems <= 0 {
+		c.MaxPatternItems = 50
+	}
+	c.Partial.Seed = c.Seed
+	c.Sweep.Seed = c.Seed
+	return c
+}
+
+// Engine is the ADA-HEALTH automated analysis engine.
+type Engine struct {
+	cfg Config
+	kdb *kdb.KDB
+}
+
+// New builds an engine, opening (or creating) its knowledge base.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	k, err := kdb.Open(cfg.KDBDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening K-DB: %w", err)
+	}
+	return &Engine{cfg: cfg, kdb: k}, nil
+}
+
+// KDB exposes the engine's knowledge base (feedback recording,
+// inspection).
+func (e *Engine) KDB() *kdb.KDB { return e.kdb }
+
+// Report is the complete outcome of one automated analysis.
+type Report struct {
+	Descriptor      stats.Descriptor
+	Transformed     kdb.TransformedSummary
+	Partial         *partial.Result
+	SelectedSubset  int // features used after partial mining
+	Sweep           *optimize.SweepResult
+	BestClustering  *cluster.Result
+	ClusterItems    []knowledge.Item
+	PatternItems    []knowledge.Item
+	RuleItems       []knowledge.Item
+	Recommendations []endgoal.Recommendation
+	Ranked          []knowledge.Item
+	// Demand is the monthly examination-volume series backing the
+	// resource-planning end-goal.
+	Demand []stats.DemandPoint
+}
+
+// Analyze runs the full pipeline on a log.
+func (e *Engine) Analyze(log *dataset.Log) (*Report, error) {
+	if log.NumPatients() == 0 || log.NumRecords() == 0 {
+		return nil, fmt.Errorf("core: log %q is empty", log.Name)
+	}
+	rep := &Report{}
+
+	// 1. Data characterization (stored in K-DB collection 3).
+	rep.Descriptor = stats.Characterize(log)
+	if _, err := e.kdb.StoreDescriptor(rep.Descriptor); err != nil {
+		return nil, err
+	}
+
+	// 2. Data transformation: VSM (collection 2 records the summary).
+	matrix, err := vsm.Build(log, e.cfg.VSM)
+	if err != nil {
+		return nil, fmt.Errorf("core: transforming: %w", err)
+	}
+	rep.Transformed = kdb.TransformedSummary{
+		Dataset:     log.Name,
+		Weighting:   e.cfg.VSM.Weighting.String(),
+		Norm:        e.cfg.VSM.Normalization.String(),
+		NumRows:     matrix.NumRows(),
+		NumFeatures: matrix.NumFeatures(),
+		Sparsity:    matrix.Sparsity(),
+		Features:    matrix.Features,
+	}
+	if _, err := e.kdb.StoreTransformed(rep.Transformed); err != nil {
+		return nil, err
+	}
+
+	// 3. Adaptive horizontal partial mining (Section IV-B).
+	pres, err := partial.RunHorizontal(matrix, e.cfg.Partial)
+	if err != nil {
+		return nil, fmt.Errorf("core: partial mining: %w", err)
+	}
+	rep.Partial = pres
+	rep.SelectedSubset = pres.SelectedStep().NumFeatures
+	working := matrix.Project(rep.SelectedSubset)
+
+	// 4. Data-analytics optimization: the K sweep of Table I on the
+	// selected subset.
+	sweep, err := optimize.Sweep(working.Rows, e.cfg.Sweep)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimizing: %w", err)
+	}
+	rep.Sweep = sweep
+
+	// 5. Final clustering with the selected K.
+	opts := e.cfg.Sweep.Cluster
+	opts.K = sweep.BestK
+	opts.Seed = e.cfg.Seed + int64(sweep.BestK)*7919
+	best, err := cluster.KMeans(working.Rows, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: final clustering: %w", err)
+	}
+	rep.BestClustering = best
+	rep.ClusterItems = knowledge.FromClusterResult(log.Name, best, working.Features, 5)
+
+	// 6. Pattern discovery over visits, taxonomy-aware (MeTA-style).
+	visits := log.Visits()
+	txs := make([][]string, len(visits))
+	for i, v := range visits {
+		txs[i] = v.ExamCodes
+	}
+	minSupport := int(e.cfg.MinSupportFrac * float64(len(txs)))
+	if minSupport < 2 {
+		minSupport = 2
+	}
+	tax := taxonomyOf(log)
+	gsets, err := fpm.MineGeneralized(txs, tax, minSupport)
+	if err != nil {
+		return nil, fmt.Errorf("core: pattern mining: %w", err)
+	}
+	flat := make([]fpm.Itemset, 0, len(gsets))
+	for _, g := range gsets {
+		flat = append(flat, g.Itemset)
+	}
+	fpm.SortItemsets(flat)
+	rep.PatternItems = knowledge.FromItemsets(log.Name, flat, len(txs))
+	if len(rep.PatternItems) > e.cfg.MaxPatternItems {
+		rep.PatternItems = rep.PatternItems[:e.cfg.MaxPatternItems]
+	}
+	rules, err := fpm.Rules(flat, len(txs), e.cfg.MinConfidence)
+	if err != nil {
+		return nil, fmt.Errorf("core: rule derivation: %w", err)
+	}
+	if len(rules) > e.cfg.MaxPatternItems {
+		rules = rules[:e.cfg.MaxPatternItems]
+	}
+	rep.RuleItems = knowledge.FromRules(log.Name, rules)
+
+	// 7. Store extracted knowledge (collections 4-5).
+	all := make([]knowledge.Item, 0,
+		len(rep.ClusterItems)+len(rep.PatternItems)+len(rep.RuleItems))
+	all = append(all, rep.ClusterItems...)
+	all = append(all, rep.PatternItems...)
+	all = append(all, rep.RuleItems...)
+	if err := e.kdb.StoreKnowledgeItems(all); err != nil {
+		return nil, err
+	}
+
+	// 8. End-goal recommendation from the K-DB.
+	recs, err := endgoal.NewRecommender(e.kdb).Recommend(rep.Descriptor)
+	if err != nil {
+		return nil, fmt.Errorf("core: recommending end-goals: %w", err)
+	}
+	rep.Recommendations = recs
+
+	// 9. Rank the knowledge for presentation; attach the demand
+	// series for the resource-planning goal.
+	rep.Ranked = ranking.NewRanker().Rank(all)
+	rep.Demand = stats.MonthlyDemand(log)
+
+	if err := e.kdb.Flush(); err != nil {
+		return nil, fmt.Errorf("core: flushing K-DB: %w", err)
+	}
+	return rep, nil
+}
+
+// taxonomyOf derives the exam → category taxonomy from the catalog,
+// the abstraction hierarchy the generalized pattern miner climbs.
+func taxonomyOf(log *dataset.Log) fpm.Taxonomy {
+	tax := fpm.Taxonomy{}
+	for _, e := range log.Exams {
+		if e.Category != "" {
+			tax[e.Code] = "category:" + e.Category
+		}
+	}
+	return tax
+}
+
+// RobustnessFactory returns the classifier factory the optimization
+// component uses; exposed so callers can reproduce individual Table I
+// rows outside a full sweep.
+func RobustnessFactory(opts classify.TreeOptions) classify.Factory {
+	return func() classify.Classifier { return classify.NewDecisionTree(opts) }
+}

@@ -1,0 +1,309 @@
+// Package dataset defines the medical examination-log data model used
+// throughout ADA-HEALTH: patients, examination types, and timestamped
+// examination records, together with loading, saving and validation.
+//
+// The model mirrors the dataset described in Section IV of the paper:
+// an anonymized log of diabetic patients where each record carries at
+// least a unique patient identifier and the type and date of an exam.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ExamType describes one kind of medical examination (e.g. a regular
+// checkup or a specific diagnostic test for a complication).
+type ExamType struct {
+	// Code is the unique identifier of the exam type, e.g. "EX042".
+	Code string `json:"code"`
+	// Name is a human-readable label.
+	Name string `json:"name"`
+	// Category groups exam types at a coarser abstraction level
+	// (used by the taxonomy-aware pattern miner), e.g. "routine",
+	// "cardiovascular", "renal", "ophthalmic".
+	Category string `json:"category"`
+}
+
+// Patient is one anonymized patient.
+type Patient struct {
+	// ID is the unique patient identifier, e.g. "P000017".
+	ID string `json:"id"`
+	// Age in years at the start of the observation period.
+	Age int `json:"age"`
+	// Profile is the hidden generating profile for synthetic data
+	// (ground truth for evaluation only; empty for real data). It is
+	// never consumed by the mining pipeline itself.
+	Profile string `json:"profile,omitempty"`
+}
+
+// Record is a single examination event: patient, exam type and date.
+type Record struct {
+	PatientID string    `json:"patient_id"`
+	ExamCode  string    `json:"exam_code"`
+	Date      time.Time `json:"date"`
+}
+
+// Log is a complete examination log: the exam-type catalog, the patient
+// registry and all records. A Log is the unit of input to the
+// ADA-HEALTH pipeline.
+type Log struct {
+	Name     string     `json:"name"`
+	Exams    []ExamType `json:"exams"`
+	Patients []Patient  `json:"patients"`
+	Records  []Record   `json:"records"`
+
+	examIndex    map[string]int
+	patientIndex map[string]int
+}
+
+// NewLog returns an empty Log with the given name.
+func NewLog(name string) *Log {
+	return &Log{Name: name}
+}
+
+// AddExam registers an exam type. Duplicate codes are rejected.
+func (l *Log) AddExam(e ExamType) error {
+	l.ensureIndexes()
+	if _, dup := l.examIndex[e.Code]; dup {
+		return fmt.Errorf("dataset: duplicate exam code %q", e.Code)
+	}
+	l.examIndex[e.Code] = len(l.Exams)
+	l.Exams = append(l.Exams, e)
+	return nil
+}
+
+// AddPatient registers a patient. Duplicate IDs are rejected.
+func (l *Log) AddPatient(p Patient) error {
+	l.ensureIndexes()
+	if _, dup := l.patientIndex[p.ID]; dup {
+		return fmt.Errorf("dataset: duplicate patient ID %q", p.ID)
+	}
+	l.patientIndex[p.ID] = len(l.Patients)
+	l.Patients = append(l.Patients, p)
+	return nil
+}
+
+// AddRecord appends an examination record. The patient and exam type
+// must already be registered.
+func (l *Log) AddRecord(r Record) error {
+	l.ensureIndexes()
+	if _, ok := l.patientIndex[r.PatientID]; !ok {
+		return fmt.Errorf("dataset: record references unknown patient %q", r.PatientID)
+	}
+	if _, ok := l.examIndex[r.ExamCode]; !ok {
+		return fmt.Errorf("dataset: record references unknown exam code %q", r.ExamCode)
+	}
+	l.Records = append(l.Records, r)
+	return nil
+}
+
+func (l *Log) ensureIndexes() {
+	if l.examIndex == nil {
+		l.examIndex = make(map[string]int, len(l.Exams))
+		for i, e := range l.Exams {
+			l.examIndex[e.Code] = i
+		}
+	}
+	if l.patientIndex == nil {
+		l.patientIndex = make(map[string]int, len(l.Patients))
+		for i, p := range l.Patients {
+			l.patientIndex[p.ID] = i
+		}
+	}
+}
+
+// ReindexAfterLoad rebuilds the internal lookup tables. It must be
+// called after populating the exported fields directly (e.g. after
+// decoding from JSON).
+func (l *Log) ReindexAfterLoad() {
+	l.examIndex = nil
+	l.patientIndex = nil
+	l.ensureIndexes()
+}
+
+// Exam returns the exam type for code, if registered.
+func (l *Log) Exam(code string) (ExamType, bool) {
+	l.ensureIndexes()
+	i, ok := l.examIndex[code]
+	if !ok {
+		return ExamType{}, false
+	}
+	return l.Exams[i], true
+}
+
+// Patient returns the patient for id, if registered.
+func (l *Log) Patient(id string) (Patient, bool) {
+	l.ensureIndexes()
+	i, ok := l.patientIndex[id]
+	if !ok {
+		return Patient{}, false
+	}
+	return l.Patients[i], true
+}
+
+// NumPatients reports the number of registered patients.
+func (l *Log) NumPatients() int { return len(l.Patients) }
+
+// NumExamTypes reports the number of registered exam types.
+func (l *Log) NumExamTypes() int { return len(l.Exams) }
+
+// NumRecords reports the number of examination records.
+func (l *Log) NumRecords() int { return len(l.Records) }
+
+// ExamFrequencies returns, for every exam code, the number of records
+// of that exam type. Codes with zero records are included.
+func (l *Log) ExamFrequencies() map[string]int {
+	freq := make(map[string]int, len(l.Exams))
+	for _, e := range l.Exams {
+		freq[e.Code] = 0
+	}
+	for _, r := range l.Records {
+		freq[r.ExamCode]++
+	}
+	return freq
+}
+
+// ExamsByFrequency returns exam codes ordered by decreasing record
+// count; ties are broken by code so the order is deterministic.
+func (l *Log) ExamsByFrequency() []string {
+	freq := l.ExamFrequencies()
+	codes := make([]string, 0, len(freq))
+	for c := range freq {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if freq[codes[i]] != freq[codes[j]] {
+			return freq[codes[i]] > freq[codes[j]]
+		}
+		return codes[i] < codes[j]
+	})
+	return codes
+}
+
+// RecordsPerPatient returns the number of records for every patient ID.
+// Patients with zero records are included.
+func (l *Log) RecordsPerPatient() map[string]int {
+	counts := make(map[string]int, len(l.Patients))
+	for _, p := range l.Patients {
+		counts[p.ID] = 0
+	}
+	for _, r := range l.Records {
+		counts[r.PatientID]++
+	}
+	return counts
+}
+
+// TimeSpan returns the earliest and latest record dates. ok is false
+// when the log holds no records.
+func (l *Log) TimeSpan() (min, max time.Time, ok bool) {
+	if len(l.Records) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	min, max = l.Records[0].Date, l.Records[0].Date
+	for _, r := range l.Records[1:] {
+		if r.Date.Before(min) {
+			min = r.Date
+		}
+		if r.Date.After(max) {
+			max = r.Date
+		}
+	}
+	return min, max, true
+}
+
+// Visit is the set of exams one patient underwent on one date. Visits
+// are the transactional unit consumed by the frequent-pattern miner.
+type Visit struct {
+	PatientID string
+	Date      time.Time
+	ExamCodes []string
+}
+
+// Visits groups records into per-patient per-day visits. Exam codes
+// within a visit are sorted and de-duplicated; visits are ordered by
+// patient registration order, then date.
+func (l *Log) Visits() []Visit {
+	type key struct {
+		patient string
+		day     string
+	}
+	byKey := make(map[key]map[string]bool)
+	for _, r := range l.Records {
+		k := key{r.PatientID, r.Date.Format("2006-01-02")}
+		set := byKey[k]
+		if set == nil {
+			set = make(map[string]bool)
+			byKey[k] = set
+		}
+		set[r.ExamCode] = true
+	}
+	l.ensureIndexes()
+	visits := make([]Visit, 0, len(byKey))
+	for k, set := range byKey {
+		codes := make([]string, 0, len(set))
+		for c := range set {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		d, _ := time.Parse("2006-01-02", k.day)
+		visits = append(visits, Visit{PatientID: k.patient, Date: d, ExamCodes: codes})
+	}
+	sort.Slice(visits, func(i, j int) bool {
+		pi, pj := l.patientIndex[visits[i].PatientID], l.patientIndex[visits[j].PatientID]
+		if pi != pj {
+			return pi < pj
+		}
+		return visits[i].Date.Before(visits[j].Date)
+	})
+	return visits
+}
+
+// FilterPatients returns a new Log restricted to the patients for which
+// keep returns true. The exam catalog is preserved in full.
+func (l *Log) FilterPatients(keep func(Patient) bool) *Log {
+	out := NewLog(l.Name)
+	for _, e := range l.Exams {
+		out.AddExam(e) //nolint:errcheck // source catalog has no duplicates
+	}
+	kept := make(map[string]bool, len(l.Patients))
+	for _, p := range l.Patients {
+		if keep(p) {
+			kept[p.ID] = true
+			out.AddPatient(p) //nolint:errcheck
+		}
+	}
+	for _, r := range l.Records {
+		if kept[r.PatientID] {
+			out.AddRecord(r) //nolint:errcheck
+		}
+	}
+	return out
+}
+
+// FilterExams returns a new Log restricted to records whose exam code
+// is in codes. All patients remain registered (horizontal partial
+// mining retains the total number of patients while reducing the
+// feature space, per Section IV-B of the paper).
+func (l *Log) FilterExams(codes []string) *Log {
+	keep := make(map[string]bool, len(codes))
+	for _, c := range codes {
+		keep[c] = true
+	}
+	out := NewLog(l.Name)
+	for _, e := range l.Exams {
+		if keep[e.Code] {
+			out.AddExam(e) //nolint:errcheck
+		}
+	}
+	for _, p := range l.Patients {
+		out.AddPatient(p) //nolint:errcheck
+	}
+	for _, r := range l.Records {
+		if keep[r.ExamCode] {
+			out.AddRecord(r) //nolint:errcheck
+		}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func day(d int) time.Time {
+	return time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+}
+
+func sampleLog(t *testing.T) *Log {
+	t.Helper()
+	l := NewLog("sample")
+	for _, e := range []ExamType{
+		{Code: "EX001", Name: "HbA1c", Category: "routine"},
+		{Code: "EX002", Name: "ECG", Category: "cardiovascular"},
+		{Code: "EX003", Name: "FundusExam", Category: "ophthalmic"},
+	} {
+		if err := l.AddExam(e); err != nil {
+			t.Fatalf("AddExam(%v): %v", e, err)
+		}
+	}
+	for _, p := range []Patient{
+		{ID: "P1", Age: 60}, {ID: "P2", Age: 45}, {ID: "P3", Age: 71},
+	} {
+		if err := l.AddPatient(p); err != nil {
+			t.Fatalf("AddPatient(%v): %v", p, err)
+		}
+	}
+	recs := []Record{
+		{"P1", "EX001", day(0)},
+		{"P1", "EX002", day(0)},
+		{"P1", "EX001", day(30)},
+		{"P2", "EX001", day(5)},
+		{"P2", "EX003", day(5)},
+		{"P3", "EX002", day(9)},
+	}
+	for _, r := range recs {
+		if err := l.AddRecord(r); err != nil {
+			t.Fatalf("AddRecord(%v): %v", r, err)
+		}
+	}
+	return l
+}
+
+func TestAddDuplicates(t *testing.T) {
+	l := sampleLog(t)
+	if err := l.AddExam(ExamType{Code: "EX001"}); err == nil {
+		t.Error("duplicate exam code accepted")
+	}
+	if err := l.AddPatient(Patient{ID: "P1"}); err == nil {
+		t.Error("duplicate patient ID accepted")
+	}
+}
+
+func TestAddRecordReferentialIntegrity(t *testing.T) {
+	l := sampleLog(t)
+	if err := l.AddRecord(Record{"P9", "EX001", day(1)}); err == nil {
+		t.Error("record with unknown patient accepted")
+	}
+	if err := l.AddRecord(Record{"P1", "EX999", day(1)}); err == nil {
+		t.Error("record with unknown exam accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	l := sampleLog(t)
+	if got := l.NumPatients(); got != 3 {
+		t.Errorf("NumPatients = %d, want 3", got)
+	}
+	if got := l.NumExamTypes(); got != 3 {
+		t.Errorf("NumExamTypes = %d, want 3", got)
+	}
+	if got := l.NumRecords(); got != 6 {
+		t.Errorf("NumRecords = %d, want 6", got)
+	}
+}
+
+func TestExamFrequencies(t *testing.T) {
+	l := sampleLog(t)
+	freq := l.ExamFrequencies()
+	want := map[string]int{"EX001": 3, "EX002": 2, "EX003": 1}
+	for code, w := range want {
+		if freq[code] != w {
+			t.Errorf("freq[%s] = %d, want %d", code, freq[code], w)
+		}
+	}
+}
+
+func TestExamsByFrequencyOrder(t *testing.T) {
+	l := sampleLog(t)
+	got := l.ExamsByFrequency()
+	want := []string{"EX001", "EX002", "EX003"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExamsByFrequency = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExamsByFrequencyTieBreak(t *testing.T) {
+	l := NewLog("ties")
+	l.AddExam(ExamType{Code: "B"})
+	l.AddExam(ExamType{Code: "A"})
+	l.AddPatient(Patient{ID: "P1"})
+	l.AddRecord(Record{"P1", "A", day(0)})
+	l.AddRecord(Record{"P1", "B", day(1)})
+	got := l.ExamsByFrequency()
+	if got[0] != "A" || got[1] != "B" {
+		t.Errorf("tie-break not lexicographic: %v", got)
+	}
+}
+
+func TestRecordsPerPatientIncludesZero(t *testing.T) {
+	l := sampleLog(t)
+	l.AddPatient(Patient{ID: "P4", Age: 50})
+	counts := l.RecordsPerPatient()
+	if c, ok := counts["P4"]; !ok || c != 0 {
+		t.Errorf("P4 count = %d,%v; want 0,true", c, ok)
+	}
+	if counts["P1"] != 3 {
+		t.Errorf("P1 count = %d, want 3", counts["P1"])
+	}
+}
+
+func TestTimeSpan(t *testing.T) {
+	l := sampleLog(t)
+	min, max, ok := l.TimeSpan()
+	if !ok {
+		t.Fatal("TimeSpan not ok on non-empty log")
+	}
+	if !min.Equal(day(0)) || !max.Equal(day(30)) {
+		t.Errorf("TimeSpan = [%v, %v], want [%v, %v]", min, max, day(0), day(30))
+	}
+	empty := NewLog("e")
+	if _, _, ok := empty.TimeSpan(); ok {
+		t.Error("TimeSpan ok on empty log")
+	}
+}
+
+func TestVisitsGrouping(t *testing.T) {
+	l := sampleLog(t)
+	visits := l.Visits()
+	// P1 has two visits (day 0, day 30), P2 one, P3 one.
+	if len(visits) != 4 {
+		t.Fatalf("got %d visits, want 4", len(visits))
+	}
+	v0 := visits[0]
+	if v0.PatientID != "P1" || len(v0.ExamCodes) != 2 {
+		t.Errorf("first visit = %+v, want P1 with 2 exams", v0)
+	}
+	if v0.ExamCodes[0] != "EX001" || v0.ExamCodes[1] != "EX002" {
+		t.Errorf("visit exams not sorted: %v", v0.ExamCodes)
+	}
+}
+
+func TestVisitsDeduplicateSameDay(t *testing.T) {
+	l := sampleLog(t)
+	// Same exam twice on the same day collapses to once in the visit.
+	l.AddRecord(Record{"P3", "EX002", day(9)})
+	for _, v := range l.Visits() {
+		if v.PatientID == "P3" && len(v.ExamCodes) != 1 {
+			t.Errorf("P3 visit exams = %v, want 1 deduplicated code", v.ExamCodes)
+		}
+	}
+}
+
+func TestFilterPatients(t *testing.T) {
+	l := sampleLog(t)
+	old := l.FilterPatients(func(p Patient) bool { return p.Age >= 60 })
+	if old.NumPatients() != 2 {
+		t.Errorf("filtered patients = %d, want 2", old.NumPatients())
+	}
+	if old.NumRecords() != 4 {
+		t.Errorf("filtered records = %d, want 4", old.NumRecords())
+	}
+	if old.NumExamTypes() != 3 {
+		t.Errorf("catalog shrank to %d, want preserved 3", old.NumExamTypes())
+	}
+}
+
+func TestFilterExams(t *testing.T) {
+	l := sampleLog(t)
+	sub := l.FilterExams([]string{"EX001"})
+	if sub.NumExamTypes() != 1 {
+		t.Errorf("exam types = %d, want 1", sub.NumExamTypes())
+	}
+	if sub.NumRecords() != 3 {
+		t.Errorf("records = %d, want 3", sub.NumRecords())
+	}
+	// Horizontal partial mining keeps all patients.
+	if sub.NumPatients() != 3 {
+		t.Errorf("patients = %d, want 3 (retained)", sub.NumPatients())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := sampleLog(t)
+	var eb, pb, rb bytes.Buffer
+	if err := l.WriteCSV(&eb, &pb, &rb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV("sample", &eb, &pb, &rb)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumPatients() != l.NumPatients() ||
+		got.NumExamTypes() != l.NumExamTypes() ||
+		got.NumRecords() != l.NumRecords() {
+		t.Errorf("round trip mismatch: got %d/%d/%d want %d/%d/%d",
+			got.NumPatients(), got.NumExamTypes(), got.NumRecords(),
+			l.NumPatients(), l.NumExamTypes(), l.NumRecords())
+	}
+	if p, ok := got.Patient("P3"); !ok || p.Age != 71 {
+		t.Errorf("patient P3 after round trip = %+v, %v", p, ok)
+	}
+}
+
+func TestCSVFilesRoundTrip(t *testing.T) {
+	l := sampleLog(t)
+	dir := t.TempDir()
+	if err := l.SaveCSVFiles(dir); err != nil {
+		t.Fatalf("SaveCSVFiles: %v", err)
+	}
+	got, err := LoadCSVFiles("sample", dir)
+	if err != nil {
+		t.Fatalf("LoadCSVFiles: %v", err)
+	}
+	if got.NumRecords() != l.NumRecords() {
+		t.Errorf("records = %d, want %d", got.NumRecords(), l.NumRecords())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sampleLog(t)
+	var b bytes.Buffer
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&b)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumRecords() != l.NumRecords() {
+		t.Errorf("records = %d, want %d", got.NumRecords(), l.NumRecords())
+	}
+	// Indexes must be rebuilt: adding a duplicate should fail.
+	if err := got.AddPatient(Patient{ID: "P1"}); err == nil {
+		t.Error("indexes not rebuilt after JSON load")
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	exams := "code,name,category\nEX001,HbA1c,routine\n"
+	patients := "id,age,profile\nP1,notanumber,\n"
+	records := "patient_id,exam_code,date\n"
+	_, err := ReadCSV("x", strings.NewReader(exams), strings.NewReader(patients), strings.NewReader(records))
+	if err == nil {
+		t.Fatal("malformed age accepted")
+	}
+
+	patients = "id,age,profile\nP1,44,\n"
+	records = "patient_id,exam_code,date\nP1,EX001,not-a-date\n"
+	_, err = ReadCSV("x", strings.NewReader(exams), strings.NewReader(patients), strings.NewReader(records))
+	if err == nil {
+		t.Fatal("malformed date accepted")
+	}
+
+	_, err = ReadCSV("x", strings.NewReader(""), strings.NewReader(""), strings.NewReader(""))
+	if err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := sampleLog(t)
+	issues := l.Validate(ValidateOptions{MinAge: 4, MaxAge: 95, From: day(0), To: day(365)})
+	if len(issues) != 0 {
+		t.Errorf("clean log has issues: %v", issues)
+	}
+
+	l.Patients = append(l.Patients, Patient{ID: "P99", Age: 120})
+	l.Records = append(l.Records, Record{"PXX", "EX001", day(-5)})
+	issues = l.Validate(ValidateOptions{MinAge: 4, MaxAge: 95, From: day(0), To: day(365)})
+	var ageIssue, refIssue, dateIssue bool
+	for _, is := range issues {
+		s := is.String()
+		if strings.Contains(s, "age 120") {
+			ageIssue = true
+		}
+		if strings.Contains(s, "unknown patient") {
+			refIssue = true
+		}
+		if strings.Contains(s, "before observation") {
+			dateIssue = true
+		}
+	}
+	if !ageIssue || !refIssue || !dateIssue {
+		t.Errorf("missing issues (age=%v ref=%v date=%v): %v", ageIssue, refIssue, dateIssue, issues)
+	}
+}

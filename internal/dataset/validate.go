@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+)
+
+// ValidationIssue describes one problem found by Validate.
+type ValidationIssue struct {
+	Kind    string // "patient", "exam", "record"
+	Subject string // offending ID / code / index
+	Detail  string
+}
+
+func (v ValidationIssue) String() string {
+	return fmt.Sprintf("%s %s: %s", v.Kind, v.Subject, v.Detail)
+}
+
+// ValidateOptions bounds the acceptable contents of a Log.
+type ValidateOptions struct {
+	MinAge, MaxAge int       // inclusive age bounds (0,0 disables the check)
+	From, To       time.Time // inclusive date bounds (zero values disable)
+}
+
+// Validate checks referential integrity and value bounds, returning
+// every issue found. An empty slice means the log is clean.
+func (l *Log) Validate(opts ValidateOptions) []ValidationIssue {
+	var issues []ValidationIssue
+
+	seenExam := make(map[string]bool, len(l.Exams))
+	for _, e := range l.Exams {
+		if e.Code == "" {
+			issues = append(issues, ValidationIssue{"exam", e.Name, "empty code"})
+			continue
+		}
+		if seenExam[e.Code] {
+			issues = append(issues, ValidationIssue{"exam", e.Code, "duplicate code"})
+		}
+		seenExam[e.Code] = true
+	}
+
+	seenPatient := make(map[string]bool, len(l.Patients))
+	for _, p := range l.Patients {
+		if p.ID == "" {
+			issues = append(issues, ValidationIssue{"patient", "", "empty ID"})
+			continue
+		}
+		if seenPatient[p.ID] {
+			issues = append(issues, ValidationIssue{"patient", p.ID, "duplicate ID"})
+		}
+		seenPatient[p.ID] = true
+		if opts.MaxAge > 0 && (p.Age < opts.MinAge || p.Age > opts.MaxAge) {
+			issues = append(issues, ValidationIssue{
+				"patient", p.ID,
+				fmt.Sprintf("age %d outside [%d,%d]", p.Age, opts.MinAge, opts.MaxAge),
+			})
+		}
+	}
+
+	for i, r := range l.Records {
+		subj := fmt.Sprintf("#%d", i)
+		if !seenPatient[r.PatientID] {
+			issues = append(issues, ValidationIssue{"record", subj, "unknown patient " + r.PatientID})
+		}
+		if !seenExam[r.ExamCode] {
+			issues = append(issues, ValidationIssue{"record", subj, "unknown exam " + r.ExamCode})
+		}
+		if !opts.From.IsZero() && r.Date.Before(opts.From) {
+			issues = append(issues, ValidationIssue{"record", subj, "date before observation window"})
+		}
+		if !opts.To.IsZero() && r.Date.After(opts.To) {
+			issues = append(issues, ValidationIssue{"record", subj, "date after observation window"})
+		}
+	}
+	return issues
+}

@@ -1,0 +1,290 @@
+package docstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestInsertGeneratesIDs(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Collection("items")
+	id1, err := c.Insert(Document{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.Insert(Document{"x": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == "" || id1 == id2 {
+		t.Errorf("ids = %q, %q", id1, id2)
+	}
+	if c.Count() != 2 {
+		t.Errorf("count = %d", c.Count())
+	}
+}
+
+func TestInsertExplicitIDAndDuplicate(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	id, err := c.Insert(Document{"_id": "custom", "x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "custom" {
+		t.Errorf("id = %q", id)
+	}
+	if _, err := c.Insert(Document{"_id": "custom"}); err == nil {
+		t.Error("duplicate _id accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	id, _ := c.Insert(Document{"nested": map[string]any{"a": 1.0}, "list": []any{1.0}})
+	got, ok := c.Get(id)
+	if !ok {
+		t.Fatal("missing doc")
+	}
+	got["nested"].(map[string]any)["a"] = 99.0
+	got["list"].([]any)[0] = 99.0
+	again, _ := c.Get(id)
+	if again["nested"].(map[string]any)["a"] == 99.0 {
+		t.Error("Get aliases nested map state")
+	}
+	if again["list"].([]any)[0] == 99.0 {
+		t.Error("Get aliases slice state")
+	}
+}
+
+func TestInsertCopiesInput(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	doc := Document{"x": 1.0}
+	id, _ := c.Insert(doc)
+	doc["x"] = 42.0
+	got, _ := c.Get(id)
+	if got["x"] == 42.0 {
+		t.Error("Insert aliases caller's document")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	id, _ := c.Insert(Document{"x": 1})
+	if err := c.Update(id, Document{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get(id)
+	if normalize(got["x"]) != 2.0 {
+		t.Errorf("after update x = %v", got["x"])
+	}
+	if got.ID() != id {
+		t.Errorf("update lost _id: %q", got.ID())
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(id); ok {
+		t.Error("deleted doc still present")
+	}
+	if err := c.Update(id, Document{}); err == nil {
+		t.Error("update of missing doc accepted")
+	}
+	if err := c.Delete(id); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	for i := 0; i < 10; i++ {
+		c.Insert(Document{"n": i, "kind": fmt.Sprintf("k%d", i%2)})
+	}
+	if got := len(c.Find(Eq("kind", "k0"))); got != 5 {
+		t.Errorf("Eq matched %d, want 5", got)
+	}
+	if got := len(c.Find(Gt("n", 6.5))); got != 3 {
+		t.Errorf("Gt matched %d, want 3", got)
+	}
+	if got := len(c.Find(Lt("n", 2))); got != 2 {
+		t.Errorf("Lt matched %d, want 2", got)
+	}
+	if got := len(c.Find(And(Eq("kind", "k1"), Gt("n", 5)))); got != 2 {
+		t.Errorf("And matched %d, want 2 (n=7,9)", got)
+	}
+	if got := len(c.Find(Or(Lt("n", 1), Gt("n", 8)))); got != 2 {
+		t.Errorf("Or matched %d, want 2 (n=0,9)", got)
+	}
+	if got := len(c.Find(nil)); got != 10 {
+		t.Errorf("nil filter matched %d, want all 10", got)
+	}
+}
+
+func TestFindInsertionOrder(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	for i := 0; i < 5; i++ {
+		c.Insert(Document{"n": i})
+	}
+	docs := c.Find(nil)
+	for i, d := range docs {
+		if normalize(d["n"]) != float64(i) {
+			t.Fatalf("order broken at %d: %v", i, d["n"])
+		}
+	}
+}
+
+func TestFindOne(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	c.Insert(Document{"n": 1})
+	c.Insert(Document{"n": 2})
+	d, ok := c.FindOne(Gt("n", 1.5))
+	if !ok || normalize(d["n"]) != 2.0 {
+		t.Errorf("FindOne = %v, %v", d, ok)
+	}
+	if _, ok := c.FindOne(Gt("n", 99)); ok {
+		t.Error("FindOne matched nothing but reported ok")
+	}
+}
+
+func TestIndexedFind(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	for i := 0; i < 100; i++ {
+		c.Insert(Document{"dataset": fmt.Sprintf("d%d", i%4), "n": i})
+	}
+	c.CreateIndex("dataset")
+	got := c.FindEq("dataset", "d2")
+	if len(got) != 25 {
+		t.Errorf("indexed FindEq matched %d, want 25", len(got))
+	}
+	// Insert after index creation must be visible.
+	c.Insert(Document{"dataset": "d2", "n": 1000})
+	if got := c.FindEq("dataset", "d2"); len(got) != 26 {
+		t.Errorf("post-index insert invisible: %d, want 26", len(got))
+	}
+	// Delete must drop from index results.
+	id := got[0].ID()
+	_ = id
+	first := c.FindEq("dataset", "d2")[0]
+	if err := c.Delete(first.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FindEq("dataset", "d2"); len(got) != 25 {
+		t.Errorf("post-delete index shows %d, want 25", len(got))
+	}
+	// Unindexed field falls back to scan.
+	if got := c.FindEq("n", 5); len(got) != 1 {
+		t.Errorf("fallback FindEq matched %d, want 1", len(got))
+	}
+}
+
+func TestNumericNormalization(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	c.Insert(Document{"n": int(5)})
+	if got := c.Find(Eq("n", 5.0)); len(got) != 1 {
+		t.Error("int 5 does not match float 5.0")
+	}
+	if got := c.Find(Eq("n", int64(5))); len(got) != 1 {
+		t.Error("int 5 does not match int64 5")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Collection("knowledge")
+	id, _ := c.Insert(Document{"title": "pattern", "support": 42})
+	c.Insert(Document{"title": "cluster", "support": 7})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := re.Collection("knowledge")
+	if rc.Count() != 2 {
+		t.Fatalf("reloaded count = %d, want 2", rc.Count())
+	}
+	doc, ok := rc.Get(id)
+	if !ok || doc["title"] != "pattern" || normalize(doc["support"]) != 42.0 {
+		t.Errorf("reloaded doc = %v, %v", doc, ok)
+	}
+	// Sequence must not collide with pre-existing IDs.
+	nid, err := rc.Insert(Document{"title": "new"})
+	if err != nil {
+		t.Fatalf("insert after reload: %v", err)
+	}
+	if nid == id {
+		t.Error("ID collision after reload")
+	}
+}
+
+func TestPersistenceCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(dir+"/bad.json", "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestCollectionNames(t *testing.T) {
+	s, _ := Open("")
+	s.Collection("b")
+	s.Collection("a")
+	names := s.CollectionNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("items")
+	c.CreateIndex("worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id, err := c.Insert(Document{"worker": w, "i": i})
+				if err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, ok := c.Get(id); !ok {
+					t.Errorf("own insert invisible")
+					return
+				}
+				c.FindEq("worker", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Count() != 400 {
+		t.Errorf("count = %d, want 400", c.Count())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

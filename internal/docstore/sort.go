@@ -1,0 +1,79 @@
+package docstore
+
+import (
+	"sort"
+)
+
+// Order selects a sort direction for FindSorted.
+type Order int
+
+const (
+	// Asc sorts ascending by the sort field.
+	Asc Order = iota
+	// Desc sorts descending.
+	Desc
+)
+
+// FindSorted returns copies of the documents matching filter (nil
+// matches all), ordered by the given field and truncated to limit
+// (limit <= 0 returns everything). Numeric fields compare numerically,
+// strings lexicographically; documents missing the field sort last
+// under either direction; incomparable pairs keep insertion order.
+func (c *Collection) FindSorted(f Filter, field string, order Order, limit int) []Document {
+	docs := c.Find(f)
+	sort.SliceStable(docs, func(i, j int) bool {
+		av, aok := docs[i][field]
+		bv, bok := docs[j][field]
+		switch {
+		case !aok && !bok:
+			return false
+		case !aok:
+			return false // a missing: sorts after b
+		case !bok:
+			return true // b missing: a first
+		}
+		cmp, comparable := compareValues(av, bv)
+		if !comparable {
+			return false
+		}
+		if order == Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+	if limit > 0 && len(docs) > limit {
+		docs = docs[:limit]
+	}
+	return docs
+}
+
+// compareValues three-way-compares two field values. Numeric values
+// compare numerically, strings lexicographically; mixed or unsupported
+// types are incomparable.
+func compareValues(a, b any) (cmp int, comparable bool) {
+	af, aIsNum := toFloat(a)
+	bf, bIsNum := toFloat(b)
+	if aIsNum && bIsNum {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	as, aIsStr := a.(string)
+	bs, bIsStr := b.(string)
+	if aIsStr && bIsStr {
+		switch {
+		case as < bs:
+			return -1, true
+		case as > bs:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}

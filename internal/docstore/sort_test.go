@@ -1,0 +1,74 @@
+package docstore
+
+import (
+	"testing"
+)
+
+func sortedFixture(t *testing.T) *Collection {
+	t.Helper()
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Collection("items")
+	for _, d := range []Document{
+		{"name": "c", "score": 2.5},
+		{"name": "a", "score": 9.0},
+		{"name": "b"}, // missing score
+		{"name": "d", "score": 7.0},
+	} {
+		if _, err := c.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestFindSortedAscending(t *testing.T) {
+	c := sortedFixture(t)
+	got := c.FindSorted(nil, "score", Asc, 0)
+	want := []string{"c", "d", "a", "b"} // missing last
+	for i, w := range want {
+		if got[i]["name"] != w {
+			t.Fatalf("asc order = %v, want %v at %d", got[i]["name"], w, i)
+		}
+	}
+}
+
+func TestFindSortedDescendingMissingStillLast(t *testing.T) {
+	c := sortedFixture(t)
+	got := c.FindSorted(nil, "score", Desc, 0)
+	want := []string{"a", "d", "c", "b"}
+	for i, w := range want {
+		if got[i]["name"] != w {
+			t.Fatalf("desc order = %v, want %v at %d", got[i]["name"], w, i)
+		}
+	}
+}
+
+func TestFindSortedLimitAndFilter(t *testing.T) {
+	c := sortedFixture(t)
+	got := c.FindSorted(Gt("score", 2.6), "score", Desc, 1)
+	if len(got) != 1 || got[0]["name"] != "a" {
+		t.Errorf("top-1 filtered = %v", got)
+	}
+}
+
+func TestFindSortedStringField(t *testing.T) {
+	c := sortedFixture(t)
+	got := c.FindSorted(nil, "name", Asc, 0)
+	if got[0]["name"] != "a" || got[3]["name"] != "d" {
+		t.Errorf("string sort = %v..%v", got[0]["name"], got[3]["name"])
+	}
+}
+
+func TestFindSortedIncomparableKeepsInsertionOrder(t *testing.T) {
+	s, _ := Open("")
+	c := s.Collection("mixed")
+	c.Insert(Document{"v": "str", "n": 1})
+	c.Insert(Document{"v": 3.5, "n": 2})
+	got := c.FindSorted(nil, "v", Asc, 0)
+	if normalize(got[0]["n"]) != 1.0 {
+		t.Errorf("incomparable pair reordered: %v", got)
+	}
+}

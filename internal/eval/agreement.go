@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Purity measures how well predicted clusters align with reference
+// labels: each cluster is credited with its majority reference class.
+// 1 means every cluster is pure; the metric is biased upward for many
+// small clusters (use ARI/NMI for chance-corrected comparisons).
+func Purity(pred, truth []int) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("eval: %d predictions but %d references", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("eval: empty labelings")
+	}
+	counts := map[[2]int]int{}
+	clusters := map[int]bool{}
+	for i := range pred {
+		counts[[2]int{pred[i], truth[i]}]++
+		clusters[pred[i]] = true
+	}
+	correct := 0
+	for c := range clusters {
+		best := 0
+		for key, n := range counts {
+			if key[0] == c && n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// contingency builds the cluster × class contingency table and the
+// marginals of two labelings.
+func contingency(a, b []int) (table map[[2]int]int, am, bm map[int]int) {
+	table = map[[2]int]int{}
+	am = map[int]int{}
+	bm = map[int]int{}
+	for i := range a {
+		table[[2]int{a[i], b[i]}]++
+		am[a[i]]++
+		bm[b[i]]++
+	}
+	return table, am, bm
+}
+
+// AdjustedRandIndex is the chance-corrected agreement between two
+// labelings, in [-1, 1]: 1 for identical partitions, ≈0 for random
+// agreement.
+func AdjustedRandIndex(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: %d vs %d labels", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 0, fmt.Errorf("eval: empty labelings")
+	}
+	table, am, bm := contingency(a, b)
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+
+	var sumComb, sumA, sumB float64
+	for _, v := range table {
+		sumComb += choose2(v)
+	}
+	for _, v := range am {
+		sumA += choose2(v)
+	}
+	for _, v := range bm {
+		sumB += choose2(v)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		return 1, nil // both partitions trivial (all-one-cluster etc.)
+	}
+	return (sumComb - expected) / (maxIndex - expected), nil
+}
+
+// NormalizedMutualInfo is the mutual information between two labelings
+// normalized by the mean of their entropies, in [0, 1].
+func NormalizedMutualInfo(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: %d vs %d labels", len(a), len(b))
+	}
+	n := float64(len(a))
+	if n == 0 {
+		return 0, fmt.Errorf("eval: empty labelings")
+	}
+	table, am, bm := contingency(a, b)
+
+	entropy := func(m map[int]int) float64 {
+		h := 0.0
+		for _, v := range m {
+			p := float64(v) / n
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		return h
+	}
+	ha, hb := entropy(am), entropy(bm)
+	if ha == 0 && hb == 0 {
+		return 1, nil // both trivial and identical in structure
+	}
+	mi := 0.0
+	for key, v := range table {
+		pxy := float64(v) / n
+		px := float64(am[key[0]]) / n
+		py := float64(bm[key[1]]) / n
+		if pxy > 0 {
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	nmi := mi / denom
+	if nmi > 1 {
+		nmi = 1 // guard floating error
+	}
+	if nmi < 0 {
+		nmi = 0
+	}
+	return nmi, nil
+}
+
+// DaviesBouldin is the Davies-Bouldin internal validity index of a
+// clustering (lower is better): the mean over clusters of the worst
+// ratio of within-cluster scatter sums to centroid separation.
+func DaviesBouldin(data [][]float64, centroids [][]float64, labels []int) (float64, error) {
+	k := len(centroids)
+	if k < 2 {
+		return 0, fmt.Errorf("eval: Davies-Bouldin needs >= 2 clusters, got %d", k)
+	}
+	if len(data) != len(labels) {
+		return 0, fmt.Errorf("eval: %d points but %d labels", len(data), len(labels))
+	}
+	scatter := make([]float64, k)
+	counts := make([]int, k)
+	for i, x := range data {
+		c := labels[i]
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("eval: label %d out of range [0,%d)", c, k)
+		}
+		d := 0.0
+		for j, v := range x {
+			diff := v - centroids[c][j]
+			d += diff * diff
+		}
+		scatter[c] += math.Sqrt(d)
+		counts[c]++
+	}
+	for c := range scatter {
+		if counts[c] > 0 {
+			scatter[c] /= float64(counts[c])
+		}
+	}
+	db := 0.0
+	active := 0
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if i == j || counts[j] == 0 {
+				continue
+			}
+			sep := 0.0
+			for d := range centroids[i] {
+				diff := centroids[i][d] - centroids[j][d]
+				sep += diff * diff
+			}
+			sep = math.Sqrt(sep)
+			if sep == 0 {
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / sep; r > worst {
+				worst = r
+			}
+		}
+		db += worst
+		active++
+	}
+	if active == 0 {
+		return 0, fmt.Errorf("eval: no populated clusters")
+	}
+	return db / float64(active), nil
+}

@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adahealth/internal/vec"
+)
+
+// SSE is the sum of squared errors over all points with respect to the
+// centroid of their assigned cluster — the cohesion index of
+// Section IV-A ("the smaller the SSE, the better the quality").
+func SSE(data [][]float64, centroids [][]float64, labels []int) (float64, error) {
+	if len(data) != len(labels) {
+		return 0, fmt.Errorf("eval: %d points but %d labels", len(data), len(labels))
+	}
+	sse := 0.0
+	for i, x := range data {
+		c := labels[i]
+		if c < 0 || c >= len(centroids) {
+			return 0, fmt.Errorf("eval: label %d out of range [0,%d)", c, len(centroids))
+		}
+		sse += vec.SquaredEuclidean(x, centroids[c])
+	}
+	return sse, nil
+}
+
+// OverallSimilarity is the paper's interestingness metric for partial
+// mining (Section IV-A, citing Tan/Steinbach/Kumar): the cluster
+// cohesiveness computed as the average pairwise cosine similarity of
+// members within each cluster, weighted by cluster size:
+//
+//	OS = Σ_r (n_r / n) · (1/n_r²) Σ_{i,j ∈ r} cos(x_i, x_j)
+//
+// Using L2-normalized rows, the inner double sum equals ||c_r||² where
+// c_r is the mean of the normalized member vectors, which is how it is
+// computed here (O(n·d) instead of O(n²·d)).
+func OverallSimilarity(data [][]float64, labels []int, k int) (float64, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("eval: no data")
+	}
+	if len(data) != len(labels) {
+		return 0, fmt.Errorf("eval: %d points but %d labels", len(data), len(labels))
+	}
+	d := len(data[0])
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, d)
+	}
+	counts := make([]int, k)
+	unit := make([]float64, d)
+	for i, x := range data {
+		c := labels[i]
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("eval: label %d out of range [0,%d)", c, k)
+		}
+		norm := vec.Norm(x)
+		if norm == 0 {
+			// A zero vector contributes zero similarity with everyone;
+			// count it but add nothing.
+			counts[c]++
+			continue
+		}
+		for j, v := range x {
+			unit[j] = v / norm
+		}
+		vec.AddTo(sums[c], unit)
+		counts[c]++
+	}
+	n := float64(len(data))
+	os := 0.0
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		nc := float64(counts[c])
+		meanNormSq := 0.0
+		for _, v := range sums[c] {
+			meanNormSq += (v / nc) * (v / nc)
+		}
+		os += nc / n * meanNormSq
+	}
+	return os, nil
+}
+
+// Silhouette returns the mean silhouette coefficient over (a sample
+// of) the points: (b-a)/max(a,b) where a is the mean intra-cluster
+// distance and b the mean distance to the nearest other cluster.
+// sample <= 0 evaluates every point. Clusters with one member score 0.
+func Silhouette(data [][]float64, labels []int, k int, sample int, seed int64) (float64, error) {
+	n := len(data)
+	if n == 0 {
+		return 0, fmt.Errorf("eval: no data")
+	}
+	if n != len(labels) {
+		return 0, fmt.Errorf("eval: %d points but %d labels", n, len(labels))
+	}
+	sizes := make([]int, k)
+	for _, c := range labels {
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("eval: label %d out of range [0,%d)", c, k)
+		}
+		sizes[c]++
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if sample > 0 && sample < n {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		idx = idx[:sample]
+	}
+
+	total := 0.0
+	for _, i := range idx {
+		ci := labels[i]
+		if sizes[ci] < 2 {
+			continue // silhouette of singleton defined as 0
+		}
+		sumTo := make([]float64, k)
+		for j, xj := range data {
+			if j == i {
+				continue
+			}
+			sumTo[labels[j]] += vec.Euclidean(data[i], xj)
+		}
+		a := sumTo[ci] / float64(sizes[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || sizes[c] == 0 {
+				continue
+			}
+			if m := sumTo[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // only one non-empty cluster
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(len(idx)), nil
+}

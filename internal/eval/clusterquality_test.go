@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adahealth/internal/vec"
+)
+
+func TestSSEKnownValue(t *testing.T) {
+	data := [][]float64{{0, 0}, {2, 0}, {10, 0}, {12, 0}}
+	centroids := [][]float64{{1, 0}, {11, 0}}
+	labels := []int{0, 0, 1, 1}
+	got, err := SSE(data, centroids, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("SSE = %v, want 4", got)
+	}
+}
+
+func TestSSEErrors(t *testing.T) {
+	if _, err := SSE([][]float64{{1}}, [][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("accepted label/data mismatch")
+	}
+	if _, err := SSE([][]float64{{1}}, [][]float64{{1}}, []int{5}); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+}
+
+// naiveOverallSimilarity is the O(n²) definition from the textbook:
+// weighted average of within-cluster mean pairwise cosine similarity.
+func naiveOverallSimilarity(data [][]float64, labels []int, k int) float64 {
+	n := len(data)
+	os := 0.0
+	for c := 0; c < k; c++ {
+		var members [][]float64
+		for i, l := range labels {
+			if l == c {
+				members = append(members, data[i])
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, a := range members {
+			for _, b := range members {
+				sum += vec.CosineSimilarity(a, b)
+			}
+		}
+		m := float64(len(members))
+		os += m / float64(n) * (sum / (m * m))
+	}
+	return os
+}
+
+func TestOverallSimilarityMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		d := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(4)
+		data := make([][]float64, n)
+		labels := make([]int, n)
+		for i := range data {
+			data[i] = make([]float64, d)
+			for j := range data[i] {
+				data[i][j] = math.Abs(rng.NormFloat64()) // count-like
+			}
+			labels[i] = rng.Intn(k)
+		}
+		got, err := OverallSimilarity(data, labels, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveOverallSimilarity(data, labels, k)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: OS fast %v vs naive %v", trial, got, want)
+		}
+	}
+}
+
+func TestOverallSimilarityPerfectClusters(t *testing.T) {
+	// Identical vectors within each cluster → OS = 1.
+	data := [][]float64{{1, 0}, {1, 0}, {0, 2}, {0, 2}}
+	labels := []int{0, 0, 1, 1}
+	got, err := OverallSimilarity(data, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("OS = %v, want 1", got)
+	}
+}
+
+func TestOverallSimilarityOrthogonalMess(t *testing.T) {
+	// One cluster of mutually orthogonal vectors: OS = 1/m.
+	data := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	labels := []int{0, 0, 0}
+	got, err := OverallSimilarity(data, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("OS = %v, want 1/3", got)
+	}
+}
+
+func TestOverallSimilarityZeroVector(t *testing.T) {
+	data := [][]float64{{0, 0}, {1, 0}}
+	labels := []int{0, 0}
+	got, err := OverallSimilarity(data, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of normalized = [0.5, 0]; ||c||² = 0.25.
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("OS with zero vector = %v, want 0.25", got)
+	}
+}
+
+func TestOverallSimilarityErrors(t *testing.T) {
+	if _, err := OverallSimilarity(nil, nil, 1); err == nil {
+		t.Error("accepted empty data")
+	}
+	if _, err := OverallSimilarity([][]float64{{1}}, []int{3}, 2); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var data [][]float64
+	var labels []int
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 30; i++ {
+			data = append(data, []float64{float64(c)*20 + rng.NormFloat64(), rng.NormFloat64()})
+			labels = append(labels, c)
+		}
+	}
+	good, err := Silhouette(data, labels, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 {
+		t.Errorf("silhouette of separated clusters = %v, want > 0.8", good)
+	}
+	// Random labels on the same data should score much worse.
+	bad := make([]int, len(labels))
+	for i := range bad {
+		bad[i] = rng.Intn(2)
+	}
+	worse, err := Silhouette(data, bad, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse >= good {
+		t.Errorf("random labels silhouette %v >= true labels %v", worse, good)
+	}
+}
+
+func TestSilhouetteSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var data [][]float64
+	var labels []int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 50; i++ {
+			data = append(data, []float64{float64(c)*15 + rng.NormFloat64(), rng.NormFloat64()})
+			labels = append(labels, c)
+		}
+	}
+	full, err := Silhouette(data, labels, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Silhouette(data, labels, 3, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-sampled) > 0.15 {
+		t.Errorf("sampled silhouette %v far from full %v", sampled, full)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	data := [][]float64{{1}, {2}, {3}}
+	labels := []int{0, 0, 0}
+	got, err := Silhouette(data, labels, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", got)
+	}
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adahealth/internal/classify"
+)
+
+// KFold partitions indices 0..n-1 into k shuffled folds whose sizes
+// differ by at most one.
+func KFold(n, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k-fold needs k >= 2, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("eval: %d samples cannot fill %d folds", n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	return folds, nil
+}
+
+// StratifiedKFold partitions indices into k folds preserving the class
+// proportions of y as closely as possible.
+func StratifiedKFold(y []int, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: k-fold needs k >= 2, got %d", k)
+	}
+	if len(y) < k {
+		return nil, fmt.Errorf("eval: %d samples cannot fill %d folds", len(y), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := map[int][]int{}
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	// Deterministic class order.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	folds := make([][]int, k)
+	next := 0
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for _, i := range idx {
+			folds[next%k] = append(folds[next%k], i)
+			next++
+		}
+	}
+	return folds, nil
+}
+
+// CVResult aggregates cross-validation metrics: the pooled confusion
+// matrix over all held-out folds plus the derived summary.
+type CVResult struct {
+	Folds     int
+	Metrics   Metrics
+	Confusion *Confusion
+	PerFold   []Metrics
+}
+
+// CrossValidate trains factory-built classifiers on k-1 folds and
+// evaluates on the held-out fold, pooling predictions into a single
+// confusion matrix (the protocol of Section IV-B: "10-fold cross
+// validation was used to evaluate the classification model").
+// Stratified splitting keeps rare clusters represented in every fold.
+func CrossValidate(factory classify.Factory, X [][]float64, y []int, k int, seed int64) (*CVResult, error) {
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("eval: %d rows but %d labels", len(X), len(y))
+	}
+	folds, err := StratifiedKFold(y, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	classes := 0
+	for _, c := range y {
+		if c+1 > classes {
+			classes = c + 1
+		}
+	}
+	pooled := NewConfusion(classes)
+	res := &CVResult{Folds: k}
+
+	inTest := make([]bool, len(X))
+	for f, test := range folds {
+		for i := range inTest {
+			inTest[i] = false
+		}
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var trainX [][]float64
+		var trainY []int
+		for i := range X {
+			if !inTest[i] {
+				trainX = append(trainX, X[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		clf := factory()
+		if err := clf.Fit(trainX, trainY); err != nil {
+			return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
+		}
+		foldConf := NewConfusion(classes)
+		for _, i := range test {
+			pred := clf.Predict(X[i])
+			if pred < 0 || pred >= classes {
+				pred = 0 // defensive: clamp stray predictions
+			}
+			if err := pooled.Add(y[i], pred); err != nil {
+				return nil, err
+			}
+			if err := foldConf.Add(y[i], pred); err != nil {
+				return nil, err
+			}
+		}
+		res.PerFold = append(res.PerFold, MetricsOf(foldConf))
+	}
+	res.Confusion = pooled
+	res.Metrics = MetricsOf(pooled)
+	return res, nil
+}

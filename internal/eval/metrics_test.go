@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConfusionPerfect(t *testing.T) {
+	c := NewConfusion(3)
+	for i := 0; i < 3; i++ {
+		for n := 0; n < 5; n++ {
+			if err := c.Add(i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := c.Accuracy(); got != 1 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := c.MacroPrecision(); got != 1 {
+		t.Errorf("macro precision = %v", got)
+	}
+	if got := c.MacroRecall(); got != 1 {
+		t.Errorf("macro recall = %v", got)
+	}
+	if got := c.MacroF1(); got != 1 {
+		t.Errorf("macro F1 = %v", got)
+	}
+}
+
+func TestConfusionKnownValues(t *testing.T) {
+	// Binary case:
+	//            pred0 pred1
+	// true0        8     2
+	// true1        3     7
+	c := NewConfusion(2)
+	add := func(truth, pred, n int) {
+		for i := 0; i < n; i++ {
+			if err := c.Add(truth, pred); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(0, 0, 8)
+	add(0, 1, 2)
+	add(1, 0, 3)
+	add(1, 1, 7)
+
+	if got := c.Accuracy(); !approx(got, 0.75, 1e-12) {
+		t.Errorf("accuracy = %v, want 0.75", got)
+	}
+	p := c.PrecisionPerClass()
+	if !approx(p[0], 8.0/11, 1e-12) || !approx(p[1], 7.0/9, 1e-12) {
+		t.Errorf("precision = %v", p)
+	}
+	r := c.RecallPerClass()
+	if !approx(r[0], 0.8, 1e-12) || !approx(r[1], 0.7, 1e-12) {
+		t.Errorf("recall = %v", r)
+	}
+	if got := c.MacroRecall(); !approx(got, 0.75, 1e-12) {
+		t.Errorf("macro recall = %v, want 0.75", got)
+	}
+	wantMacroP := (8.0/11 + 7.0/9) / 2
+	if got := c.MacroPrecision(); !approx(got, wantMacroP, 1e-12) {
+		t.Errorf("macro precision = %v, want %v", got, wantMacroP)
+	}
+}
+
+func TestConfusionRangeErrors(t *testing.T) {
+	c := NewConfusion(2)
+	if err := c.Add(2, 0); err == nil {
+		t.Error("accepted out-of-range truth")
+	}
+	if err := c.Add(0, -1); err == nil {
+		t.Error("accepted negative prediction")
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion(3)
+	if c.Accuracy() != 0 || c.MacroPrecision() != 0 || c.MacroRecall() != 0 {
+		t.Error("empty confusion matrix yields nonzero metrics")
+	}
+}
+
+func TestConfusionInactiveClassExcluded(t *testing.T) {
+	// Class 2 never occurs as truth: macro averages skip it rather
+	// than dragging the mean to zero.
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	c.Add(1, 0)
+	mr := c.MacroRecall()
+	want := (1.0 + 0.5) / 2
+	if !approx(mr, want, 1e-12) {
+		t.Errorf("macro recall = %v, want %v (inactive class skipped)", mr, want)
+	}
+}
+
+func TestMetricsOf(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	m := MetricsOf(c)
+	if m.Accuracy != 1 || m.MacroF1 != 1 {
+		t.Errorf("MetricsOf = %+v", m)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPartialSmallScale(t *testing.T) {
+	_, res, err := RunPartial(PartialConfig{Scale: SmallScale, Seed: 1, Ks: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("steps = %d, want the paper's 3", len(res.Steps))
+	}
+	fracs := []float64{0.20, 0.40, 1.00}
+	for i, s := range res.Steps {
+		if s.Fraction != fracs[i] {
+			t.Errorf("step %d fraction = %v, want %v", i, s.Fraction, fracs[i])
+		}
+	}
+	var buf bytes.Buffer
+	FormatPartial(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "selected:") || !strings.Contains(out, "overall similarity") {
+		t.Errorf("FormatPartial output incomplete:\n%s", out)
+	}
+}
+
+func TestRunTableISmallScale(t *testing.T) {
+	res, err := RunTableI(TableIConfig{
+		Scale: SmallScale, Seed: 1, Ks: []int{4, 6, 8}, CVFolds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Sweep.Rows))
+	}
+	// Subset respects the 85% coverage target.
+	if res.SubsetCoverage < 0.85 {
+		t.Errorf("subset coverage = %v, want >= 0.85", res.SubsetCoverage)
+	}
+	// SSE decreasing in K (Table I's first shape).
+	for i := 1; i < len(res.Sweep.Rows); i++ {
+		if res.Sweep.Rows[i].SSE > res.Sweep.Rows[i-1].SSE*1.05 {
+			t.Errorf("SSE not decreasing: K=%d %.2f then K=%d %.2f",
+				res.Sweep.Rows[i-1].K, res.Sweep.Rows[i-1].SSE,
+				res.Sweep.Rows[i].K, res.Sweep.Rows[i].SSE)
+		}
+	}
+	var buf bytes.Buffer
+	FormatTableI(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "paper") || !strings.Contains(out, "selected K") {
+		t.Errorf("FormatTableI output incomplete:\n%s", out)
+	}
+}
+
+func TestPaperTableIIsTableI(t *testing.T) {
+	rows := PaperTableI()
+	if len(rows) != 8 {
+		t.Fatalf("paper rows = %d, want 8", len(rows))
+	}
+	// Spot-check the published values.
+	if rows[0].K != 6 || rows[0].SSE != 3098.32 || rows[0].Accuracy != 87.79 {
+		t.Errorf("K=6 row drifted: %+v", rows[0])
+	}
+	if rows[2].K != 8 || rows[2].Precision != 92.51 || rows[2].Recall != 79.72 {
+		t.Errorf("K=8 row drifted: %+v", rows[2])
+	}
+	if PaperBestK != 8 {
+		t.Errorf("PaperBestK = %d", PaperBestK)
+	}
+	// The published shape: SSE strictly decreasing in K.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SSE >= rows[i-1].SSE {
+			t.Errorf("paper SSE not decreasing at K=%d", rows[i].K)
+		}
+	}
+}
+
+func TestArchitectureDiagramMentionsEveryComponent(t *testing.T) {
+	d := ArchitectureDiagram()
+	for _, comp := range []string{
+		"characterization", "optimization", "K-DB", "end-goals",
+		"navigation", "feedback", "internal/kdb", "internal/ranking",
+	} {
+		if !strings.Contains(d, comp) {
+			t.Errorf("architecture diagram missing %q", comp)
+		}
+	}
+	// The paper's six collections all appear.
+	for _, coll := range []string{"raw datasets", "transformed", "descriptors",
+		"clustering knowledge", "pattern knowledge", "user feedback"} {
+		if !strings.Contains(d, coll) {
+			t.Errorf("diagram missing collection %q", coll)
+		}
+	}
+}
+
+func TestDataConfigScales(t *testing.T) {
+	full := DataConfig(FullScale, 9)
+	if full.NumPatients != 6380 || full.Seed != 9 {
+		t.Errorf("full config = %+v", full)
+	}
+	small := DataConfig(SmallScale, 3)
+	if small.NumPatients >= full.NumPatients || small.Seed != 3 {
+		t.Errorf("small config = %+v", small)
+	}
+}
+
+func TestRunTableIOnMatrixClampsOversizedK(t *testing.T) {
+	m, err := BuildMatrix(SmallScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTableIOnMatrix(m, TableIConfig{
+		Scale: SmallScale, Seed: 1, Ks: []int{4, 100000}, CVFolds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Sweep.Rows {
+		if r.K > m.NumRows() {
+			t.Errorf("oversized K=%d survived clamping", r.K)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package fpm
+
+import (
+	"strings"
+)
+
+// Closed filters itemsets down to the closed ones: itemsets with no
+// proper superset of identical support. Closed sets are a lossless
+// condensation of the frequent-pattern space — exactly the kind of
+// "manageable set of knowledge" the paper wants presented to the user
+// instead of the raw pattern explosion.
+func Closed(sets []Itemset) []Itemset {
+	var out []Itemset
+	for i, s := range sets {
+		closed := true
+		for j, t := range sets {
+			if i == j || t.Support != s.Support || len(t.Items) <= len(s.Items) {
+				continue
+			}
+			if isSubset(s.Items, t.Items) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, s)
+		}
+	}
+	SortItemsets(out)
+	return out
+}
+
+// Maximal filters itemsets down to the maximal ones: frequent itemsets
+// with no frequent proper superset at all (the most aggressive, lossy
+// condensation; supports of subsets are not recoverable).
+func Maximal(sets []Itemset) []Itemset {
+	var out []Itemset
+	for i, s := range sets {
+		maximal := true
+		for j, t := range sets {
+			if i == j || len(t.Items) <= len(s.Items) {
+				continue
+			}
+			if isSubset(s.Items, t.Items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	SortItemsets(out)
+	return out
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []string) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// SupportOf looks up the support of items (any order) among sets,
+// returning ok=false when absent.
+func SupportOf(sets []Itemset, items []string) (int, bool) {
+	sorted := append([]string(nil), items...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	key := strings.Join(sorted, "\x1f")
+	for _, s := range sets {
+		if s.Key() == key {
+			return s.Support, true
+		}
+	}
+	return 0, false
+}

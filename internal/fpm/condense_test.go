@@ -1,0 +1,121 @@
+package fpm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClosedClassic(t *testing.T) {
+	sets, err := FPGrowth(classic(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := Closed(sets)
+	if len(closed) >= len(sets) {
+		t.Errorf("closed (%d) did not condense frequent (%d)", len(closed), len(sets))
+	}
+	// {beer} has support 3 and {beer, diaper} also has support 3:
+	// {beer} is NOT closed.
+	if _, ok := SupportOf(closed, []string{"beer"}); ok {
+		t.Error("{beer} reported closed despite equal-support superset {beer,diaper}")
+	}
+	// {bread} has support 4; no superset reaches 4: closed.
+	if _, ok := SupportOf(closed, []string{"bread"}); !ok {
+		t.Error("{bread} missing from closed sets")
+	}
+}
+
+// Property: closed itemsets preserve the support function — every
+// frequent itemset's support equals the max support of a closed
+// superset.
+func TestClosedLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	alphabet := []string{"a", "b", "c", "d", "e", "f"}
+	for trial := 0; trial < 15; trial++ {
+		txs := make([][]string, 20+rng.Intn(30))
+		for i := range txs {
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				txs[i] = append(txs[i], alphabet[rng.Intn(len(alphabet))])
+			}
+		}
+		all, err := FPGrowth(txs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := Closed(all)
+		for _, s := range all {
+			best := 0
+			for _, c := range closed {
+				if c.Support >= s.Support && isSubset(s.Items, c.Items) && c.Support > best {
+					best = c.Support
+				}
+			}
+			if best != s.Support {
+				t.Fatalf("trial %d: support of %v not recoverable from closed sets: %d vs %d",
+					trial, s.Items, best, s.Support)
+			}
+		}
+	}
+}
+
+func TestMaximalClassic(t *testing.T) {
+	sets, err := FPGrowth(classic(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := Maximal(sets)
+	closed := Closed(sets)
+	if len(maximal) > len(closed) {
+		t.Errorf("maximal (%d) larger than closed (%d)", len(maximal), len(closed))
+	}
+	// No maximal set is a subset of another frequent set.
+	for _, m := range maximal {
+		for _, s := range sets {
+			if len(s.Items) > len(m.Items) && isSubset(m.Items, s.Items) {
+				t.Errorf("maximal %v has frequent superset %v", m.Items, s.Items)
+			}
+		}
+	}
+	// Every frequent itemset is covered by some maximal superset.
+	for _, s := range sets {
+		covered := false
+		for _, m := range maximal {
+			if isSubset(s.Items, m.Items) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("frequent %v not covered by any maximal set", s.Items)
+		}
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want bool
+	}{
+		{[]string{"a"}, []string{"a", "b"}, true},
+		{[]string{"a", "c"}, []string{"a", "b", "c"}, true},
+		{[]string{"a", "d"}, []string{"a", "b", "c"}, false},
+		{nil, []string{"a"}, true},
+		{[]string{"a"}, nil, false},
+		{[]string{"a", "b"}, []string{"a", "b"}, true},
+	}
+	for _, c := range cases {
+		if got := isSubset(c.a, c.b); got != c.want {
+			t.Errorf("isSubset(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSupportOfUnsortedQuery(t *testing.T) {
+	sets := []Itemset{{Items: []string{"a", "b"}, Support: 7}}
+	if got, ok := SupportOf(sets, []string{"b", "a"}); !ok || got != 7 {
+		t.Errorf("SupportOf unsorted = %d, %v", got, ok)
+	}
+	if _, ok := SupportOf(sets, []string{"z"}); ok {
+		t.Error("SupportOf reported missing set")
+	}
+}

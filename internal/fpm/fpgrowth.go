@@ -1,0 +1,189 @@
+package fpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fpNode is one node of an FP-tree.
+type fpNode struct {
+	item     string
+	count    int
+	parent   *fpNode
+	children map[string]*fpNode
+	next     *fpNode // header-table chain
+}
+
+// fpTree is an FP-tree with its header table.
+type fpTree struct {
+	root    *fpNode
+	headers map[string]*fpNode
+	counts  map[string]int
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: map[string]*fpNode{}},
+		headers: map[string]*fpNode{},
+		counts:  map[string]int{},
+	}
+}
+
+// insert adds an ordered item list with a count to the tree.
+func (t *fpTree) insert(items []string, count int) {
+	node := t.root
+	for _, it := range items {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: map[string]*fpNode{}}
+			node.children[it] = child
+			// Prepend to header chain.
+			child.next = t.headers[it]
+			t.headers[it] = child
+		}
+		child.count += count
+		t.counts[it] += count
+		node = child
+	}
+}
+
+// FPGrowth mines all itemsets with support >= minSupport using the
+// FP-Growth algorithm (FP-tree plus recursive conditional trees). Its
+// output is set-equal to Apriori's; it is the faster choice at low
+// support thresholds.
+func FPGrowth(txs [][]string, minSupport int) ([]Itemset, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("fpm: minSupport must be >= 1, got %d", minSupport)
+	}
+	// Global item frequencies.
+	freq := map[string]int{}
+	norm := make([][]string, len(txs))
+	for i, tx := range txs {
+		norm[i] = normalizeTx(tx)
+		for _, it := range norm[i] {
+			freq[it]++
+		}
+	}
+	order := func(items []string) []string {
+		kept := items[:0]
+		for _, it := range items {
+			if freq[it] >= minSupport {
+				kept = append(kept, it)
+			}
+		}
+		sort.Slice(kept, func(a, b int) bool {
+			if freq[kept[a]] != freq[kept[b]] {
+				return freq[kept[a]] > freq[kept[b]]
+			}
+			return kept[a] < kept[b]
+		})
+		return kept
+	}
+
+	tree := newFPTree()
+	for _, tx := range norm {
+		ordered := order(append([]string(nil), tx...))
+		if len(ordered) > 0 {
+			tree.insert(ordered, 1)
+		}
+	}
+
+	var result []Itemset
+	mineFP(tree, nil, minSupport, &result)
+	SortItemsets(result)
+	return result, nil
+}
+
+// mineFP recursively mines tree, emitting itemsets suffix ∪ {item}.
+func mineFP(tree *fpTree, suffix []string, minSupport int, out *[]Itemset) {
+	// Deterministic item order for the recursion.
+	items := make([]string, 0, len(tree.headers))
+	for it := range tree.headers {
+		if tree.counts[it] >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Strings(items)
+
+	for _, it := range items {
+		support := tree.counts[it]
+		pattern := make([]string, 0, len(suffix)+1)
+		pattern = append(pattern, suffix...)
+		pattern = append(pattern, it)
+		sorted := append([]string(nil), pattern...)
+		sort.Strings(sorted)
+		*out = append(*out, Itemset{Items: sorted, Support: support})
+
+		// Conditional pattern base for `it`.
+		cond := newFPTree()
+		for node := tree.headers[it]; node != nil; node = node.next {
+			// Path from parent up to the root, reversed.
+			var path []string
+			for p := node.parent; p != nil && p.item != ""; p = p.parent {
+				path = append(path, p.item)
+			}
+			if len(path) == 0 {
+				continue
+			}
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			cond.insert(path, node.count)
+		}
+		// Prune infrequent items from the conditional tree by
+		// rebuilding it with only frequent items.
+		pruned := pruneFPTree(cond, minSupport)
+		if len(pruned.headers) > 0 {
+			mineFP(pruned, pattern, minSupport, out)
+		}
+	}
+}
+
+// pruneFPTree rebuilds a conditional tree keeping only items whose
+// conditional support clears the threshold.
+func pruneFPTree(t *fpTree, minSupport int) *fpTree {
+	keep := map[string]bool{}
+	for it, c := range t.counts {
+		if c >= minSupport {
+			keep[it] = true
+		}
+	}
+	out := newFPTree()
+	// Re-walk every root-to-node path of the old tree; enumerate leaf
+	// paths by traversing children.
+	var walk func(n *fpNode, path []string, pathCount int)
+	walk = func(n *fpNode, path []string, pathCount int) {
+		childSum := 0
+		for _, c := range n.children {
+			childSum += c.count
+		}
+		// The count attributable to paths ending at this node.
+		own := n.count - childSum
+		if n.item != "" && own > 0 {
+			kept := make([]string, 0, len(path)+1)
+			for _, it := range append(path, n.item) {
+				if keep[it] {
+					kept = append(kept, it)
+				}
+			}
+			if len(kept) > 0 {
+				out.insert(kept, own)
+			}
+		}
+		next := path
+		if n.item != "" {
+			next = append(path, n.item)
+		}
+		// Deterministic child order.
+		childItems := make([]string, 0, len(n.children))
+		for it := range n.children {
+			childItems = append(childItems, it)
+		}
+		sort.Strings(childItems)
+		for _, it := range childItems {
+			walk(n.children[it], next, 0)
+		}
+	}
+	walk(t.root, nil, 0)
+	return out
+}

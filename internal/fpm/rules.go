@@ -1,0 +1,91 @@
+package fpm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule is an association rule A ⇒ C with its quality measures.
+type Rule struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    int      `json:"support"`    // absolute support of A ∪ C
+	Confidence float64  `json:"confidence"` // supp(A∪C) / supp(A)
+	Lift       float64  `json:"lift"`       // confidence / P(C)
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} => {%s} (supp=%d, conf=%.3f, lift=%.3f)",
+		strings.Join(r.Antecedent, ", "), strings.Join(r.Consequent, ", "),
+		r.Support, r.Confidence, r.Lift)
+}
+
+// Rules derives all association rules with confidence >= minConfidence
+// from the frequent itemsets. numTx is the total transaction count
+// (needed for lift). Every non-empty proper subset of each itemset is
+// considered as an antecedent.
+func Rules(itemsets []Itemset, numTx int, minConfidence float64) ([]Rule, error) {
+	if numTx < 1 {
+		return nil, fmt.Errorf("fpm: numTx must be >= 1, got %d", numTx)
+	}
+	if minConfidence < 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("fpm: minConfidence must be in [0,1], got %g", minConfidence)
+	}
+	support := make(map[string]int, len(itemsets))
+	for _, s := range itemsets {
+		support[s.Key()] = s.Support
+	}
+	var rules []Rule
+	for _, s := range itemsets {
+		n := len(s.Items)
+		if n < 2 {
+			continue
+		}
+		// Enumerate non-empty proper subsets via bitmask.
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			var ante, cons []string
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, s.Items[i])
+				} else {
+					cons = append(cons, s.Items[i])
+				}
+			}
+			anteSupp, ok := support[strings.Join(ante, "\x1f")]
+			if !ok || anteSupp == 0 {
+				continue // antecedent below threshold: rule not derivable
+			}
+			conf := float64(s.Support) / float64(anteSupp)
+			if conf < minConfidence {
+				continue
+			}
+			consSupp, ok := support[strings.Join(cons, "\x1f")]
+			lift := 0.0
+			if ok && consSupp > 0 {
+				lift = conf / (float64(consSupp) / float64(numTx))
+			}
+			rules = append(rules, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    s.Support,
+				Confidence: conf,
+				Lift:       lift,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return ruleKey(rules[i]) < ruleKey(rules[j])
+	})
+	return rules, nil
+}
+
+func ruleKey(r Rule) string {
+	return strings.Join(r.Antecedent, "\x1f") + "\x1e" + strings.Join(r.Consequent, "\x1f")
+}

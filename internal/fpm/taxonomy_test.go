@@ -1,0 +1,134 @@
+package fpm
+
+import (
+	"testing"
+)
+
+func examTaxonomy() Taxonomy {
+	return Taxonomy{
+		"ecg":        "cardio",
+		"echo":       "cardio",
+		"fundus":     "eye",
+		"oct":        "eye",
+		"cardio":     "specialist",
+		"eye":        "specialist",
+		"hba1c":      "routine",
+		"glucose":    "routine",
+		"creatinine": "renal",
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	tax := examTaxonomy()
+	got := tax.Ancestors("ecg")
+	if len(got) != 2 || got[0] != "cardio" || got[1] != "specialist" {
+		t.Errorf("Ancestors(ecg) = %v", got)
+	}
+	if got := tax.Ancestors("unknown"); len(got) != 0 {
+		t.Errorf("Ancestors(unknown) = %v", got)
+	}
+}
+
+func TestAncestorsCycleSafe(t *testing.T) {
+	tax := Taxonomy{"a": "b", "b": "a"}
+	got := tax.Ancestors("a")
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("cycle ancestors = %v", got)
+	}
+}
+
+func TestLevel(t *testing.T) {
+	tax := examTaxonomy()
+	if l := tax.Level("ecg"); l != 0 {
+		t.Errorf("Level(ecg) = %d, want 0", l)
+	}
+	if l := tax.Level("cardio"); l != 1 {
+		t.Errorf("Level(cardio) = %d, want 1", l)
+	}
+	if l := tax.Level("specialist"); l != 2 {
+		t.Errorf("Level(specialist) = %d, want 2", l)
+	}
+}
+
+func TestExtendTransactions(t *testing.T) {
+	tax := examTaxonomy()
+	ext := tax.ExtendTransactions([][]string{{"ecg", "hba1c"}})
+	if len(ext) != 1 {
+		t.Fatalf("ext = %v", ext)
+	}
+	want := map[string]bool{"ecg": true, "cardio": true, "specialist": true,
+		"hba1c": true, "routine": true}
+	if len(ext[0]) != len(want) {
+		t.Fatalf("extended tx = %v, want keys %v", ext[0], want)
+	}
+	for _, it := range ext[0] {
+		if !want[it] {
+			t.Errorf("unexpected item %q", it)
+		}
+	}
+}
+
+func TestMineGeneralizedSurfacesCoarsePatterns(t *testing.T) {
+	// ecg and echo each appear twice — but "cardio" appears in all 4
+	// transactions with glucose: the generalized pattern is stronger.
+	txs := [][]string{
+		{"ecg", "glucose"},
+		{"echo", "glucose"},
+		{"ecg", "glucose"},
+		{"echo", "glucose"},
+	}
+	tax := examTaxonomy()
+	sets, err := MineGeneralized(txs, tax, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundCardioGlucose bool
+	for _, s := range sets {
+		if s.Key() == (Itemset{Items: []string{"cardio", "glucose"}}).Key() {
+			foundCardioGlucose = true
+			if s.Support != 4 {
+				t.Errorf("support(cardio,glucose) = %d, want 4", s.Support)
+			}
+			if s.MaxLevel != 1 {
+				t.Errorf("level = %d, want 1", s.MaxLevel)
+			}
+		}
+		// Leaf-level pairs are below support 3 and must not appear.
+		if s.Key() == (Itemset{Items: []string{"ecg", "glucose"}}).Key() {
+			t.Errorf("infrequent leaf pattern surfaced: %v", s)
+		}
+	}
+	if !foundCardioGlucose {
+		t.Errorf("generalized pattern {cardio, glucose} missing from %v", sets)
+	}
+}
+
+func TestMineGeneralizedFiltersAncestorPairs(t *testing.T) {
+	txs := [][]string{{"ecg"}, {"ecg"}, {"ecg"}}
+	sets, err := MineGeneralized(txs, examTaxonomy(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		if containsAncestorPair(s.Items, examTaxonomy()) {
+			t.Errorf("redundant ancestor pair itemset: %v", s)
+		}
+	}
+}
+
+func TestFilterByLevel(t *testing.T) {
+	sets := []GeneralizedItemset{
+		{Itemset: Itemset{Items: []string{"ecg"}, Support: 3}, MaxLevel: 0},
+		{Itemset: Itemset{Items: []string{"cardio"}, Support: 5}, MaxLevel: 1},
+	}
+	l1 := FilterByLevel(sets, 1)
+	if len(l1) != 1 || l1[0].Items[0] != "cardio" {
+		t.Errorf("FilterByLevel = %v", l1)
+	}
+}
+
+func TestMineGeneralizedValidation(t *testing.T) {
+	if _, err := MineGeneralized(nil, examTaxonomy(), 0); err == nil {
+		t.Error("accepted minSupport 0")
+	}
+}

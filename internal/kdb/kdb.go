@@ -1,0 +1,316 @@
+// Package kdb implements ADA-HEALTH's Knowledge Database: the
+// persistent memory that drives the self-learning analysis tasks.
+// Its data model is exactly the six collections of Section IV-A:
+//
+//  1. raw_datasets      — the original datasets
+//  2. transformed       — the transformed datasets after preprocessing
+//  3. descriptors       — statistical descriptors of data distributions
+//  4. knowledge_cluster — knowledge items from clustering algorithms
+//  5. knowledge_pattern — knowledge items from pattern discovery
+//  6. feedback          — user interaction feedback
+//
+// The store is the embedded document store of package docstore (the
+// MongoDB substitution; see DESIGN.md).
+package kdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/docstore"
+	"adahealth/internal/knowledge"
+	"adahealth/internal/stats"
+)
+
+// Collection names of the paper's data model.
+const (
+	CollRaw         = "raw_datasets"
+	CollTransformed = "transformed"
+	CollDescriptors = "descriptors"
+	CollClusterKI   = "knowledge_cluster"
+	CollPatternKI   = "knowledge_pattern"
+	CollFeedback    = "feedback"
+)
+
+// Feedback is one user interaction: a domain expert grading a
+// knowledge item's interestingness for a dataset.
+type Feedback struct {
+	User     string             `json:"user"`
+	Dataset  string             `json:"dataset"`
+	ItemID   string             `json:"item_id"`
+	ItemKind string             `json:"item_kind"`
+	Goal     string             `json:"goal,omitempty"`
+	Interest knowledge.Interest `json:"interest"`
+}
+
+// KDB wraps the document store with the six-collection schema.
+type KDB struct {
+	store *docstore.Store
+}
+
+// Open creates or loads a K-DB. dir == "" keeps it in memory.
+func Open(dir string) (*KDB, error) {
+	s, err := docstore.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: %w", err)
+	}
+	k := &KDB{store: s}
+	// Equality indexes on the access paths the pipeline uses.
+	s.Collection(CollClusterKI).CreateIndex("dataset")
+	s.Collection(CollPatternKI).CreateIndex("dataset")
+	s.Collection(CollFeedback).CreateIndex("dataset")
+	s.Collection(CollFeedback).CreateIndex("item_id")
+	return k, nil
+}
+
+// Flush persists the store when it is disk-backed.
+func (k *KDB) Flush() error { return k.store.Flush() }
+
+// Store exposes the underlying document store (read-mostly uses such
+// as diagnostics and tests).
+func (k *KDB) Store() *docstore.Store { return k.store }
+
+// toDoc converts any JSON-marshalable value to a Document.
+func toDoc(v any) (docstore.Document, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var d docstore.Document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func fromDoc(d docstore.Document, out any) error {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// StoreDataset records an original dataset (collection 1). The full
+// log is embedded in the document; the returned ID identifies it.
+func (k *KDB) StoreDataset(l *dataset.Log) (string, error) {
+	doc, err := toDoc(l)
+	if err != nil {
+		return "", fmt.Errorf("kdb: encoding dataset: %w", err)
+	}
+	doc["name"] = l.Name
+	id, err := k.store.Collection(CollRaw).Insert(doc)
+	if err != nil {
+		return "", fmt.Errorf("kdb: storing dataset: %w", err)
+	}
+	return id, nil
+}
+
+// Dataset loads a stored dataset by document ID.
+func (k *KDB) Dataset(id string) (*dataset.Log, error) {
+	doc, ok := k.store.Collection(CollRaw).Get(id)
+	if !ok {
+		return nil, fmt.Errorf("kdb: no dataset with id %q", id)
+	}
+	var l dataset.Log
+	if err := fromDoc(doc, &l); err != nil {
+		return nil, fmt.Errorf("kdb: decoding dataset %q: %w", id, err)
+	}
+	l.ReindexAfterLoad()
+	return &l, nil
+}
+
+// TransformedSummary describes a transformed dataset (collection 2):
+// the VSM configuration and shape rather than the full matrix, which
+// is recomputable from the raw dataset.
+type TransformedSummary struct {
+	Dataset     string   `json:"dataset"`
+	Weighting   string   `json:"weighting"`
+	Norm        string   `json:"normalization"`
+	NumRows     int      `json:"num_rows"`
+	NumFeatures int      `json:"num_features"`
+	Sparsity    float64  `json:"sparsity"`
+	Features    []string `json:"features"`
+}
+
+// StoreTransformed records a transformation summary (collection 2).
+func (k *KDB) StoreTransformed(ts TransformedSummary) (string, error) {
+	doc, err := toDoc(ts)
+	if err != nil {
+		return "", fmt.Errorf("kdb: encoding transformed summary: %w", err)
+	}
+	return k.store.Collection(CollTransformed).Insert(doc)
+}
+
+// StoreDescriptor records a statistical descriptor (collection 3).
+func (k *KDB) StoreDescriptor(d stats.Descriptor) (string, error) {
+	doc, err := toDoc(d)
+	if err != nil {
+		return "", fmt.Errorf("kdb: encoding descriptor: %w", err)
+	}
+	doc["dataset"] = d.DatasetName
+	return k.store.Collection(CollDescriptors).Insert(doc)
+}
+
+// Descriptors returns all stored descriptors.
+func (k *KDB) Descriptors() ([]stats.Descriptor, error) {
+	docs := k.store.Collection(CollDescriptors).Find(nil)
+	out := make([]stats.Descriptor, 0, len(docs))
+	for _, doc := range docs {
+		var d stats.Descriptor
+		if err := fromDoc(doc, &d); err != nil {
+			return nil, fmt.Errorf("kdb: decoding descriptor: %w", err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// StoreKnowledgeItems routes items to collection 4 or 5 by kind.
+// Items with IDs already present are updated rather than duplicated.
+func (k *KDB) StoreKnowledgeItems(items []knowledge.Item) error {
+	for _, it := range items {
+		coll := k.collectionFor(it.Kind)
+		doc, err := toDoc(it)
+		if err != nil {
+			return fmt.Errorf("kdb: encoding knowledge item %s: %w", it.ID, err)
+		}
+		doc["_id"] = it.ID
+		doc["dataset"] = it.Dataset
+		if _, exists := coll.Get(it.ID); exists {
+			if err := coll.Update(it.ID, doc); err != nil {
+				return fmt.Errorf("kdb: updating knowledge item %s: %w", it.ID, err)
+			}
+			continue
+		}
+		if _, err := coll.Insert(doc); err != nil {
+			return fmt.Errorf("kdb: storing knowledge item %s: %w", it.ID, err)
+		}
+	}
+	return nil
+}
+
+func (k *KDB) collectionFor(kind knowledge.Kind) *docstore.Collection {
+	switch kind {
+	case knowledge.KindPattern, knowledge.KindRule:
+		return k.store.Collection(CollPatternKI)
+	default:
+		return k.store.Collection(CollClusterKI)
+	}
+}
+
+// KnowledgeItems returns all items of the dataset from both knowledge
+// collections (dataset == "" returns everything).
+func (k *KDB) KnowledgeItems(datasetName string) ([]knowledge.Item, error) {
+	var out []knowledge.Item
+	for _, coll := range []*docstore.Collection{
+		k.store.Collection(CollClusterKI),
+		k.store.Collection(CollPatternKI),
+	} {
+		var docs []docstore.Document
+		if datasetName == "" {
+			docs = coll.Find(nil)
+		} else {
+			docs = coll.FindEq("dataset", datasetName)
+		}
+		for _, doc := range docs {
+			var it knowledge.Item
+			if err := fromDoc(doc, &it); err != nil {
+				return nil, fmt.Errorf("kdb: decoding knowledge item: %w", err)
+			}
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// SetInterest updates the stored interest label of a knowledge item.
+func (k *KDB) SetInterest(itemID string, kind knowledge.Kind, interest knowledge.Interest) error {
+	coll := k.collectionFor(kind)
+	doc, ok := coll.Get(itemID)
+	if !ok {
+		return fmt.Errorf("kdb: no knowledge item %q", itemID)
+	}
+	doc["interest"] = string(interest)
+	return coll.Update(itemID, doc)
+}
+
+// RecordFeedback appends one user interaction (collection 6).
+func (k *KDB) RecordFeedback(fb Feedback) error {
+	if fb.Interest == "" {
+		return fmt.Errorf("kdb: feedback without interest degree")
+	}
+	doc, err := toDoc(fb)
+	if err != nil {
+		return fmt.Errorf("kdb: encoding feedback: %w", err)
+	}
+	if _, err := k.store.Collection(CollFeedback).Insert(doc); err != nil {
+		return fmt.Errorf("kdb: storing feedback: %w", err)
+	}
+	return nil
+}
+
+// FeedbackFor returns feedback entries, filtered by dataset when
+// datasetName is non-empty.
+func (k *KDB) FeedbackFor(datasetName string) ([]Feedback, error) {
+	coll := k.store.Collection(CollFeedback)
+	var docs []docstore.Document
+	if datasetName == "" {
+		docs = coll.Find(nil)
+	} else {
+		docs = coll.FindEq("dataset", datasetName)
+	}
+	out := make([]Feedback, 0, len(docs))
+	for _, doc := range docs {
+		var fb Feedback
+		if err := fromDoc(doc, &fb); err != nil {
+			return nil, fmt.Errorf("kdb: decoding feedback: %w", err)
+		}
+		out = append(out, fb)
+	}
+	return out, nil
+}
+
+// TopKnowledge returns up to n knowledge items of a dataset with the
+// highest value of the given metric (e.g. "support", "confidence",
+// "lift", "size"); items lacking the metric are excluded. It answers
+// the navigation layer's "most interesting first" queries directly
+// from the K-DB.
+func (k *KDB) TopKnowledge(datasetName, metric string, n int) ([]knowledge.Item, error) {
+	items, err := k.KnowledgeItems(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	withMetric := items[:0]
+	for _, it := range items {
+		if _, ok := it.Metrics[metric]; ok {
+			withMetric = append(withMetric, it)
+		}
+	}
+	sort.SliceStable(withMetric, func(i, j int) bool {
+		mi, mj := withMetric[i].Metrics[metric], withMetric[j].Metrics[metric]
+		if mi != mj {
+			return mi > mj
+		}
+		return withMetric[i].ID < withMetric[j].ID
+	})
+	if n > 0 && len(withMetric) > n {
+		withMetric = withMetric[:n]
+	}
+	return withMetric, nil
+}
+
+// Counts reports the document count of every collection, in the order
+// of the paper's data model.
+func (k *KDB) Counts() map[string]int {
+	out := map[string]int{}
+	for _, name := range []string{
+		CollRaw, CollTransformed, CollDescriptors,
+		CollClusterKI, CollPatternKI, CollFeedback,
+	} {
+		out[name] = k.store.Collection(name).Count()
+	}
+	return out
+}

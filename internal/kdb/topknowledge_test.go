@@ -1,0 +1,69 @@
+package kdb
+
+import (
+	"testing"
+
+	"adahealth/internal/knowledge"
+)
+
+func TestTopKnowledge(t *testing.T) {
+	k, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []knowledge.Item{
+		{ID: "p1", Kind: knowledge.KindPattern, Dataset: "d",
+			Metrics: map[string]float64{"support": 10}},
+		{ID: "p2", Kind: knowledge.KindPattern, Dataset: "d",
+			Metrics: map[string]float64{"support": 40}},
+		{ID: "p3", Kind: knowledge.KindPattern, Dataset: "d",
+			Metrics: map[string]float64{"support": 25}},
+		{ID: "c1", Kind: knowledge.KindCluster, Dataset: "d",
+			Metrics: map[string]float64{"size": 99}}, // no "support"
+	}
+	if err := k.StoreKnowledgeItems(items); err != nil {
+		t.Fatal(err)
+	}
+	top, err := k.TopKnowledge("d", "support", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].ID != "p2" || top[1].ID != "p3" {
+		t.Errorf("top = %v", ids(top))
+	}
+	all, err := k.TopKnowledge("d", "support", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("items lacking the metric not excluded: %v", ids(all))
+	}
+}
+
+func TestTopKnowledgeTieBreakByID(t *testing.T) {
+	k, _ := Open("")
+	items := []knowledge.Item{
+		{ID: "b", Kind: knowledge.KindPattern, Dataset: "d",
+			Metrics: map[string]float64{"support": 5}},
+		{ID: "a", Kind: knowledge.KindPattern, Dataset: "d",
+			Metrics: map[string]float64{"support": 5}},
+	}
+	if err := k.StoreKnowledgeItems(items); err != nil {
+		t.Fatal(err)
+	}
+	top, err := k.TopKnowledge("d", "support", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ID != "a" {
+		t.Errorf("tie-break = %v", ids(top))
+	}
+}
+
+func ids(items []knowledge.Item) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	return out
+}

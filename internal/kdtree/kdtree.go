@@ -1,0 +1,294 @@
+// Package kdtree implements a kd-tree over dense float vectors with
+// per-node bounding boxes and aggregate sums. It is the substrate for
+// the Kanungo et al. "filtering algorithm" K-means variant cited by
+// the paper ([3]), and also offers exact nearest-neighbour queries.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adahealth/internal/vec"
+)
+
+// Node is one cell of the tree. Leaves cover at most LeafSize points.
+type Node struct {
+	Lo, Hi         int // points Perm[Lo:Hi] fall in this cell
+	BoxMin, BoxMax []float64
+	Sum            []float64 // sum of member points
+	Count          int
+	Left, Right    *Node // nil for leaves
+}
+
+// Tree is an immutable kd-tree over a point set.
+type Tree struct {
+	Points   [][]float64
+	Perm     []int // permutation of point indices; nodes own ranges of it
+	Root     *Node
+	Dim      int
+	LeafSize int
+}
+
+// DefaultLeafSize is used when Build is given leafSize <= 0.
+const DefaultLeafSize = 16
+
+// Build constructs a kd-tree. Points must be non-empty and rectangular.
+func Build(points [][]float64, leafSize int) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kdtree: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("kdtree: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kdtree: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	t := &Tree{Points: points, Dim: dim, LeafSize: leafSize}
+	t.Perm = make([]int, len(points))
+	for i := range t.Perm {
+		t.Perm[i] = i
+	}
+	t.Root = t.build(0, len(points))
+	return t, nil
+}
+
+func (t *Tree) build(lo, hi int) *Node {
+	n := &Node{
+		Lo: lo, Hi: hi,
+		BoxMin: make([]float64, t.Dim),
+		BoxMax: make([]float64, t.Dim),
+		Sum:    make([]float64, t.Dim),
+		Count:  hi - lo,
+	}
+	first := t.Points[t.Perm[lo]]
+	copy(n.BoxMin, first)
+	copy(n.BoxMax, first)
+	for i := lo; i < hi; i++ {
+		p := t.Points[t.Perm[i]]
+		for d := 0; d < t.Dim; d++ {
+			v := p[d]
+			n.Sum[d] += v
+			if v < n.BoxMin[d] {
+				n.BoxMin[d] = v
+			}
+			if v > n.BoxMax[d] {
+				n.BoxMax[d] = v
+			}
+		}
+	}
+	if hi-lo <= t.LeafSize {
+		return n
+	}
+	// Split on the widest dimension at the median.
+	split, width := 0, n.BoxMax[0]-n.BoxMin[0]
+	for d := 1; d < t.Dim; d++ {
+		if w := n.BoxMax[d] - n.BoxMin[d]; w > width {
+			split, width = d, w
+		}
+	}
+	if width == 0 {
+		// All points identical: keep as (possibly large) leaf.
+		return n
+	}
+	seg := t.Perm[lo:hi]
+	mid := len(seg) / 2
+	nthElement(seg, mid, func(a, b int) bool { return t.Points[a][split] < t.Points[b][split] })
+	// Guard against all points on one side (duplicates at the median).
+	m := lo + mid
+	if m == lo || m == hi {
+		return n
+	}
+	n.Left = t.build(lo, m)
+	n.Right = t.build(m, hi)
+	return n
+}
+
+// nthElement partially sorts seg so that seg[k] is the k-th element by
+// less, with smaller elements before it. Uses sort for simplicity at
+// build time; build is not on the per-iteration hot path.
+func nthElement(seg []int, k int, less func(a, b int) bool) {
+	sort.Slice(seg, func(i, j int) bool { return less(seg[i], seg[j]) })
+	_ = k
+}
+
+// BoxSquaredDistance returns the squared Euclidean distance from q to
+// the node's bounding box (0 if q is inside).
+func (n *Node) BoxSquaredDistance(q []float64) float64 {
+	s := 0.0
+	for d := range q {
+		switch {
+		case q[d] < n.BoxMin[d]:
+			diff := n.BoxMin[d] - q[d]
+			s += diff * diff
+		case q[d] > n.BoxMax[d]:
+			diff := q[d] - n.BoxMax[d]
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// Nearest returns the index of the point nearest to q and the squared
+// distance, via branch-and-bound search.
+func (t *Tree) Nearest(q []float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.BoxSquaredDistance(q) >= bestD {
+			return
+		}
+		if n.Left == nil {
+			for i := n.Lo; i < n.Hi; i++ {
+				idx := t.Perm[i]
+				if d := vec.SquaredEuclidean(q, t.Points[idx]); d < bestD {
+					best, bestD = idx, d
+				}
+			}
+			return
+		}
+		// Visit the closer child first.
+		dl, dr := n.Left.BoxSquaredDistance(q), n.Right.BoxSquaredDistance(q)
+		if dl <= dr {
+			walk(n.Left)
+			walk(n.Right)
+		} else {
+			walk(n.Right)
+			walk(n.Left)
+		}
+	}
+	walk(t.Root)
+	return best, bestD
+}
+
+// FilterStep performs one assignment pass of the Kanungo filtering
+// algorithm: every point is (implicitly) assigned to its closest
+// centroid; per-centroid sums and counts are accumulated and labels
+// filled by original point index. sums must be K pre-allocated vectors
+// of the tree dimension, counts length K; both are zeroed here.
+func (t *Tree) FilterStep(centroids [][]float64, labels []int, sums [][]float64, counts []int) {
+	for i := range sums {
+		for d := range sums[i] {
+			sums[i][d] = 0
+		}
+		counts[i] = 0
+	}
+	candidates := make([]int, len(centroids))
+	for i := range candidates {
+		candidates[i] = i
+	}
+	t.filter(t.Root, centroids, candidates, labels, sums, counts)
+}
+
+func (t *Tree) filter(n *Node, centroids [][]float64, cand []int, labels []int, sums [][]float64, counts []int) {
+	if len(cand) == 1 {
+		t.assignSubtree(n, cand[0], labels, sums, counts)
+		return
+	}
+	if n.Left == nil {
+		// Leaf: brute force over surviving candidates.
+		for i := n.Lo; i < n.Hi; i++ {
+			idx := t.Perm[i]
+			p := t.Points[idx]
+			best, bestD := cand[0], vec.SquaredEuclidean(p, centroids[cand[0]])
+			for _, c := range cand[1:] {
+				if d := vec.SquaredEuclidean(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[idx] = best
+			counts[best]++
+			vec.AddTo(sums[best], p)
+		}
+		return
+	}
+
+	// z*: candidate closest to the cell midpoint.
+	mid := make([]float64, t.Dim)
+	for d := 0; d < t.Dim; d++ {
+		mid[d] = (n.BoxMin[d] + n.BoxMax[d]) / 2
+	}
+	zstar, bestD := cand[0], vec.SquaredEuclidean(mid, centroids[cand[0]])
+	for _, c := range cand[1:] {
+		if d := vec.SquaredEuclidean(mid, centroids[c]); d < bestD {
+			zstar, bestD = c, d
+		}
+	}
+
+	// Prune candidates dominated by z* over the whole cell.
+	kept := make([]int, 0, len(cand))
+	for _, c := range cand {
+		if c == zstar || !isFarther(centroids[c], centroids[zstar], n.BoxMin, n.BoxMax) {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 1 {
+		t.assignSubtree(n, kept[0], labels, sums, counts)
+		return
+	}
+	t.filter(n.Left, centroids, kept, labels, sums, counts)
+	t.filter(n.Right, centroids, kept, labels, sums, counts)
+}
+
+// isFarther reports whether z is farther than zstar from every point
+// of the box: it compares distances at the box vertex extreme in the
+// direction z - zstar (Kanungo et al., Lemma on candidate pruning).
+func isFarther(z, zstar, boxMin, boxMax []float64) bool {
+	distZ, distZs := 0.0, 0.0
+	for d := range z {
+		v := boxMin[d]
+		if z[d] >= zstar[d] {
+			v = boxMax[d]
+		}
+		dz := z[d] - v
+		ds := zstar[d] - v
+		distZ += dz * dz
+		distZs += ds * ds
+	}
+	return distZ >= distZs
+}
+
+func (t *Tree) assignSubtree(n *Node, c int, labels []int, sums [][]float64, counts []int) {
+	for i := n.Lo; i < n.Hi; i++ {
+		labels[t.Perm[i]] = c
+	}
+	counts[c] += n.Count
+	vec.AddTo(sums[c], n.Sum)
+}
+
+// Height returns the height of the tree (1 for a single leaf).
+func (t *Tree) Height() int {
+	var h func(n *Node) int
+	h = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := h(n.Left), h(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.Root)
+}
+
+// NumLeaves counts leaf cells.
+func (t *Tree) NumLeaves() int {
+	var c func(n *Node) int
+	c = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		if n.Left == nil {
+			return 1
+		}
+		return c(n.Left) + c(n.Right)
+	}
+	return c(t.Root)
+}

@@ -1,0 +1,185 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adahealth/internal/vec"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	return pts
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("Build accepted empty point set")
+	}
+	if _, err := Build([][]float64{{}}, 0); err == nil {
+		t.Error("Build accepted zero-dimensional points")
+	}
+	if _, err := Build([][]float64{{1, 2}, {1}}, 0); err == nil {
+		t.Error("Build accepted ragged points")
+	}
+}
+
+func TestBuildAggregates(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	tr, err := Build(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Count != 4 {
+		t.Errorf("root count = %d", tr.Root.Count)
+	}
+	if tr.Root.Sum[0] != 4 || tr.Root.Sum[1] != 4 {
+		t.Errorf("root sum = %v", tr.Root.Sum)
+	}
+	if tr.Root.BoxMin[0] != 0 || tr.Root.BoxMax[1] != 2 {
+		t.Errorf("root box = %v..%v", tr.Root.BoxMin, tr.Root.BoxMax)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		d := 1 + rng.Intn(8)
+		pts := randomPoints(rng, n, d)
+		tr, err := Build(pts, 1+rng.Intn(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 2
+		}
+		gotIdx, gotD := tr.Nearest(q)
+		wantIdx, wantD := -1, math.Inf(1)
+		for i, p := range pts {
+			if dd := vec.SquaredEuclidean(q, p); dd < wantD {
+				wantIdx, wantD = i, dd
+			}
+		}
+		if math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("trial %d: nearest distance %v vs brute %v (idx %d vs %d)",
+				trial, gotD, wantD, gotIdx, wantIdx)
+		}
+	}
+}
+
+func TestFilterStepMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(300)
+		d := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(8)
+		pts := randomPoints(rng, n, d)
+		cents := randomPoints(rng, k, d)
+		tr, err := Build(pts, 1+rng.Intn(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := make([]int, n)
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for i := range sums {
+			sums[i] = make([]float64, d)
+		}
+		tr.FilterStep(cents, labels, sums, counts)
+
+		wantCounts := make([]int, k)
+		wantSums := make([][]float64, k)
+		for i := range wantSums {
+			wantSums[i] = make([]float64, d)
+		}
+		for i, p := range pts {
+			c, _ := vec.ArgMinDistance(p, cents)
+			wantCounts[c]++
+			vec.AddTo(wantSums[c], p)
+			// Labels must point to *a* nearest centroid (ties may
+			// legitimately differ); verify distance equality instead.
+			got := vec.SquaredEuclidean(p, cents[labels[i]])
+			want := vec.SquaredEuclidean(p, cents[c])
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d point %d: assigned non-nearest centroid (d=%v vs %v)",
+					trial, i, got, want)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] != wantCounts[c] {
+				t.Fatalf("trial %d: counts[%d] = %d, want %d", trial, c, counts[c], wantCounts[c])
+			}
+			for j := 0; j < d; j++ {
+				if math.Abs(sums[c][j]-wantSums[c][j]) > 1e-6 {
+					t.Fatalf("trial %d: sums[%d][%d] = %v, want %v",
+						trial, c, j, sums[c][j], wantSums[c][j])
+				}
+			}
+		}
+	}
+}
+
+func TestFilterStepSingleCentroid(t *testing.T) {
+	pts := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	tr, _ := Build(pts, 2)
+	labels := make([]int, 3)
+	counts := make([]int, 1)
+	sums := [][]float64{make([]float64, 2)}
+	tr.FilterStep([][]float64{{0, 0}}, labels, sums, counts)
+	if counts[0] != 3 {
+		t.Errorf("count = %d, want 3", counts[0])
+	}
+	if sums[0][0] != 6 || sums[0][1] != 6 {
+		t.Errorf("sum = %v, want [6 6]", sums[0])
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{1, 2, 3}
+	}
+	tr, err := Build(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, d := tr.Nearest([]float64{1, 2, 3})
+	if d != 0 || idx < 0 {
+		t.Errorf("nearest to duplicate cloud = %d, %v", idx, d)
+	}
+}
+
+func TestHeightAndLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 128, 3)
+	tr, _ := Build(pts, 8)
+	if h := tr.Height(); h < 4 || h > 10 {
+		t.Errorf("height = %d, want roughly log2(128/8)+1 .. balanced", h)
+	}
+	leaves := tr.NumLeaves()
+	if leaves < 128/8 {
+		t.Errorf("leaves = %d, want at least 16", leaves)
+	}
+}
+
+func TestBoxSquaredDistance(t *testing.T) {
+	n := &Node{BoxMin: []float64{0, 0}, BoxMax: []float64{1, 1}}
+	if d := n.BoxSquaredDistance([]float64{0.5, 0.5}); d != 0 {
+		t.Errorf("inside distance = %v, want 0", d)
+	}
+	if d := n.BoxSquaredDistance([]float64{2, 0.5}); d != 1 {
+		t.Errorf("outside distance = %v, want 1", d)
+	}
+	if d := n.BoxSquaredDistance([]float64{2, 2}); d != 2 {
+		t.Errorf("corner distance = %v, want 2", d)
+	}
+}

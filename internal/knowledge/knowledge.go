@@ -1,0 +1,203 @@
+// Package knowledge models the knowledge items ADA-HEALTH extracts,
+// stores in the K-DB, ranks, and presents to the user: cluster-set
+// summaries, per-cluster profiles, frequent patterns and association
+// rules, each carrying quality metrics, provenance and an (expert- or
+// model-assigned) degree of interestingness.
+package knowledge
+
+import (
+	"fmt"
+	"sort"
+
+	"adahealth/internal/cluster"
+	"adahealth/internal/fpm"
+)
+
+// Kind discriminates knowledge-item types.
+type Kind string
+
+// The knowledge-item kinds produced by the pipeline.
+const (
+	KindClusterSet Kind = "cluster-set"
+	KindCluster    Kind = "cluster"
+	KindPattern    Kind = "pattern"
+	KindRule       Kind = "rule"
+)
+
+// Interest is the degree of interestingness the paper attaches to each
+// knowledge item ({high, medium, low}, plus unknown before labelling).
+type Interest string
+
+// Interestingness degrees.
+const (
+	InterestHigh    Interest = "high"
+	InterestMedium  Interest = "medium"
+	InterestLow     Interest = "low"
+	InterestUnknown Interest = "unknown"
+)
+
+// InterestScore maps degrees onto an ordinal scale (high=2 … low=0,
+// unknown=-1) for models that learn from feedback.
+func InterestScore(i Interest) int {
+	switch i {
+	case InterestHigh:
+		return 2
+	case InterestMedium:
+		return 1
+	case InterestLow:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// Item is one unit of extracted knowledge.
+type Item struct {
+	ID          string             `json:"id"`
+	Kind        Kind               `json:"kind"`
+	Title       string             `json:"title"`
+	Description string             `json:"description"`
+	Dataset     string             `json:"dataset"`
+	Algorithm   string             `json:"algorithm"`
+	Metrics     map[string]float64 `json:"metrics"`
+	// Tags carry structural descriptors (top exams of a cluster,
+	// items of a pattern) used for ranking and display.
+	Tags     []string `json:"tags"`
+	Interest Interest `json:"interest"`
+}
+
+// FromClusterResult builds knowledge items from a fitted cluster
+// model: one cluster-set summary plus one item per cluster profiling
+// its dominant features. featureNames supply exam codes; topN bounds
+// the number of dominant features reported (default 5).
+func FromClusterResult(datasetName string, res *cluster.Result, featureNames []string, topN int) []Item {
+	if topN <= 0 {
+		topN = 5
+	}
+	items := make([]Item, 0, res.K+1)
+	items = append(items, Item{
+		ID:    fmt.Sprintf("%s-clusterset-k%d", datasetName, res.K),
+		Kind:  KindClusterSet,
+		Title: fmt.Sprintf("Cluster set with K=%d", res.K),
+		Description: fmt.Sprintf("%s partitioned into %d patient groups (SSE %.2f, %d iterations)",
+			datasetName, res.K, res.SSE, res.Iterations),
+		Dataset:   datasetName,
+		Algorithm: "kmeans/" + res.Algorithm,
+		Metrics: map[string]float64{
+			"k":   float64(res.K),
+			"sse": res.SSE,
+		},
+		Interest: InterestUnknown,
+	})
+	for c := 0; c < res.K; c++ {
+		top := topFeatures(res.Centroids[c], featureNames, topN)
+		items = append(items, Item{
+			ID:   fmt.Sprintf("%s-cluster-k%d-c%d", datasetName, res.K, c),
+			Kind: KindCluster,
+			Title: fmt.Sprintf("Patient group %d/%d (%d patients)",
+				c+1, res.K, res.Sizes[c]),
+			Description: fmt.Sprintf("Group characterized by: %v", top),
+			Dataset:     datasetName,
+			Algorithm:   "kmeans/" + res.Algorithm,
+			Metrics: map[string]float64{
+				"size":     float64(res.Sizes[c]),
+				"fraction": safeDiv(float64(res.Sizes[c]), float64(len(res.Labels))),
+			},
+			Tags:     top,
+			Interest: InterestUnknown,
+		})
+	}
+	return items
+}
+
+// topFeatures returns the names of the topN largest centroid entries.
+func topFeatures(centroid []float64, names []string, topN int) []string {
+	type fw struct {
+		i int
+		w float64
+	}
+	fws := make([]fw, len(centroid))
+	for i, w := range centroid {
+		fws[i] = fw{i, w}
+	}
+	sort.Slice(fws, func(a, b int) bool {
+		if fws[a].w != fws[b].w {
+			return fws[a].w > fws[b].w
+		}
+		return fws[a].i < fws[b].i
+	})
+	if topN > len(fws) {
+		topN = len(fws)
+	}
+	out := make([]string, 0, topN)
+	for _, f := range fws[:topN] {
+		if f.w <= 0 {
+			break
+		}
+		if f.i < len(names) {
+			out = append(out, names[f.i])
+		} else {
+			out = append(out, fmt.Sprintf("f%d", f.i))
+		}
+	}
+	return out
+}
+
+// FromItemsets converts frequent itemsets (only those with at least
+// two items, which carry co-occurrence information) into knowledge
+// items. numTx converts support counts to frequencies.
+func FromItemsets(datasetName string, sets []fpm.Itemset, numTx int) []Item {
+	var items []Item
+	for i, s := range sets {
+		if len(s.Items) < 2 {
+			continue
+		}
+		items = append(items, Item{
+			ID:          fmt.Sprintf("%s-pattern-%04d", datasetName, i),
+			Kind:        KindPattern,
+			Title:       fmt.Sprintf("Co-prescribed exams %v", s.Items),
+			Description: fmt.Sprintf("Exams %v occur together in %d visits", s.Items, s.Support),
+			Dataset:     datasetName,
+			Algorithm:   "fpgrowth",
+			Metrics: map[string]float64{
+				"support":      float64(s.Support),
+				"support_frac": safeDiv(float64(s.Support), float64(numTx)),
+				"size":         float64(len(s.Items)),
+			},
+			Tags:     s.Items,
+			Interest: InterestUnknown,
+		})
+	}
+	return items
+}
+
+// FromRules converts association rules into knowledge items.
+func FromRules(datasetName string, rules []fpm.Rule) []Item {
+	items := make([]Item, 0, len(rules))
+	for i, r := range rules {
+		items = append(items, Item{
+			ID:   fmt.Sprintf("%s-rule-%04d", datasetName, i),
+			Kind: KindRule,
+			Title: fmt.Sprintf("Patients with %v also receive %v",
+				r.Antecedent, r.Consequent),
+			Description: r.String(),
+			Dataset:     datasetName,
+			Algorithm:   "association-rules",
+			Metrics: map[string]float64{
+				"support":    float64(r.Support),
+				"confidence": r.Confidence,
+				"lift":       r.Lift,
+			},
+			Tags:     append(append([]string{}, r.Antecedent...), r.Consequent...),
+			Interest: InterestUnknown,
+		})
+	}
+	return items
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

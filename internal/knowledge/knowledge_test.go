@@ -1,0 +1,134 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+
+	"adahealth/internal/cluster"
+	"adahealth/internal/fpm"
+)
+
+func sampleClusterResult() *cluster.Result {
+	return &cluster.Result{
+		K: 2,
+		Centroids: [][]float64{
+			{5, 0.2, 3, 0},
+			{0.1, 4, 0, 2},
+		},
+		Labels:     []int{0, 0, 0, 1, 1},
+		Sizes:      []int{3, 2},
+		SSE:        12.5,
+		Iterations: 7,
+		Algorithm:  "lloyd",
+	}
+}
+
+func TestFromClusterResult(t *testing.T) {
+	names := []string{"HbA1c", "ECG", "Glucose", "Fundus"}
+	items := FromClusterResult("diab", sampleClusterResult(), names, 2)
+	if len(items) != 3 { // 1 cluster-set + 2 clusters
+		t.Fatalf("items = %d, want 3", len(items))
+	}
+	if items[0].Kind != KindClusterSet {
+		t.Errorf("first item kind = %v", items[0].Kind)
+	}
+	if items[0].Metrics["sse"] != 12.5 || items[0].Metrics["k"] != 2 {
+		t.Errorf("cluster-set metrics = %v", items[0].Metrics)
+	}
+	// Cluster 0's top-2 features by centroid weight: HbA1c (5), Glucose (3).
+	c0 := items[1]
+	if c0.Kind != KindCluster {
+		t.Fatalf("second item kind = %v", c0.Kind)
+	}
+	if len(c0.Tags) != 2 || c0.Tags[0] != "HbA1c" || c0.Tags[1] != "Glucose" {
+		t.Errorf("cluster 0 tags = %v", c0.Tags)
+	}
+	if c0.Metrics["size"] != 3 {
+		t.Errorf("cluster 0 size = %v", c0.Metrics["size"])
+	}
+	if c0.Metrics["fraction"] != 0.6 {
+		t.Errorf("cluster 0 fraction = %v", c0.Metrics["fraction"])
+	}
+	for _, it := range items {
+		if it.Interest != InterestUnknown {
+			t.Errorf("fresh item %s has interest %v", it.ID, it.Interest)
+		}
+		if it.ID == "" || it.Dataset != "diab" {
+			t.Errorf("item identity incomplete: %+v", it)
+		}
+	}
+}
+
+func TestFromClusterResultZeroCentroidTruncated(t *testing.T) {
+	res := &cluster.Result{
+		K:         1,
+		Centroids: [][]float64{{0, 0, 0}},
+		Labels:    []int{0},
+		Sizes:     []int{1},
+	}
+	items := FromClusterResult("d", res, []string{"a", "b", "c"}, 3)
+	if len(items[1].Tags) != 0 {
+		t.Errorf("zero centroid produced tags %v", items[1].Tags)
+	}
+}
+
+func TestFromItemsets(t *testing.T) {
+	sets := []fpm.Itemset{
+		{Items: []string{"A"}, Support: 50},           // singleton: skipped
+		{Items: []string{"A", "B"}, Support: 30},      // kept
+		{Items: []string{"A", "B", "C"}, Support: 10}, // kept
+	}
+	items := FromItemsets("diab", sets, 100)
+	if len(items) != 2 {
+		t.Fatalf("items = %d, want 2 (singletons dropped)", len(items))
+	}
+	p := items[0]
+	if p.Kind != KindPattern {
+		t.Errorf("kind = %v", p.Kind)
+	}
+	if p.Metrics["support"] != 30 || p.Metrics["support_frac"] != 0.3 {
+		t.Errorf("metrics = %v", p.Metrics)
+	}
+	if len(p.Tags) != 2 {
+		t.Errorf("tags = %v", p.Tags)
+	}
+}
+
+func TestFromRules(t *testing.T) {
+	rules := []fpm.Rule{{
+		Antecedent: []string{"ECG"},
+		Consequent: []string{"Echo"},
+		Support:    12, Confidence: 0.8, Lift: 2.1,
+	}}
+	items := FromRules("diab", rules)
+	if len(items) != 1 {
+		t.Fatalf("items = %d", len(items))
+	}
+	r := items[0]
+	if r.Kind != KindRule {
+		t.Errorf("kind = %v", r.Kind)
+	}
+	if r.Metrics["confidence"] != 0.8 || r.Metrics["lift"] != 2.1 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	if !strings.Contains(r.Title, "ECG") || !strings.Contains(r.Title, "Echo") {
+		t.Errorf("title = %q", r.Title)
+	}
+	if len(r.Tags) != 2 {
+		t.Errorf("tags = %v", r.Tags)
+	}
+}
+
+func TestInterestScore(t *testing.T) {
+	cases := []struct {
+		in   Interest
+		want int
+	}{
+		{InterestHigh, 2}, {InterestMedium, 1}, {InterestLow, 0}, {InterestUnknown, -1},
+	}
+	for _, c := range cases {
+		if got := InterestScore(c.in); got != c.want {
+			t.Errorf("InterestScore(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

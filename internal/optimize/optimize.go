@@ -1,0 +1,202 @@
+// Package optimize implements ADA-HEALTH's algorithm-optimization
+// component (Section IV-A): given a dataset and a center-based
+// clustering algorithm, it runs the mining activity over a grid of
+// parameters (the number of clusters K), scores every run with a
+// combination of a traditional quality index (SSE) and a
+// classification-based robustness assessment (a decision tree trained
+// to re-predict the cluster labels, evaluated by 10-fold cross
+// validation), and automatically selects the configuration with the
+// best overall classification results — reproducing Table I.
+package optimize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"adahealth/internal/classify"
+	"adahealth/internal/cluster"
+	"adahealth/internal/eval"
+)
+
+// SweepConfig configures a parameter sweep.
+type SweepConfig struct {
+	// Ks is the grid of cluster counts; defaults to Table I's
+	// {6, 7, 8, 9, 10, 12, 15, 20}.
+	Ks []int
+	// CVFolds is the cross-validation fold count; default 10.
+	CVFolds int
+	// Seed drives clustering seeding and fold shuffling.
+	Seed int64
+	// Cluster carries the K-means options (K/Seed overridden per run).
+	Cluster cluster.Options
+	// Tree configures the robustness-assessment decision tree.
+	Tree classify.TreeOptions
+	// Parallelism bounds concurrent K evaluations; <= 0 uses 4. This
+	// worker pool stands in for the paper's "online cloud-based
+	// services for automatic configuration of data analytics".
+	Parallelism int
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Ks) == 0 {
+		c.Ks = []int{6, 7, 8, 9, 10, 12, 15, 20}
+	}
+	if c.CVFolds <= 0 {
+		c.CVFolds = 10
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	return c
+}
+
+// KResult is one row of Table I: the quality indexes for one K.
+type KResult struct {
+	K          int     `json:"k"`
+	SSE        float64 `json:"sse"`
+	Accuracy   float64 `json:"accuracy"`
+	Precision  float64 `json:"avg_precision"` // macro average
+	Recall     float64 `json:"avg_recall"`    // macro average
+	F1         float64 `json:"macro_f1"`
+	Similarity float64 `json:"overall_similarity"`
+	// Combined is the selection score: the mean of accuracy, average
+	// precision and average recall ("best overall classification
+	// results", Section IV-B).
+	Combined float64 `json:"combined"`
+	Err      string  `json:"error,omitempty"`
+}
+
+// SweepResult is the full optimization outcome.
+type SweepResult struct {
+	Rows []KResult `json:"rows"`
+	// BestK is the automatically selected number of clusters.
+	BestK int `json:"best_k"`
+	// ElbowK is the SSE-elbow estimate (largest second difference),
+	// reported for diagnostics; selection uses classification metrics.
+	ElbowK int `json:"elbow_k"`
+}
+
+// Best returns the row for BestK.
+func (s *SweepResult) Best() KResult {
+	for _, r := range s.Rows {
+		if r.K == s.BestK {
+			return r
+		}
+	}
+	return KResult{}
+}
+
+// Sweep evaluates every K on data (rows are the same features the
+// clustering consumes; the classifier is trained on them with the
+// cluster labels as target, exactly as in Section IV-A).
+func Sweep(data [][]float64, cfg SweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	if len(data) == 0 {
+		return nil, fmt.Errorf("optimize: no data")
+	}
+	for _, k := range cfg.Ks {
+		if k < 2 {
+			return nil, fmt.Errorf("optimize: K=%d below 2", k)
+		}
+		if k > len(data) {
+			return nil, fmt.Errorf("optimize: K=%d exceeds %d rows", k, len(data))
+		}
+	}
+
+	rows := make([]KResult, len(cfg.Ks))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, k := range cfg.Ks {
+		wg.Add(1)
+		go func(i, k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i] = evaluateK(data, k, cfg)
+		}(i, k)
+	}
+	wg.Wait()
+
+	for _, r := range rows {
+		if r.Err != "" {
+			return nil, fmt.Errorf("optimize: K=%d: %s", r.K, r.Err)
+		}
+	}
+	res := &SweepResult{Rows: rows}
+	res.BestK = selectBestK(rows)
+	res.ElbowK = elbowK(rows)
+	return res, nil
+}
+
+// evaluateK runs one clustering + robustness assessment.
+func evaluateK(data [][]float64, k int, cfg SweepConfig) KResult {
+	out := KResult{K: k}
+	opts := cfg.Cluster
+	opts.K = k
+	opts.Seed = cfg.Seed + int64(k)*7919
+	cr, err := cluster.KMeans(data, opts)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.SSE = cr.SSE
+
+	os, err := eval.OverallSimilarity(data, cr.Labels, cr.K)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Similarity = os
+
+	cv, err := eval.CrossValidate(func() classify.Classifier {
+		return classify.NewDecisionTree(cfg.Tree)
+	}, data, cr.Labels, cfg.CVFolds, cfg.Seed+int64(k))
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Accuracy = cv.Metrics.Accuracy
+	out.Precision = cv.Metrics.MacroPrecision
+	out.Recall = cv.Metrics.MacroRecall
+	out.F1 = cv.Metrics.MacroF1
+	out.Combined = (out.Accuracy + out.Precision + out.Recall) / 3
+	return out
+}
+
+// selectBestK picks the K with the best overall classification
+// results: highest combined score, ties broken toward smaller K
+// (medical applications prefer few, significant clusters; §IV-A).
+func selectBestK(rows []KResult) int {
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.Combined > best.Combined ||
+			(r.Combined == best.Combined && r.K < best.K) {
+			best = r
+		}
+	}
+	return best.K
+}
+
+// elbowK estimates the knee of the SSE curve as the K with the largest
+// positive second difference of SSE over the (sorted) K grid.
+func elbowK(rows []KResult) int {
+	sorted := append([]KResult(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].K < sorted[j].K })
+	if len(sorted) < 3 {
+		return sorted[0].K
+	}
+	bestK, bestCurv := sorted[1].K, 0.0
+	for i := 1; i < len(sorted)-1; i++ {
+		// Normalize by the K spacing, which is non-uniform in Table I.
+		dk1 := float64(sorted[i].K - sorted[i-1].K)
+		dk2 := float64(sorted[i+1].K - sorted[i].K)
+		slope1 := (sorted[i].SSE - sorted[i-1].SSE) / dk1
+		slope2 := (sorted[i+1].SSE - sorted[i].SSE) / dk2
+		curv := slope2 - slope1
+		if curv > bestCurv {
+			bestCurv, bestK = curv, sorted[i].K
+		}
+	}
+	return bestK
+}

@@ -1,0 +1,191 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adahealth/internal/cluster"
+)
+
+// structured builds data with `k` well-separated groups so that the
+// "true" K is recoverable.
+func structured(rng *rand.Rand, k, perCluster, d int) [][]float64 {
+	var data [][]float64
+	for c := 0; c < k; c++ {
+		center := make([]float64, d)
+		for j := range center {
+			center[j] = float64((c*7+j*3)%11) * 4
+		}
+		for p := 0; p < perCluster; p++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = center[j] + rng.NormFloat64()*0.4
+			}
+			data = append(data, row)
+		}
+	}
+	return data
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep(nil, SweepConfig{}); err == nil {
+		t.Error("accepted empty data")
+	}
+	data := structured(rand.New(rand.NewSource(1)), 2, 10, 3)
+	if _, err := Sweep(data, SweepConfig{Ks: []int{1}}); err == nil {
+		t.Error("accepted K=1")
+	}
+	if _, err := Sweep(data, SweepConfig{Ks: []int{1000}}); err == nil {
+		t.Error("accepted K > n")
+	}
+}
+
+func TestSweepTableShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := structured(rng, 4, 50, 6)
+	res, err := Sweep(data, SweepConfig{
+		Ks:      []int{2, 3, 4, 5, 6, 8},
+		CVFolds: 5,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// SSE is non-increasing in K (allowing small local-minimum noise).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SSE > res.Rows[i-1].SSE*1.10 {
+			t.Errorf("SSE rose sharply from K=%d (%.2f) to K=%d (%.2f)",
+				res.Rows[i-1].K, res.Rows[i-1].SSE, res.Rows[i].K, res.Rows[i].SSE)
+		}
+	}
+	// Every row carries metrics in [0,1].
+	for _, r := range res.Rows {
+		for name, v := range map[string]float64{
+			"accuracy": r.Accuracy, "precision": r.Precision,
+			"recall": r.Recall, "similarity": r.Similarity,
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Errorf("K=%d %s = %v outside [0,1]", r.K, name, v)
+			}
+		}
+	}
+}
+
+func TestSweepMetricsCollapseBeyondTrueK(t *testing.T) {
+	// Table I's shape: classification metrics degrade sharply once K
+	// exceeds the natural group count, because K-means manufactures
+	// small arbitrary clusters the classifier cannot re-predict.
+	rng := rand.New(rand.NewSource(3))
+	trueK := 4
+	data := structured(rng, trueK, 50, 5)
+	res, err := Sweep(data, SweepConfig{
+		Ks:      []int{4, 12, 20},
+		CVFolds: 5,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byK := map[int]KResult{}
+	for _, r := range res.Rows {
+		byK[r.K] = r
+	}
+	if byK[4].Combined <= byK[20].Combined {
+		t.Errorf("combined score did not collapse: K=4 %.3f vs K=20 %.3f",
+			byK[4].Combined, byK[20].Combined)
+	}
+	if byK[4].Recall <= byK[20].Recall {
+		t.Errorf("recall did not collapse: K=4 %.3f vs K=20 %.3f",
+			byK[4].Recall, byK[20].Recall)
+	}
+	// Selection never picks the collapsed configuration.
+	if res.BestK == 20 {
+		t.Errorf("BestK = 20, the collapsed configuration")
+	}
+}
+
+func TestSelectBestK(t *testing.T) {
+	rows := []KResult{
+		{K: 6, Combined: 0.85},
+		{K: 7, Combined: 0.84},
+		{K: 8, Combined: 0.87},
+		{K: 9, Combined: 0.72},
+	}
+	if got := selectBestK(rows); got != 8 {
+		t.Errorf("selectBestK = %d, want 8", got)
+	}
+	// Ties break toward smaller K (few significant clusters, §IV-A).
+	rows = []KResult{
+		{K: 10, Combined: 0.9},
+		{K: 6, Combined: 0.9},
+		{K: 8, Combined: 0.9},
+	}
+	if got := selectBestK(rows); got != 6 {
+		t.Errorf("tie-break selectBestK = %d, want 6", got)
+	}
+}
+
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := structured(rng, 3, 40, 4)
+	a, err := Sweep(data, SweepConfig{Ks: []int{2, 3, 4}, CVFolds: 4, Seed: 9, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(data, SweepConfig{Ks: []int{2, 3, 4}, CVFolds: 4, Seed: 9, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d differs across parallelism: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	if a.BestK != b.BestK {
+		t.Errorf("BestK differs: %d vs %d", a.BestK, b.BestK)
+	}
+}
+
+func TestSweepBestAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := structured(rng, 3, 30, 3)
+	res, err := Sweep(data, SweepConfig{Ks: []int{2, 3}, CVFolds: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	if best.K != res.BestK {
+		t.Errorf("Best().K = %d, want %d", best.K, res.BestK)
+	}
+}
+
+func TestElbowK(t *testing.T) {
+	rows := []KResult{
+		{K: 2, SSE: 1000},
+		{K: 4, SSE: 400},
+		{K: 6, SSE: 350}, // knee at 4: slope flattens sharply after it
+		{K: 8, SSE: 320},
+	}
+	if got := elbowK(rows); got != 4 {
+		t.Errorf("elbowK = %d, want 4", got)
+	}
+}
+
+func TestSweepWithFilteringAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := structured(rng, 3, 40, 4)
+	res, err := Sweep(data, SweepConfig{
+		Ks: []int{2, 3, 4}, CVFolds: 3, Seed: 5,
+		Cluster: cluster.Options{Algorithm: cluster.Filtering},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}

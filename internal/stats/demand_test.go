@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"adahealth/internal/dataset"
+)
+
+func demandLog(t *testing.T) *dataset.Log {
+	t.Helper()
+	l := dataset.NewLog("demand")
+	if err := l.AddExam(dataset.ExamType{Code: "A", Category: "cardio"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddExam(dataset.ExamType{Code: "B", Category: "renal"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddPatient(dataset.Patient{ID: "P1", Age: 60}); err != nil {
+		t.Fatal(err)
+	}
+	at := func(m, d int) time.Time {
+		return time.Date(2015, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+	}
+	recs := []dataset.Record{
+		{PatientID: "P1", ExamCode: "A", Date: at(1, 5)},
+		{PatientID: "P1", ExamCode: "A", Date: at(1, 20)},
+		{PatientID: "P1", ExamCode: "B", Date: at(1, 25)},
+		// February empty.
+		{PatientID: "P1", ExamCode: "A", Date: at(3, 2)},
+	}
+	for _, r := range recs {
+		if err := l.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestMonthlyDemand(t *testing.T) {
+	series := MonthlyDemand(demandLog(t))
+	if len(series) != 3 {
+		t.Fatalf("months = %d, want 3 (Jan-Mar incl. empty Feb)", len(series))
+	}
+	if series[0].Count != 3 || series[0].Month != 1 {
+		t.Errorf("January = %+v", series[0])
+	}
+	if series[1].Count != 0 || series[1].Month != 2 {
+		t.Errorf("February = %+v, want gap month with 0", series[1])
+	}
+	if series[2].Count != 1 {
+		t.Errorf("March = %+v", series[2])
+	}
+}
+
+func TestMonthlyDemandEmptyLog(t *testing.T) {
+	if got := MonthlyDemand(dataset.NewLog("e")); got != nil {
+		t.Errorf("empty log demand = %v", got)
+	}
+}
+
+func TestDemandByCategory(t *testing.T) {
+	byCat := DemandByCategory(demandLog(t))
+	if len(byCat) != 2 {
+		t.Fatalf("categories = %d, want 2", len(byCat))
+	}
+	cardio := byCat["cardio"]
+	if len(cardio) != 3 || cardio[0].Count != 2 || cardio[2].Count != 1 {
+		t.Errorf("cardio series = %+v", cardio)
+	}
+	renal := byCat["renal"]
+	if renal[0].Count != 1 || renal[1].Count != 0 || renal[2].Count != 0 {
+		t.Errorf("renal series = %+v", renal)
+	}
+}
+
+func TestPeakToMeanRatio(t *testing.T) {
+	flat := []DemandPoint{{Count: 5}, {Count: 5}, {Count: 5}}
+	if got := PeakToMeanRatio(flat); got != 1 {
+		t.Errorf("flat ratio = %v, want 1", got)
+	}
+	bursty := []DemandPoint{{Count: 0}, {Count: 0}, {Count: 30}}
+	if got := PeakToMeanRatio(bursty); got != 3 {
+		t.Errorf("bursty ratio = %v, want 3", got)
+	}
+	if got := PeakToMeanRatio(nil); got != 0 {
+		t.Errorf("empty ratio = %v", got)
+	}
+	if got := PeakToMeanRatio([]DemandPoint{{Count: 0}}); got != 0 {
+		t.Errorf("all-zero ratio = %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"adahealth/internal/dataset"
+)
+
+// Descriptor is the statistical characterization of an examination log
+// that ADA-HEALTH stores in the K-DB (collection 3 of the paper's data
+// model) and feeds to the end-goal feasibility rules.
+type Descriptor struct {
+	DatasetName  string `json:"dataset_name"`
+	NumPatients  int    `json:"num_patients"`
+	NumRecords   int    `json:"num_records"`
+	NumExamTypes int    `json:"num_exam_types"`
+	NumVisits    int    `json:"num_visits"`
+
+	// RecordsPerPatient summarizes how many exams each patient took.
+	RecordsPerPatient Summary `json:"records_per_patient"`
+	// ExamsPerVisit summarizes the visit (transaction) sizes.
+	ExamsPerVisit Summary `json:"exams_per_visit"`
+	// Age summarizes the patient age distribution.
+	Age Summary `json:"age"`
+
+	// Frequency skew of the exam-type distribution.
+	FrequencyEntropy     float64 `json:"frequency_entropy"`      // bits
+	FrequencyEntropyNorm float64 `json:"frequency_entropy_norm"` // / log2(#types)
+	FrequencyGini        float64 `json:"frequency_gini"`
+	// Top20Coverage / Top40Coverage: fraction of records covered by the
+	// top 20% / 40% most frequent exam types — the quantities the
+	// paper's horizontal partial mining pivots on (≈0.70 / ≈0.85).
+	Top20Coverage float64 `json:"top20_coverage"`
+	Top40Coverage float64 `json:"top40_coverage"`
+
+	// VSMSparsity is the fraction of zero cells in the patient ×
+	// exam-type count matrix ("inherently sparse distribution").
+	VSMSparsity float64 `json:"vsm_sparsity"`
+
+	// SpanDays is the length of the observation window in days
+	// (inclusive of both endpoints; 0 for an empty log).
+	SpanDays int `json:"span_days"`
+
+	// HasOutcomeLabels records whether the dataset carries treatment
+	// outcome labels. Examination logs do not; the flag exists so the
+	// end-goal feasibility rules can gate supervised goals.
+	HasOutcomeLabels bool `json:"has_outcome_labels"`
+}
+
+// Characterize computes the full Descriptor of a log. The VSM sparsity
+// is computed from the count matrix implied by the log without
+// materializing it densely.
+func Characterize(l *dataset.Log) Descriptor {
+	d := Descriptor{
+		DatasetName:  l.Name,
+		NumPatients:  l.NumPatients(),
+		NumRecords:   l.NumRecords(),
+		NumExamTypes: l.NumExamTypes(),
+	}
+
+	perPatient := l.RecordsPerPatient()
+	rp := make([]float64, 0, len(perPatient))
+	for _, c := range perPatient {
+		rp = append(rp, float64(c))
+	}
+	d.RecordsPerPatient = Summarize(rp)
+
+	visits := l.Visits()
+	d.NumVisits = len(visits)
+	vs := make([]float64, len(visits))
+	for i, v := range visits {
+		vs[i] = float64(len(v.ExamCodes))
+	}
+	d.ExamsPerVisit = Summarize(vs)
+
+	ages := make([]float64, len(l.Patients))
+	for i, p := range l.Patients {
+		ages[i] = float64(p.Age)
+	}
+	d.Age = Summarize(ages)
+
+	freqMap := l.ExamFrequencies()
+	counts := make([]int, 0, len(freqMap))
+	for _, c := range freqMap {
+		counts = append(counts, c)
+	}
+	d.FrequencyEntropy = Entropy(counts)
+	d.FrequencyEntropyNorm = NormalizedEntropy(counts)
+	d.FrequencyGini = Gini(counts)
+	d.Top20Coverage = TopShareByCount(counts, (len(counts)+4)/5)
+	d.Top40Coverage = TopShareByCount(counts, (2*len(counts)+4)/5)
+
+	// Sparsity of the patient × exam count matrix: non-zero cells are
+	// the distinct (patient, exam) pairs.
+	type cell struct{ p, e string }
+	nz := make(map[cell]bool, l.NumRecords())
+	for _, r := range l.Records {
+		nz[cell{r.PatientID, r.ExamCode}] = true
+	}
+	cells := l.NumPatients() * l.NumExamTypes()
+	if cells > 0 {
+		d.VSMSparsity = 1 - float64(len(nz))/float64(cells)
+	}
+
+	if min, max, ok := l.TimeSpan(); ok {
+		d.SpanDays = int(max.Sub(min).Hours()/24) + 1
+	}
+	return d
+}

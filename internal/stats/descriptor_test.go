@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"adahealth/internal/dataset"
+)
+
+func descriptorLog(t *testing.T) *dataset.Log {
+	t.Helper()
+	l := dataset.NewLog("desc")
+	for _, c := range []string{"A", "B", "C", "D"} {
+		if err := l.AddExam(dataset.ExamType{Code: c, Name: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, age := range []int{30, 50, 70} {
+		if err := l.AddPatient(dataset.Patient{ID: string(rune('P')) + string(rune('1'+i)), Age: age}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	day := func(d int) time.Time {
+		return time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+	}
+	recs := []dataset.Record{
+		{PatientID: "P1", ExamCode: "A", Date: day(0)},
+		{PatientID: "P1", ExamCode: "A", Date: day(1)},
+		{PatientID: "P1", ExamCode: "B", Date: day(1)},
+		{PatientID: "P2", ExamCode: "A", Date: day(2)},
+		{PatientID: "P2", ExamCode: "C", Date: day(2)},
+		{PatientID: "P3", ExamCode: "A", Date: day(3)},
+	}
+	for _, r := range recs {
+		if err := l.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestCharacterizeCounts(t *testing.T) {
+	d := Characterize(descriptorLog(t))
+	if d.NumPatients != 3 || d.NumRecords != 6 || d.NumExamTypes != 4 {
+		t.Errorf("counts = %d/%d/%d", d.NumPatients, d.NumRecords, d.NumExamTypes)
+	}
+	if d.NumVisits != 4 {
+		t.Errorf("visits = %d, want 4", d.NumVisits)
+	}
+}
+
+func TestCharacterizeSparsity(t *testing.T) {
+	d := Characterize(descriptorLog(t))
+	// Non-zero cells: P1×{A,B}, P2×{A,C}, P3×{A} = 5 of 12.
+	want := 1 - 5.0/12.0
+	if diff := d.VSMSparsity - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sparsity = %v, want %v", d.VSMSparsity, want)
+	}
+}
+
+func TestCharacterizeAges(t *testing.T) {
+	d := Characterize(descriptorLog(t))
+	if d.Age.Min != 30 || d.Age.Max != 70 || d.Age.Mean != 50 {
+		t.Errorf("age summary = %+v", d.Age)
+	}
+}
+
+func TestCharacterizeFrequencySkew(t *testing.T) {
+	d := Characterize(descriptorLog(t))
+	// A dominates (4 of 6 records): Gini must be positive, normalized
+	// entropy below 1, and top-20% coverage nontrivial.
+	if d.FrequencyGini <= 0 {
+		t.Errorf("Gini = %v, want > 0", d.FrequencyGini)
+	}
+	if d.FrequencyEntropyNorm >= 1 {
+		t.Errorf("normalized entropy = %v, want < 1", d.FrequencyEntropyNorm)
+	}
+	if d.Top20Coverage <= 0 {
+		t.Errorf("top-20%% coverage = %v, want > 0", d.Top20Coverage)
+	}
+	if d.Top40Coverage < d.Top20Coverage {
+		t.Errorf("top-40%% (%v) < top-20%% (%v)", d.Top40Coverage, d.Top20Coverage)
+	}
+}
+
+func TestCharacterizeEmptyLog(t *testing.T) {
+	l := dataset.NewLog("empty")
+	d := Characterize(l)
+	if d.NumPatients != 0 || d.NumRecords != 0 || d.VSMSparsity != 0 {
+		t.Errorf("empty descriptor = %+v", d)
+	}
+}

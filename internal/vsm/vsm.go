@@ -1,0 +1,316 @@
+// Package vsm implements the Vector Space Model data transformation of
+// ADA-HEALTH's preprocessing block: each patient becomes a vector over
+// examination types (his/her examination history), with selectable
+// term weighting and row normalization. Features are ordered by
+// decreasing global frequency, which is exactly the order the
+// horizontal partial-mining strategy consumes (Section IV-B).
+package vsm
+
+import (
+	"fmt"
+	"math"
+
+	"adahealth/internal/dataset"
+)
+
+// Weighting selects how raw exam counts are turned into vector entries.
+type Weighting int
+
+const (
+	// Count keeps the raw number of times the patient underwent the
+	// exam (the representation used in the paper's experiments).
+	Count Weighting = iota
+	// Binary records only presence/absence.
+	Binary
+	// LogCount applies log(1+count) damping.
+	LogCount
+	// TFIDF multiplies counts by the inverse document frequency
+	// log(N/df) of the exam type across patients.
+	TFIDF
+)
+
+func (w Weighting) String() string {
+	switch w {
+	case Count:
+		return "count"
+	case Binary:
+		return "binary"
+	case LogCount:
+		return "logcount"
+	case TFIDF:
+		return "tfidf"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// Normalization selects per-row normalization applied after weighting.
+type Normalization int
+
+const (
+	// NoNorm leaves rows as weighted.
+	NoNorm Normalization = iota
+	// L2 scales each row to unit Euclidean norm (required by the
+	// cosine-based overall-similarity index).
+	L2
+	// L1 scales each row to unit sum.
+	L1
+)
+
+func (n Normalization) String() string {
+	switch n {
+	case NoNorm:
+		return "none"
+	case L2:
+		return "l2"
+	case L1:
+		return "l1"
+	default:
+		return fmt.Sprintf("Normalization(%d)", int(n))
+	}
+}
+
+// Options configures the transformation.
+type Options struct {
+	Weighting     Weighting
+	Normalization Normalization
+}
+
+// Matrix is the patient × exam-type matrix produced by Build. Features
+// are ordered by decreasing global frequency; rows follow patient
+// registration order.
+type Matrix struct {
+	PatientIDs []string
+	Features   []string // exam codes, most frequent first
+	Rows       [][]float64
+	Opts       Options
+
+	raw          [][]float64 // raw counts, feature order as Features
+	featureFreq  []int       // global record count per feature
+	totalRecords int
+	featureIndex map[string]int
+}
+
+// Build constructs the VSM matrix for a log.
+func Build(l *dataset.Log, opts Options) (*Matrix, error) {
+	if l.NumPatients() == 0 {
+		return nil, fmt.Errorf("vsm: log has no patients")
+	}
+	if l.NumExamTypes() == 0 {
+		return nil, fmt.Errorf("vsm: log has no exam types")
+	}
+	features := l.ExamsByFrequency()
+	fIdx := make(map[string]int, len(features))
+	for i, f := range features {
+		fIdx[f] = i
+	}
+	pIdx := make(map[string]int, l.NumPatients())
+	ids := make([]string, l.NumPatients())
+	for i, p := range l.Patients {
+		pIdx[p.ID] = i
+		ids[i] = p.ID
+	}
+
+	raw := make([][]float64, len(ids))
+	backing := make([]float64, len(ids)*len(features))
+	for i := range raw {
+		raw[i], backing = backing[:len(features)], backing[len(features):]
+	}
+	freq := make([]int, len(features))
+	for _, r := range l.Records {
+		p, okP := pIdx[r.PatientID]
+		f, okF := fIdx[r.ExamCode]
+		if !okP || !okF {
+			return nil, fmt.Errorf("vsm: record references unknown patient %q or exam %q",
+				r.PatientID, r.ExamCode)
+		}
+		raw[p][f]++
+		freq[f]++
+	}
+
+	m := &Matrix{
+		PatientIDs:   ids,
+		Features:     features,
+		Opts:         opts,
+		raw:          raw,
+		featureFreq:  freq,
+		totalRecords: l.NumRecords(),
+		featureIndex: fIdx,
+	}
+	m.Rows = weigh(raw, opts)
+	return m, nil
+}
+
+// weigh applies weighting + normalization to a raw count matrix,
+// returning fresh rows.
+func weigh(raw [][]float64, opts Options) [][]float64 {
+	n := len(raw)
+	if n == 0 {
+		return nil
+	}
+	d := len(raw[0])
+	rows := make([][]float64, n)
+	backing := make([]float64, n*d)
+	for i := range rows {
+		rows[i], backing = backing[:d], backing[d:]
+	}
+
+	var idf []float64
+	if opts.Weighting == TFIDF {
+		df := make([]int, d)
+		for _, r := range raw {
+			for j, v := range r {
+				if v > 0 {
+					df[j]++
+				}
+			}
+		}
+		idf = make([]float64, d)
+		for j, c := range df {
+			if c > 0 {
+				idf[j] = math.Log(float64(n) / float64(c))
+			}
+		}
+	}
+
+	for i, r := range raw {
+		out := rows[i]
+		for j, v := range r {
+			switch opts.Weighting {
+			case Count:
+				out[j] = v
+			case Binary:
+				if v > 0 {
+					out[j] = 1
+				}
+			case LogCount:
+				out[j] = math.Log1p(v)
+			case TFIDF:
+				out[j] = v * idf[j]
+			}
+		}
+		switch opts.Normalization {
+		case L2:
+			s := 0.0
+			for _, v := range out {
+				s += v * v
+			}
+			if s > 0 {
+				inv := 1 / math.Sqrt(s)
+				for j := range out {
+					out[j] *= inv
+				}
+			}
+		case L1:
+			s := 0.0
+			for _, v := range out {
+				s += math.Abs(v)
+			}
+			if s > 0 {
+				for j := range out {
+					out[j] /= s
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// NumRows reports the number of patients.
+func (m *Matrix) NumRows() int { return len(m.Rows) }
+
+// NumFeatures reports the number of exam-type columns.
+func (m *Matrix) NumFeatures() int { return len(m.Features) }
+
+// FeatureIndex returns the column of an exam code.
+func (m *Matrix) FeatureIndex(code string) (int, bool) {
+	i, ok := m.featureIndex[code]
+	return i, ok
+}
+
+// CoverageAt returns the fraction of original records represented by
+// the first n (most frequent) features — the "percentage of raw data"
+// the paper reports for each partial-mining step.
+func (m *Matrix) CoverageAt(n int) float64 {
+	if m.totalRecords == 0 || n <= 0 {
+		return 0
+	}
+	if n > len(m.featureFreq) {
+		n = len(m.featureFreq)
+	}
+	covered := 0
+	for _, c := range m.featureFreq[:n] {
+		covered += c
+	}
+	return float64(covered) / float64(m.totalRecords)
+}
+
+// FeaturesForCoverage returns the smallest feature-prefix length whose
+// record coverage reaches the target fraction.
+func (m *Matrix) FeaturesForCoverage(target float64) int {
+	if target <= 0 {
+		return 0
+	}
+	covered := 0
+	for i, c := range m.featureFreq {
+		covered += c
+		if float64(covered) >= target*float64(m.totalRecords) {
+			return i + 1
+		}
+	}
+	return len(m.featureFreq)
+}
+
+// Project returns a new Matrix restricted to the first n features,
+// re-deriving weighting and normalization from the raw counts so that
+// e.g. IDF and row norms are consistent with the reduced space. All
+// patients are retained (the paper's horizontal strategy keeps the
+// total number of patients).
+func (m *Matrix) Project(n int) *Matrix {
+	if n <= 0 {
+		n = 1
+	}
+	if n > m.NumFeatures() {
+		n = m.NumFeatures()
+	}
+	raw := make([][]float64, len(m.raw))
+	for i, r := range m.raw {
+		raw[i] = r[:n:n]
+	}
+	out := &Matrix{
+		PatientIDs:   m.PatientIDs,
+		Features:     m.Features[:n:n],
+		Opts:         m.Opts,
+		raw:          raw,
+		featureFreq:  m.featureFreq[:n:n],
+		totalRecords: m.totalRecords,
+		featureIndex: make(map[string]int, n),
+	}
+	for i, f := range out.Features {
+		out.featureIndex[f] = i
+	}
+	out.Rows = weigh(raw, m.Opts)
+	return out
+}
+
+// Sparsity returns the fraction of zero cells in the raw count matrix.
+func (m *Matrix) Sparsity() float64 {
+	cells, zeros := 0, 0
+	for _, r := range m.raw {
+		cells += len(r)
+		for _, v := range r {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if cells == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(cells)
+}
+
+// RawCounts exposes the underlying count rows (shared storage; callers
+// must not mutate). It exists for evaluation code that needs the
+// untransformed history, e.g. building classifier features.
+func (m *Matrix) RawCounts() [][]float64 { return m.raw }
