@@ -144,7 +144,12 @@ func BenchmarkKMeansAblation(b *testing.B) {
 	}
 	for _, w := range workloads {
 		for _, k := range []int{8, 64} {
-			for _, alg := range []cluster.Algorithm{cluster.Lloyd, cluster.Filtering} {
+			// Lloyd auto-routes to the sparse kernel when the data is
+			// sparse enough; DenseLloyd pins the classic dense scan so
+			// the sparse speedup stays visible side by side.
+			for _, alg := range []cluster.Algorithm{
+				cluster.Lloyd, cluster.DenseLloyd, cluster.SparseLloyd, cluster.Filtering,
+			} {
 				b.Run(fmt.Sprintf("%s/K=%d/%s", w.name, k, alg), func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {

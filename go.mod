@@ -1,0 +1,3 @@
+module adahealth
+
+go 1.24

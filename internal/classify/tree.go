@@ -3,7 +3,7 @@ package classify
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -46,8 +46,29 @@ type DecisionTree struct {
 	// importance[f] accumulates the total weighted impurity decrease
 	// contributed by splits on feature f.
 	importance []float64
-	// goesLeft is per-Fit scratch for the stable partition step.
-	goesLeft []bool
+	// goesLeft and the scratch slices are per-Fit scratch for the
+	// stable partition step.
+	goesLeft   []bool
+	scratchIdx []int32
+	scratchVal []float64
+	scratchLab []int32
+}
+
+// fitState is the whole training set in column-sorted form, shared by
+// every node of one Fit. For feature f, the segment [f·n, (f+1)·n) of
+// each flat array lists the samples ordered by that feature: idx holds
+// sample indices, vals/labs the corresponding feature values and class
+// labels in the same order. A node owns the subrange [lo, hi) of every
+// feature segment; the stable partition reorders each segment in place
+// so children are again contiguous subranges. Keeping everything in
+// three flat, pointer-free arrays makes the split scan a pure
+// sequential walk (no per-sample pointer chase into the row-major X)
+// and avoids any per-node slice allocation the GC would have to scan.
+type fitState struct {
+	n    int
+	idx  []int32
+	vals []float64
+	labs []int32
 }
 
 type treeNode struct {
@@ -69,31 +90,173 @@ func NewDecisionTree(opts TreeOptions) *DecisionTree {
 	return &DecisionTree{Opts: opts}
 }
 
+// ColumnOrder is a reusable presorted view of a feature matrix: for
+// every feature, the row indices ordered by value and the values in
+// that order, in flat column-major arrays. Cross-validation builds it
+// once per matrix and derives each fold's sorted columns by a stable
+// O(n) filter instead of re-sorting (O(n log n)) every fold of every
+// configuration.
+type ColumnOrder struct {
+	rows, dim int
+	order     []int32
+	vals      []float64
+}
+
+// NewColumnOrder presorts every feature column of X (which must be
+// rectangular with at least one row and column).
+func NewColumnOrder(X [][]float64) (*ColumnOrder, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("classify: no rows to presort")
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, fmt.Errorf("classify: zero-dimensional features")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("classify: row %d has dimension %d, want %d", i, len(row), d)
+		}
+	}
+	co := &ColumnOrder{
+		rows:  n,
+		dim:   d,
+		order: make([]int32, n*d),
+		vals:  make([]float64, n*d),
+	}
+	keys := make([]float64, n)
+	for f := 0; f < d; f++ {
+		col := co.order[f*n : (f+1)*n]
+		for i := range col {
+			col[i] = int32(i)
+			keys[i] = X[i][f]
+		}
+		slices.SortFunc(col, func(a, b int32) int {
+			switch ka, kb := keys[a], keys[b]; {
+			case ka < kb:
+				return -1
+			case ka > kb:
+				return 1
+			default:
+				return 0
+			}
+		})
+		vf := co.vals[f*n : (f+1)*n]
+		for p, i := range col {
+			vf[p] = keys[i]
+		}
+	}
+	return co, nil
+}
+
+// SubsetFitter is implemented by classifiers that can train on a row
+// subset of a matrix with a shared presorted view — the
+// cross-validation fast path.
+type SubsetFitter interface {
+	FitSubset(X [][]float64, y []int, rows []int, ord *ColumnOrder) error
+}
+
 // Fit implements Classifier.
 func (t *DecisionTree) Fit(X [][]float64, y []int) error {
 	dim, classes, err := validateXY(X, y)
 	if err != nil {
 		return err
 	}
+	ord, err := NewColumnOrder(X)
+	if err != nil {
+		return err
+	}
+	rows := make([]int, len(X))
+	for i := range rows {
+		rows[i] = i
+	}
+	return t.fitOrdered(ord, y, rows, dim, classes)
+}
+
+// FitSubset trains on the rows subset of X, deriving the subset's
+// sorted columns from ord (built once per matrix, e.g. per
+// cross-validation) with a stable linear filter. It fits the same
+// tree Fit would fit on the materialized subset.
+func (t *DecisionTree) FitSubset(X [][]float64, y []int, rows []int, ord *ColumnOrder) error {
+	if ord == nil {
+		var err error
+		if ord, err = NewColumnOrder(X); err != nil {
+			return err
+		}
+	}
+	if ord.rows != len(X) || (len(X) > 0 && ord.dim != len(X[0])) {
+		return fmt.Errorf("classify: ColumnOrder shape %dx%d does not match matrix %dx%d",
+			ord.rows, ord.dim, len(X), len(X[0]))
+	}
+	if len(y) != len(X) {
+		return fmt.Errorf("classify: %d rows but %d labels", len(X), len(y))
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("classify: empty training subset")
+	}
+	classes := 0
+	for _, r := range rows {
+		if r < 0 || r >= len(y) {
+			return fmt.Errorf("classify: training row %d outside [0,%d)", r, len(y))
+		}
+		if y[r] < 0 {
+			return fmt.Errorf("classify: negative label %d at row %d", y[r], r)
+		}
+		if y[r]+1 > classes {
+			classes = y[r] + 1
+		}
+	}
+	return t.fitOrdered(ord, y, rows, ord.dim, classes)
+}
+
+// fitOrdered grows the tree from a presorted view restricted to the
+// given rows (local sample ids are positions in rows).
+func (t *DecisionTree) fitOrdered(ord *ColumnOrder, y []int, rows []int, dim, classes int) error {
 	t.Opts = t.Opts.withDefaults()
 	t.classes = classes
 	t.features = dim
 	t.importance = make([]float64, dim)
-	t.goesLeft = make([]bool, len(X))
+	n := len(rows)
+	t.goesLeft = make([]bool, n)
+	t.scratchIdx = make([]int32, n)
+	t.scratchVal = make([]float64, n)
+	t.scratchLab = make([]int32, n)
 
-	// Pre-sort every feature column once; nodes then partition these
-	// lists stably instead of re-sorting (classic optimized CART).
-	sorted := make([][]int32, dim)
-	for f := 0; f < dim; f++ {
-		col := make([]int32, len(X))
-		for i := range col {
-			col[i] = int32(i)
-		}
-		sort.Slice(col, func(a, b int) bool { return X[col[a]][f] < X[col[b]][f] })
-		sorted[f] = col
+	st := &fitState{
+		n:    n,
+		idx:  make([]int32, n*dim),
+		vals: make([]float64, n*dim),
+		labs: make([]int32, n*dim),
 	}
-	t.root = t.grow(X, y, sorted, 0)
-	t.goesLeft = nil // release per-Fit scratch
+	// mark[i] is the local index+1 of full row i, 0 when i is not in
+	// the training subset; the stable filter below preserves the full
+	// sort order within the subset. Duplicate rows are rejected: the
+	// filter keeps each full row once, so a multiset subset (e.g. a
+	// bootstrap sample) would silently train on phantom zero entries.
+	mark := make([]int32, ord.rows)
+	for local, r := range rows {
+		if mark[r] != 0 {
+			return fmt.Errorf("classify: duplicate training row %d (FitSubset needs a set, not a multiset)", r)
+		}
+		mark[r] = int32(local) + 1
+	}
+	for f := 0; f < dim; f++ {
+		fullOrd := ord.order[f*ord.rows : (f+1)*ord.rows]
+		fullVals := ord.vals[f*ord.rows : (f+1)*ord.rows]
+		base := f * n
+		pos := 0
+		for p, i := range fullOrd {
+			if li := mark[i]; li != 0 {
+				st.idx[base+pos] = li - 1
+				st.vals[base+pos] = fullVals[p]
+				st.labs[base+pos] = int32(y[i])
+				pos++
+			}
+		}
+	}
+	t.root = t.grow(st, 0, n, 0)
+	// Release per-Fit scratch.
+	t.goesLeft, t.scratchIdx, t.scratchVal, t.scratchLab = nil, nil, nil, nil
 	return nil
 }
 
@@ -120,14 +283,13 @@ func argmax(h []int) int {
 	return best
 }
 
-// grow builds the subtree for the samples listed (feature-sorted) in
-// sorted. All columns of sorted list the same sample set, each ordered
-// by its own feature.
-func (t *DecisionTree) grow(X [][]float64, y []int, sorted [][]int32, depth int) *treeNode {
-	m := len(sorted[0])
+// grow builds the subtree for the samples held in the [lo, hi)
+// subrange of every feature segment of st.
+func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
+	m := hi - lo
 	counts := make([]int, t.classes)
-	for _, i := range sorted[0] {
-		counts[y[i]]++
+	for _, yc := range st.labs[lo:hi] {
+		counts[yc]++
 	}
 	node := &treeNode{
 		prediction: argmax(counts),
@@ -142,45 +304,60 @@ func (t *DecisionTree) grow(X [][]float64, y []int, sorted [][]int32, depth int)
 	// Zero-gain splits are allowed (as in CART): on XOR-like data the
 	// root split has zero immediate Gini decrease but enables pure
 	// children. Growth is still bounded by MaxDepth / MinSamplesLeaf.
+	//
+	// The scan keeps the Gini terms incrementally as integer sums of
+	// squared class counts: moving one sample of class yc across the
+	// boundary changes Σ_c leftCounts[c]² by 2·l+1 and the right sum
+	// by −(2·r−1), so each candidate costs O(1) instead of O(classes).
+	// With
+	//
+	//	score = sumL/nLeft + sumR/nRight
+	//
+	// the weighted Gini decrease is (score − sumP/m)/m, a monotone map,
+	// so maximizing score selects the same split the O(classes) scan
+	// would, and the MinImpurityDecrease gate becomes a score floor.
 	bestFeature, bestThreshold := -1, 0.0
-	bestDecrease := math.Inf(-1)
+	bestScore := math.Inf(-1)
 	n := float64(m)
+	var sumP int64
+	for _, c := range counts {
+		sumP += int64(c) * int64(c)
+	}
+	minScore := float64(sumP)/n + t.Opts.MinImpurityDecrease*n
 	leftCounts := make([]int, t.classes)
 
 	for f := 0; f < t.features; f++ {
-		col := sorted[f]
+		base := f*st.n + lo
+		vf := st.vals[base : base+m]
+		lf := st.labs[base : base+m]
+		if vf[0] == vf[m-1] {
+			continue // feature constant within the node: no valid split
+		}
 		for c := range leftCounts {
 			leftCounts[c] = 0
 		}
+		sumL, sumR := int64(0), sumP
 		for i := 0; i < m-1; i++ {
-			leftCounts[y[col[i]]]++
-			nLeft := i + 1
-			v, next := X[col[i]][f], X[col[i+1]][f]
+			yc := lf[i]
+			l := int64(leftCounts[yc])
+			r := int64(counts[yc]) - l
+			sumL += 2*l + 1
+			sumR -= 2*r - 1
+			leftCounts[yc]++
+			v, next := vf[i], vf[i+1]
 			if v == next {
 				continue // can't split between equal values
 			}
+			nLeft := i + 1
 			nRight := m - nLeft
 			if nLeft < t.Opts.MinSamplesLeaf || nRight < t.Opts.MinSamplesLeaf {
 				continue
 			}
-			gl := 0.0
-			for _, c := range leftCounts {
-				p := float64(c) / float64(nLeft)
-				gl += p * p
-			}
-			gl = 1 - gl
-			gr := 0.0
-			for ci, c := range counts {
-				r := c - leftCounts[ci]
-				p := float64(r) / float64(nRight)
-				gr += p * p
-			}
-			gr = 1 - gr
-			decrease := imp - (float64(nLeft)*gl+float64(nRight)*gr)/n
-			if decrease >= t.Opts.MinImpurityDecrease && decrease > bestDecrease {
+			score := float64(sumL)/float64(nLeft) + float64(sumR)/float64(nRight)
+			if score >= minScore && score > bestScore {
 				bestFeature = f
 				bestThreshold = (v + next) / 2
-				bestDecrease = decrease
+				bestScore = score
 			}
 		}
 	}
@@ -188,13 +365,17 @@ func (t *DecisionTree) grow(X [][]float64, y []int, sorted [][]int32, depth int)
 		return node
 	}
 
-	// Stable partition of every sorted column by the chosen split.
-	// t.goesLeft is shared scratch: only this node's sample entries
-	// are read, and all of them are written first.
+	// Stable partition of every sorted column by the chosen split,
+	// reordering each column (indices, values, labels) in place so the
+	// children are again contiguous [lo, lo+nLeft) and [lo+nLeft, hi)
+	// subranges of the shared flat arrays. t.goesLeft and the scratch
+	// slices are shared: only this node's sample entries are read, and
+	// all of them are written first.
 	goesLeft := t.goesLeft
 	nLeft := 0
-	for _, i := range sorted[bestFeature] {
-		l := X[i][bestFeature] <= bestThreshold
+	bfBase := bestFeature*st.n + lo
+	for p, i := range st.idx[bfBase : bfBase+m] {
+		l := st.vals[bfBase+p] <= bestThreshold
 		goesLeft[i] = l
 		if l {
 			nLeft++
@@ -203,27 +384,32 @@ func (t *DecisionTree) grow(X [][]float64, y []int, sorted [][]int32, depth int)
 	if nLeft == 0 || nLeft == m {
 		return node // numerically degenerate split
 	}
-	leftSorted := make([][]int32, t.features)
-	rightSorted := make([][]int32, t.features)
+	sIdx, sVal, sLab := t.scratchIdx[:m], t.scratchVal[:m], t.scratchLab[:m]
 	for f := 0; f < t.features; f++ {
-		l := make([]int32, 0, nLeft)
-		r := make([]int32, 0, m-nLeft)
-		for _, i := range sorted[f] {
+		base := f*st.n + lo
+		col := st.idx[base : base+m]
+		vf := st.vals[base : base+m]
+		lf := st.labs[base : base+m]
+		li, ri := 0, nLeft
+		for p, i := range col {
 			if goesLeft[i] {
-				l = append(l, i)
+				sIdx[li], sVal[li], sLab[li] = i, vf[p], lf[p]
+				li++
 			} else {
-				r = append(r, i)
+				sIdx[ri], sVal[ri], sLab[ri] = i, vf[p], lf[p]
+				ri++
 			}
 		}
-		leftSorted[f] = l
-		rightSorted[f] = r
-		sorted[f] = nil // release the parent's column early
+		copy(col, sIdx)
+		copy(vf, sVal)
+		copy(lf, sLab)
 	}
+	bestDecrease := (bestScore - float64(sumP)/n) / n
 	t.importance[bestFeature] += bestDecrease * n
 	node.feature = bestFeature
 	node.threshold = bestThreshold
-	node.left = t.grow(X, y, leftSorted, depth+1)
-	node.right = t.grow(X, y, rightSorted, depth+1)
+	node.left = t.grow(st, lo, lo+nLeft, depth+1)
+	node.right = t.grow(st, lo+nLeft, hi, depth+1)
 	return node
 }
 

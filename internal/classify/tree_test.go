@@ -218,3 +218,84 @@ func TestTreeDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// FitSubset (the cross-validation fast path) must fit the same tree
+// Fit would fit on the materialized subset: sort-tie order differs
+// between the two paths, but ties never change the chosen splits.
+func TestFitSubsetMatchesFitOnMaterializedSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		n, d := 120+rng.Intn(80), 3+rng.Intn(8)
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = make([]float64, d)
+			for j := range X[i] {
+				// Quantized values so ties are common.
+				X[i][j] = float64(rng.Intn(6))
+			}
+			y[i] = rng.Intn(4)
+		}
+		ord, err := NewColumnOrder(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []int
+		var subX [][]float64
+		var subY []int
+		for i := range X {
+			if rng.Float64() < 0.8 {
+				rows = append(rows, i)
+				subX = append(subX, X[i])
+				subY = append(subY, y[i])
+			}
+		}
+		direct := NewDecisionTree(TreeOptions{MaxDepth: 6})
+		if err := direct.Fit(subX, subY); err != nil {
+			t.Fatal(err)
+		}
+		viaOrd := NewDecisionTree(TreeOptions{MaxDepth: 6})
+		if err := viaOrd.FitSubset(X, y, rows, ord); err != nil {
+			t.Fatal(err)
+		}
+		if direct.Depth() != viaOrd.Depth() || direct.NumLeaves() != viaOrd.NumLeaves() {
+			t.Fatalf("trial %d: shape differs: depth %d/%d leaves %d/%d", trial,
+				direct.Depth(), viaOrd.Depth(), direct.NumLeaves(), viaOrd.NumLeaves())
+		}
+		for i := range X {
+			if a, b := direct.Predict(X[i]), viaOrd.Predict(X[i]); a != b {
+				t.Fatalf("trial %d row %d: Predict %d vs %d", trial, i, a, b)
+			}
+		}
+	}
+}
+
+func TestFitSubsetErrors(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{0, 1, 0}
+	ord, err := NewColumnOrder(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewDecisionTree(TreeOptions{})
+	if err := tr.FitSubset(X, y, nil, ord); err == nil {
+		t.Error("accepted empty subset")
+	}
+	if err := tr.FitSubset(X, y, []int{5}, ord); err == nil {
+		t.Error("accepted out-of-range row")
+	}
+	if err := tr.FitSubset(X, y, []int{0, 0}, ord); err == nil {
+		t.Error("accepted duplicate rows (would train on phantom zero samples)")
+	}
+	if err := tr.FitSubset(X, y[:2], []int{0}, ord); err == nil {
+		t.Error("accepted label/row mismatch")
+	}
+	other := [][]float64{{1}, {2}}
+	if err := tr.FitSubset(other, []int{0, 1}, []int{0}, ord); err == nil {
+		t.Error("accepted mismatched ColumnOrder")
+	}
+	// nil ord builds one internally.
+	if err := tr.FitSubset(X, y, []int{0, 1, 2}, nil); err != nil {
+		t.Errorf("nil ord: %v", err)
+	}
+}

@@ -1,12 +1,58 @@
 // Package cluster implements the center-based clustering algorithms
-// used by ADA-HEALTH: K-means with k-means++ seeding, in both the
-// classic Lloyd formulation and the kd-tree filtering formulation of
-// Kanungo et al. (the paper's reference [3]), plus bisecting K-means.
+// used by ADA-HEALTH: K-means with k-means++ seeding, in the classic
+// Lloyd formulation, the kd-tree filtering formulation of Kanungo et
+// al. (the paper's reference [3]), and a sparse-aware parallel kernel
+// tuned for the VSM patient matrices, plus bisecting K-means.
+//
+// # Sparse kernel design
+//
+// VSM patient vectors are inherently sparse exam histories, so the
+// hot assignment step stores the data as a CSR matrix (vec.CSRMatrix:
+// flat contiguous Values/ColIdx/RowPtr arrays with cached per-row
+// squared norms) and scores each point against each centroid through
+// the identity
+//
+//	‖x−c‖² = ‖x‖² + ‖c‖² − 2⟨x,c⟩
+//
+// ‖x‖² is cached once per run, ‖c‖² once per iteration, and ⟨x,c⟩ is
+// a sparse dot product, so one assignment costs O(K·nnz(x)) instead
+// of O(K·d). The argmin scans centroids in index order with a strict
+// "<" comparison — the same tie-breaking as the dense kernel.
+//
+// # Parallelism and determinism
+//
+// The label scan is fanned out across a chunked goroutine pool
+// (Options.Parallelism workers; each worker owns a contiguous row
+// range and a private partial counts vector, merged at a barrier).
+// Labels depend only on (row, centroids), and integer count merging
+// is order-independent, so the scan is deterministic for any worker
+// count. The centroid sums are then accumulated in a single O(nnz)
+// pass in row order — deliberately not per-worker — because
+// floating-point addition is non-associative: chunked partial sums
+// would change the reduction order and hence the low-order bits of
+// the centroids across worker counts. The reduction is O(nnz), a 1/K
+// share of the assignment work, so Amdahl losses stay small.
+//
+// Determinism comes in two strengths. Across worker counts the
+// guarantee is unconditional: labels depend only on (row, centroids)
+// and the reduction order is fixed, so every Parallelism value yields
+// bit-for-bit the same model. Against serial dense Lloyd the kernel
+// is bit-for-bit identical (same Labels, SSE, Iterations — seeding,
+// empty-cluster repair, convergence test and the final SSE pass all
+// share the dense code paths) whenever every point's winning-centroid
+// margin exceeds the rounding error of the norm identity, which holds
+// for the unit-norm VSM rows and generally for well-scaled data (the
+// property tests exercise random sparse/dense inputs). The caveat is
+// catastrophic cancellation: when ‖x‖ ≈ ‖c‖ ≫ ‖x−c‖ (e.g. raw
+// coordinates around 1e8), the identity can round a near-tied argmin
+// the other way and the two kernels may drift apart; force DenseLloyd
+// if exact parity on such data matters more than speed.
 package cluster
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"adahealth/internal/kdtree"
 	"adahealth/internal/vec"
@@ -16,10 +62,18 @@ import (
 type Algorithm int
 
 const (
-	// Lloyd is the classic O(n·K·d) per-iteration algorithm.
+	// Lloyd is the classic O(n·K·d) per-iteration algorithm. It
+	// auto-routes to the sparse kernel when the data is sparse enough
+	// for it to pay (or when a prebuilt CSR view is supplied); the
+	// result is bit-for-bit identical either way for well-scaled data
+	// (see the package comment for the cancellation caveat).
 	Lloyd Algorithm = iota
 	// Filtering is the kd-tree filtering algorithm of Kanungo et al.
 	Filtering
+	// DenseLloyd forces the dense serial assignment step.
+	DenseLloyd
+	// SparseLloyd forces the sparse-aware parallel kernel.
+	SparseLloyd
 )
 
 func (a Algorithm) String() string {
@@ -28,6 +82,10 @@ func (a Algorithm) String() string {
 		return "lloyd"
 	case Filtering:
 		return "filtering"
+	case DenseLloyd:
+		return "dense-lloyd"
+	case SparseLloyd:
+		return "sparse-lloyd"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -65,8 +123,14 @@ type Options struct {
 	Algorithm Algorithm
 	LeafSize  int // kd-tree leaf size for Filtering; default kdtree.DefaultLeafSize
 
+	// Parallelism bounds the worker goroutines of the sparse parallel
+	// assignment step: 0 uses all cores (runtime.GOMAXPROCS(0)), 1 is
+	// serial. The result is identical for every value (see the package
+	// comment).
+	Parallelism int
+
 	// InitialCentroids, when non-nil, bypasses seeding (used by tests
-	// and by the Lloyd-vs-Filtering equivalence property).
+	// and by the kernel-equivalence properties).
 	InitialCentroids [][]float64
 }
 
@@ -76,6 +140,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tolerance <= 0 {
 		o.Tolerance = 1e-8
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -89,12 +156,76 @@ type Result struct {
 	SSE        float64
 	Iterations int
 	Converged  bool
-	Algorithm  string
+	// Algorithm names the assignment kernel that actually ran
+	// ("lloyd", "sparse-lloyd", "filtering", ...).
+	Algorithm string
+}
+
+// sparseAutoThreshold is the density at or below which plain Lloyd
+// auto-routes to the sparse kernel; above it the dense scan's simpler
+// inner loop wins.
+const sparseAutoThreshold = 0.5
+
+// SparseProfitable reports whether the sparse kernel is expected to
+// beat the dense scan for a dataset of the given shape and density.
+// Callers holding a prebuilt CSR view (e.g. vsm.Matrix.Sparse) use it
+// to decide whether to hand the view to KMeansCSR.
+func SparseProfitable(rows, cols int, density float64) bool {
+	return cols >= 8 && rows >= 32 && density <= sparseAutoThreshold
+}
+
+// AutoCSR scans data and returns a fresh CSR view when
+// SparseProfitable says the sparse kernel will pay, else nil. The nil
+// result is accepted by KMeansCSR, which then falls back to the
+// dense-data entry point, so call sites stay uniform.
+func AutoCSR(data [][]float64) *vec.CSRMatrix {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil
+	}
+	nnz := 0
+	for _, row := range data {
+		for _, v := range row {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	if !SparseProfitable(len(data), len(data[0]), float64(nnz)/float64(len(data)*len(data[0]))) {
+		return nil
+	}
+	return vec.NewCSRFromDense(data)
 }
 
 // KMeans clusters data into opts.K groups. Data must be non-empty and
 // rectangular, with opts.K in [1, len(data)].
 func KMeans(data [][]float64, opts Options) (*Result, error) {
+	return run(data, nil, opts)
+}
+
+// KMeansCSR is KMeans over a prebuilt sparse view, so repeated runs on
+// the same matrix (e.g. the Table I K sweep) share one CSR build.
+// dense, when non-nil, must be the dense view of m; it is used by the
+// cold paths (seeding, empty-cluster repair, final SSE) so that
+// results stay bit-for-bit identical to dense serial Lloyd. A nil
+// dense is materialized once from m.
+func KMeansCSR(m *vec.CSRMatrix, dense [][]float64, opts Options) (*Result, error) {
+	if m == nil {
+		if dense == nil {
+			return nil, fmt.Errorf("cluster: KMeansCSR needs a CSR view or dense rows")
+		}
+		return KMeans(dense, opts)
+	}
+	if dense == nil {
+		dense = m.Dense()
+	}
+	if len(dense) != m.NumRows() {
+		return nil, fmt.Errorf("cluster: dense view has %d rows, CSR has %d",
+			len(dense), m.NumRows())
+	}
+	return run(dense, m, opts)
+}
+
+func run(data [][]float64, csr *vec.CSRMatrix, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := len(data)
 	if n == 0 {
@@ -108,6 +239,9 @@ func KMeans(data [][]float64, opts Options) (*Result, error) {
 	}
 	if opts.K < 1 || opts.K > n {
 		return nil, fmt.Errorf("cluster: K=%d outside [1,%d]", opts.K, n)
+	}
+	if csr != nil && csr.NumCols() != d {
+		return nil, fmt.Errorf("cluster: CSR has %d cols, dense view has %d", csr.NumCols(), d)
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -132,6 +266,27 @@ func KMeans(data [][]float64, opts Options) (*Result, error) {
 		centroids = kmeansPPInit(data, opts.K, rng)
 	}
 
+	// Select the assignment kernel.
+	useSparse := false
+	switch opts.Algorithm {
+	case SparseLloyd:
+		useSparse = true
+	case Lloyd:
+		if csr != nil {
+			useSparse = true
+		} else {
+			nnz := 0
+			for _, row := range data {
+				for _, v := range row {
+					if v != 0 {
+						nnz++
+					}
+				}
+			}
+			useSparse = SparseProfitable(n, d, float64(nnz)/float64(n*d))
+		}
+	}
+
 	var tree *kdtree.Tree
 	if opts.Algorithm == Filtering {
 		var err error
@@ -139,6 +294,13 @@ func KMeans(data [][]float64, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: building kd-tree: %w", err)
 		}
+	}
+	var sk *sparseKernel
+	if useSparse {
+		if csr == nil {
+			csr = vec.NewCSRFromDense(data)
+		}
+		sk = newSparseKernel(csr, opts.K, opts.Parallelism)
 	}
 
 	labels := make([]int, n)
@@ -148,14 +310,27 @@ func KMeans(data [][]float64, opts Options) (*Result, error) {
 		sums[i] = make([]float64, d)
 	}
 
-	res := &Result{K: opts.K, Algorithm: opts.Algorithm.String()}
+	algo := opts.Algorithm.String()
+	switch {
+	case opts.Algorithm == Filtering:
+		// keep
+	case sk != nil:
+		algo = SparseLloyd.String()
+	default:
+		algo = Lloyd.String()
+	}
+
+	res := &Result{K: opts.K, Algorithm: algo}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iterations = iter + 1
 
 		// Assignment step.
-		if opts.Algorithm == Filtering {
+		switch {
+		case opts.Algorithm == Filtering:
 			tree.FilterStep(centroids, labels, sums, counts)
-		} else {
+		case sk != nil:
+			sk.assign(centroids, labels, sums, counts)
+		default:
 			for i := range sums {
 				for j := range sums[i] {
 					sums[i][j] = 0
@@ -170,44 +345,73 @@ func KMeans(data [][]float64, opts Options) (*Result, error) {
 			}
 		}
 
-		// Update step, with empty-cluster repair: an empty cluster is
-		// reseeded at the point currently farthest from its centroid.
-		moved := 0.0
-		for c := 0; c < opts.K; c++ {
-			if counts[c] == 0 {
-				far := farthestPoint(data, centroids, labels)
-				delta := vec.Euclidean(centroids[c], data[far])
-				copy(centroids[c], data[far])
-				if delta > moved {
-					moved = delta
-				}
-				continue
-			}
-			prev := vec.Clone(centroids[c])
-			for j := 0; j < d; j++ {
-				centroids[c][j] = sums[c][j] / float64(counts[c])
-			}
-			if delta := vec.Euclidean(prev, centroids[c]); delta > moved {
-				moved = delta
-			}
-		}
-		if moved <= opts.Tolerance {
+		if moved := updateCentroids(data, centroids, labels, sums, counts); moved <= opts.Tolerance {
 			res.Converged = true
 			break
 		}
 	}
 
-	// Final assignment against the converged centroids, plus SSE.
+	// Final assignment against the converged centroids, plus SSE. The
+	// sparse kernel computes the argmin; the distance itself is always
+	// recomputed densely so the SSE matches serial dense Lloyd exactly.
 	res.Centroids = centroids
 	res.Labels = make([]int, n)
 	res.Sizes = make([]int, opts.K)
-	for i, x := range data {
-		c, dist := vec.ArgMinDistance(x, centroids)
-		res.Labels[i] = c
-		res.Sizes[c]++
-		res.SSE += dist
+	if sk != nil {
+		sk.assignLabels(centroids, res.Labels)
+		for i, x := range data {
+			c := res.Labels[i]
+			res.Sizes[c]++
+			res.SSE += vec.SquaredEuclidean(x, centroids[c])
+		}
+	} else {
+		for i, x := range data {
+			c, dist := vec.ArgMinDistance(x, centroids)
+			res.Labels[i] = c
+			res.Sizes[c]++
+			res.SSE += dist
+		}
 	}
 	return res, nil
+}
+
+// updateCentroids recomputes each centroid from the accumulated
+// sums/counts and returns the largest centroid movement. An empty
+// cluster is reseeded at the point currently farthest from its
+// assigned centroid; the point is claimed immediately (its label,
+// counts and sum contributions move to the repaired cluster) so that
+// a second empty cluster repaired in the same iteration cannot pick
+// the same farthest point.
+func updateCentroids(data, centroids [][]float64, labels []int, sums [][]float64, counts []int) float64 {
+	moved := 0.0
+	for c := range centroids {
+		if counts[c] == 0 {
+			far := farthestPoint(data, centroids, labels)
+			delta := vec.Euclidean(centroids[c], data[far])
+			copy(centroids[c], data[far])
+			old := labels[far]
+			labels[far] = c
+			counts[c] = 1
+			if old != c {
+				counts[old]--
+				for j, v := range data[far] {
+					sums[old][j] -= v
+				}
+			}
+			if delta > moved {
+				moved = delta
+			}
+			continue
+		}
+		prev := vec.Clone(centroids[c])
+		for j := range centroids[c] {
+			centroids[c][j] = sums[c][j] / float64(counts[c])
+		}
+		if delta := vec.Euclidean(prev, centroids[c]); delta > moved {
+			moved = delta
+		}
+	}
+	return moved
 }
 
 // farthestPoint returns the index of the point with the largest
@@ -332,6 +536,7 @@ func BisectingKMeans(data [][]float64, opts Options) (*Result, error) {
 		split, err := KMeans(sub, Options{
 			K: 2, MaxIter: opts.MaxIter, Tolerance: opts.Tolerance,
 			Seed: rng.Int63(), Init: opts.Init, Algorithm: Lloyd,
+			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
 			return nil, err

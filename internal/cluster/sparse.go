@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"sync"
+
+	"adahealth/internal/vec"
+)
+
+// sparseKernel is the sparse-aware parallel assignment step described
+// in the package comment. One kernel is bound to one CSR matrix and
+// reused across iterations; centroids change between calls.
+type sparseKernel struct {
+	m       *vec.CSRMatrix
+	workers int
+
+	cNorm2 []float64 // per-iteration centroid squared norms
+	// partialCounts[w] is worker w's private counts vector, merged at
+	// the barrier (integer addition, so merge order is irrelevant).
+	partialCounts [][]int
+}
+
+func newSparseKernel(m *vec.CSRMatrix, k, workers int) *sparseKernel {
+	if workers < 1 {
+		workers = 1
+	}
+	if n := m.NumRows(); workers > n {
+		workers = n
+	}
+	sk := &sparseKernel{
+		m:             m,
+		workers:       workers,
+		cNorm2:        make([]float64, k),
+		partialCounts: make([][]int, workers),
+	}
+	for w := range sk.partialCounts {
+		sk.partialCounts[w] = make([]int, k)
+	}
+	return sk
+}
+
+// refreshCentroidNorms caches ‖c‖² for every centroid.
+func (sk *sparseKernel) refreshCentroidNorms(centroids [][]float64) {
+	for c, cent := range centroids {
+		s := 0.0
+		for _, v := range cent {
+			s += v * v
+		}
+		sk.cNorm2[c] = s
+	}
+}
+
+// argminRow returns the index of the centroid nearest to row i under
+// the cached-norm identity ‖x−c‖² = ‖x‖² + ‖c‖² − 2⟨x,c⟩, scanning
+// centroids in index order with a strict "<" so ties break exactly
+// like vec.ArgMinDistance.
+func (sk *sparseKernel) argminRow(i int, centroids [][]float64) int {
+	vals, cols := sk.m.RowView(i)
+	xn2 := sk.m.RowNorm2(i)
+	best, bestD := -1, 0.0
+	for c, cent := range centroids {
+		dot := 0.0
+		for p, v := range vals {
+			dot += v * cent[cols[p]]
+		}
+		if d := xn2 + sk.cNorm2[c] - 2*dot; best < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// assignLabels runs only the parallel label scan (no sums/counts) —
+// used for the final assignment pass.
+func (sk *sparseKernel) assignLabels(centroids [][]float64, labels []int) {
+	sk.refreshCentroidNorms(centroids)
+	sk.scan(centroids, labels, nil)
+}
+
+// assign performs one full assignment step: parallel labels and
+// per-worker counts merged at the barrier, then a serial row-order
+// reduction of the centroid sums (see the package comment for why the
+// reduction must be serial to keep bit-for-bit determinism).
+func (sk *sparseKernel) assign(centroids [][]float64, labels []int, sums [][]float64, counts []int) {
+	sk.refreshCentroidNorms(centroids)
+	sk.scan(centroids, labels, sk.partialCounts)
+
+	for c := range counts {
+		counts[c] = 0
+		for w := range sk.partialCounts {
+			counts[c] += sk.partialCounts[w][c]
+		}
+		for j := range sums[c] {
+			sums[c][j] = 0
+		}
+	}
+	// Serial O(nnz) reduction in row order: bit-identical to the dense
+	// kernel's AddTo accumulation because adding an exact zero never
+	// changes an IEEE sum that started at +0.
+	n := sk.m.NumRows()
+	for i := 0; i < n; i++ {
+		dst := sums[labels[i]]
+		vals, cols := sk.m.RowView(i)
+		for p, v := range vals {
+			dst[cols[p]] += v
+		}
+	}
+}
+
+// scan computes labels for every row, fanning contiguous row chunks
+// out across the worker pool. partialCounts, when non-nil, receives
+// per-worker label histograms.
+func (sk *sparseKernel) scan(centroids [][]float64, labels []int, partialCounts [][]int) {
+	n := sk.m.NumRows()
+	if sk.workers == 1 {
+		if partialCounts != nil {
+			pc := partialCounts[0]
+			for c := range pc {
+				pc[c] = 0
+			}
+			for i := 0; i < n; i++ {
+				c := sk.argminRow(i, centroids)
+				labels[i] = c
+				pc[c]++
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			labels[i] = sk.argminRow(i, centroids)
+		}
+		return
+	}
+
+	chunk := (n + sk.workers - 1) / sk.workers
+	var wg sync.WaitGroup
+	for w := 0; w < sk.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			if partialCounts != nil {
+				for c := range partialCounts[w] {
+					partialCounts[w][c] = 0
+				}
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var pc []int
+			if partialCounts != nil {
+				pc = partialCounts[w]
+				for c := range pc {
+					pc[c] = 0
+				}
+			}
+			for i := lo; i < hi; i++ {
+				c := sk.argminRow(i, centroids)
+				labels[i] = c
+				if pc != nil {
+					pc[c]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

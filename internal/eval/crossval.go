@@ -93,6 +93,11 @@ func CrossValidate(factory classify.Factory, X [][]float64, y []int, k int, seed
 	pooled := NewConfusion(classes)
 	res := &CVResult{Folds: k}
 
+	// Classifiers implementing classify.SubsetFitter (the decision
+	// tree) train against one shared presorted view of X instead of
+	// re-sorting a materialized 90% copy for every fold.
+	var ord *classify.ColumnOrder
+
 	inTest := make([]bool, len(X))
 	for f, test := range folds {
 		for i := range inTest {
@@ -101,17 +106,35 @@ func CrossValidate(factory classify.Factory, X [][]float64, y []int, k int, seed
 		for _, i := range test {
 			inTest[i] = true
 		}
-		var trainX [][]float64
-		var trainY []int
-		for i := range X {
-			if !inTest[i] {
-				trainX = append(trainX, X[i])
-				trainY = append(trainY, y[i])
-			}
-		}
 		clf := factory()
-		if err := clf.Fit(trainX, trainY); err != nil {
-			return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
+		if sf, ok := clf.(classify.SubsetFitter); ok {
+			if ord == nil {
+				var err error
+				if ord, err = classify.NewColumnOrder(X); err != nil {
+					return nil, fmt.Errorf("eval: presorting: %w", err)
+				}
+			}
+			trainRows := make([]int, 0, len(X)-len(test))
+			for i := range X {
+				if !inTest[i] {
+					trainRows = append(trainRows, i)
+				}
+			}
+			if err := sf.FitSubset(X, y, trainRows, ord); err != nil {
+				return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
+			}
+		} else {
+			var trainX [][]float64
+			var trainY []int
+			for i := range X {
+				if !inTest[i] {
+					trainX = append(trainX, X[i])
+					trainY = append(trainY, y[i])
+				}
+			}
+			if err := clf.Fit(trainX, trainY); err != nil {
+				return nil, fmt.Errorf("eval: fold %d fit: %w", f, err)
+			}
 		}
 		foldConf := NewConfusion(classes)
 		for _, i := range test {

@@ -215,7 +215,10 @@ func RunTableIOnMatrix(m *vsm.Matrix, cfg TableIConfig) (*TableIResult, error) {
 		}
 	}
 
-	sweep, err := optimize.Sweep(working.Rows, optimize.SweepConfig{
+	// SweepMatrix routes every K evaluation through the sparse K-means
+	// kernel against the working subset's cached CSR view (the VSM
+	// matrix is sparse by construction).
+	sweep, err := optimize.SweepMatrix(working, optimize.SweepConfig{
 		Ks:          ks,
 		CVFolds:     cfg.CVFolds,
 		Seed:        cfg.Seed,

@@ -11,12 +11,15 @@ package optimize
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"adahealth/internal/classify"
 	"adahealth/internal/cluster"
 	"adahealth/internal/eval"
+	"adahealth/internal/vec"
+	"adahealth/internal/vsm"
 )
 
 // SweepConfig configures a parameter sweep.
@@ -32,10 +35,17 @@ type SweepConfig struct {
 	Cluster cluster.Options
 	// Tree configures the robustness-assessment decision tree.
 	Tree classify.TreeOptions
-	// Parallelism bounds concurrent K evaluations; <= 0 uses 4. This
-	// worker pool stands in for the paper's "online cloud-based
-	// services for automatic configuration of data analytics".
+	// Parallelism bounds concurrent K evaluations; <= 0 uses all cores
+	// (runtime.GOMAXPROCS(0)). This worker pool stands in for the
+	// paper's "online cloud-based services for automatic configuration
+	// of data analytics".
 	Parallelism int
+
+	// csr, when non-nil, is a shared sparse view of the data rows (set
+	// by SweepMatrix, or built internally when the data is sparse
+	// enough): every K evaluation then routes through the sparse
+	// K-means kernel against one CSR build.
+	csr *vec.CSRMatrix
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -46,7 +56,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 		c.CVFolds = 10
 	}
 	if c.Parallelism <= 0 {
-		c.Parallelism = 4
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -104,6 +114,12 @@ func Sweep(data [][]float64, cfg SweepConfig) (*SweepResult, error) {
 		}
 	}
 
+	if cfg.csr == nil {
+		// Compress once and share across every K evaluation when the
+		// data is sparse enough for the sparse kernel to pay.
+		cfg.csr = cluster.AutoCSR(data)
+	}
+
 	rows := make([]KResult, len(cfg.Ks))
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
@@ -129,13 +145,34 @@ func Sweep(data [][]float64, cfg SweepConfig) (*SweepResult, error) {
 	return res, nil
 }
 
+// SweepMatrix is Sweep over a VSM matrix, reusing the matrix's cached
+// sparse view (built at most once per matrix) when the sparse kernel
+// is expected to pay.
+func SweepMatrix(m *vsm.Matrix, cfg SweepConfig) (*SweepResult, error) {
+	// Probe density on the dense rows first so a dense matrix never
+	// materializes (and permanently caches) a CSR view it won't use.
+	if cfg.csr == nil && m.NumRows() > 0 &&
+		cluster.SparseProfitable(m.NumRows(), m.NumFeatures(), vec.Density(m.Rows)) {
+		cfg.csr = m.Sparse()
+	}
+	return Sweep(m.Rows, cfg)
+}
+
 // evaluateK runs one clustering + robustness assessment.
 func evaluateK(data [][]float64, k int, cfg SweepConfig) KResult {
 	out := KResult{K: k}
 	opts := cfg.Cluster
 	opts.K = k
 	opts.Seed = cfg.Seed + int64(k)*7919
-	cr, err := cluster.KMeans(data, opts)
+	if opts.Parallelism == 0 && cfg.Parallelism > 1 {
+		// The sweep pool already saturates the cores with concurrent K
+		// evaluations; keep each kernel serial unless explicitly
+		// configured, instead of GOMAXPROCS² goroutines contending
+		// through per-iteration barriers. Results are identical for
+		// any worker count, so this is purely a scheduling choice.
+		opts.Parallelism = 1
+	}
+	cr, err := cluster.KMeansCSR(cfg.csr, data, opts)
 	if err != nil {
 		out.Err = err.Error()
 		return out

@@ -142,8 +142,16 @@ func RunHorizontal(m *vsm.Matrix, cfg Config) (*Result, error) {
 			RowCoverage:   m.CoverageAt(nf),
 			SimilarityByK: map[int]float64{},
 		}
+		// The probe runs at every K share the projection's cached
+		// sparse view (nil when the data is too dense to pay; density
+		// is probed on the dense rows so no unused CSR is built).
+		var csr *vec.CSRMatrix
+		if sub.NumRows() > 0 &&
+			cluster.SparseProfitable(sub.NumRows(), sub.NumFeatures(), vec.Density(sub.Rows)) {
+			csr = sub.Sparse()
+		}
 		for _, k := range cfg.Ks {
-			os, err := probeSimilarity(sub.Rows, m.Rows, k, cfg)
+			os, err := probeSimilarity(csr, sub.Rows, m.Rows, k, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("partial: probing fraction %g at K=%d: %w", frac, k, err)
 			}
@@ -184,11 +192,13 @@ func RunVertical(m *vsm.Matrix, cfg Config) (*Result, error) {
 			RowCoverage:   float64(nr) / float64(m.NumRows()),
 			SimilarityByK: map[int]float64{},
 		}
+		// One CSR build per patient subset, shared by all probed Ks.
+		csr := cluster.AutoCSR(rows)
 		for _, k := range cfg.Ks {
 			if k > nr {
 				continue // cannot form k clusters from fewer rows
 			}
-			os, err := probeSimilarity(rows, m.Rows, k, cfg)
+			os, err := probeSimilarity(csr, rows, m.Rows, k, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("partial: probing fraction %g at K=%d: %w", frac, k, err)
 			}
@@ -208,11 +218,11 @@ func RunVertical(m *vsm.Matrix, cfg Config) (*Result, error) {
 // label. For the vertical strategy the subset is a sample of patients
 // in the full space: the remaining patients are assigned to the
 // nearest learned centroid, the standard out-of-sample extension.
-func probeSimilarity(subsetRows, evalRows [][]float64, k int, cfg Config) (float64, error) {
+func probeSimilarity(csr *vec.CSRMatrix, subsetRows, evalRows [][]float64, k int, cfg Config) (float64, error) {
 	opts := cfg.Cluster
 	opts.K = k
 	opts.Seed = cfg.Seed + int64(k)*1009
-	cr, err := cluster.KMeans(subsetRows, opts)
+	cr, err := cluster.KMeansCSR(csr, subsetRows, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,174 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSRMatrix is a compressed-sparse-row matrix: the nonzeros of row i
+// are Values[RowPtr[i]:RowPtr[i+1]], with their column indices in the
+// parallel ColIdx range. All three arrays are flat and contiguous, so
+// a row scan is a pure linear walk. The squared Euclidean norm of each
+// row is cached at construction; the clustering kernel combines it
+// with per-iteration centroid norms through the identity
+//
+//	‖x−c‖² = ‖x‖² + ‖c‖² − 2⟨x,c⟩
+//
+// so an assignment step costs O(nnz(x)) per centroid instead of O(d).
+type CSRMatrix struct {
+	Cols   int
+	RowPtr []int // len NumRows()+1
+	ColIdx []int32
+	Values []float64
+
+	rowNorm2 []float64 // cached ‖row‖² per row
+}
+
+// Density returns the fraction of nonzero cells in dense rows, in
+// [0,1]. Callers use it to decide whether building a CSR view pays
+// before materializing one.
+func Density(rows [][]float64) float64 {
+	cells, nnz := 0, 0
+	for _, r := range rows {
+		cells += len(r)
+		for _, v := range r {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	if cells == 0 {
+		return 0
+	}
+	return float64(nnz) / float64(cells)
+}
+
+// NewCSRFromDense compresses dense rows (all of equal length) into CSR
+// form. It panics on ragged input, mirroring the dense helpers.
+func NewCSRFromDense(rows [][]float64) *CSRMatrix {
+	cols := 0
+	if len(rows) > 0 {
+		cols = len(rows[0])
+	}
+	nnz := 0
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("vec: NewCSRFromDense row %d has %d cols, want %d", i, len(r), cols))
+		}
+		for _, v := range r {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	m := &CSRMatrix{
+		Cols:     cols,
+		RowPtr:   make([]int, len(rows)+1),
+		ColIdx:   make([]int32, 0, nnz),
+		Values:   make([]float64, 0, nnz),
+		rowNorm2: make([]float64, len(rows)),
+	}
+	for i, r := range rows {
+		n2 := 0.0
+		for j, v := range r {
+			if v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Values = append(m.Values, v)
+				n2 += v * v
+			}
+		}
+		m.RowPtr[i+1] = len(m.Values)
+		m.rowNorm2[i] = n2
+	}
+	return m
+}
+
+// NumRows reports the number of rows.
+func (m *CSRMatrix) NumRows() int { return len(m.RowPtr) - 1 }
+
+// NumCols reports the logical (dense) number of columns.
+func (m *CSRMatrix) NumCols() int { return m.Cols }
+
+// NNZ reports the number of stored nonzeros.
+func (m *CSRMatrix) NNZ() int { return len(m.Values) }
+
+// Density is NNZ over the dense cell count, in [0,1].
+func (m *CSRMatrix) Density() float64 {
+	cells := m.NumRows() * m.Cols
+	if cells == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(cells)
+}
+
+// RowView returns the nonzero values and column indices of row i as
+// shared (read-only) slices into the flat arrays.
+func (m *CSRMatrix) RowView(i int) (vals []float64, cols []int32) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.Values[lo:hi], m.ColIdx[lo:hi]
+}
+
+// RowNorm2 returns the cached squared Euclidean norm of row i.
+func (m *CSRMatrix) RowNorm2(i int) float64 { return m.rowNorm2[i] }
+
+// RowNorm returns the Euclidean norm of row i.
+func (m *CSRMatrix) RowNorm(i int) float64 { return math.Sqrt(m.rowNorm2[i]) }
+
+// DotDense returns ⟨row i, dense⟩. dense must have NumCols entries.
+func (m *CSRMatrix) DotDense(i int, dense []float64) float64 {
+	if len(dense) != m.Cols {
+		panic(fmt.Sprintf("vec: CSRMatrix.DotDense length mismatch %d vs %d", len(dense), m.Cols))
+	}
+	vals, cols := m.RowView(i)
+	s := 0.0
+	for p, v := range vals {
+		s += v * dense[cols[p]]
+	}
+	return s
+}
+
+// DenseRow materializes row i into dst (which must have NumCols
+// entries), zeroing it first, and returns dst. A nil dst allocates.
+func (m *CSRMatrix) DenseRow(i int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Cols)
+	}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("vec: CSRMatrix.DenseRow length mismatch %d vs %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	vals, cols := m.RowView(i)
+	for p, v := range vals {
+		dst[cols[p]] = v
+	}
+	return dst
+}
+
+// Dense materializes the whole matrix as fresh dense rows sharing one
+// contiguous backing array.
+func (m *CSRMatrix) Dense() [][]float64 {
+	n := m.NumRows()
+	rows := make([][]float64, n)
+	backing := make([]float64, n*m.Cols)
+	for i := range rows {
+		rows[i], backing = backing[:m.Cols:m.Cols], backing[m.Cols:]
+		vals, cols := m.RowView(i)
+		for p, v := range vals {
+			rows[i][cols[p]] = v
+		}
+	}
+	return rows
+}
+
+// SparseRow returns row i as a standalone Sparse vector (copies).
+func (m *CSRMatrix) SparseRow(i int) Sparse {
+	vals, cols := m.RowView(i)
+	s := Sparse{Len: m.Cols, Indices: make([]int, len(cols)), Values: make([]float64, len(vals))}
+	for p := range cols {
+		s.Indices[p] = int(cols[p])
+	}
+	copy(s.Values, vals)
+	return s
+}

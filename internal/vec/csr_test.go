@@ -1,0 +1,107 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSparseRows(rng *rand.Rand, n, d int, density float64) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			if rng.Float64() < density {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+	}
+	return rows
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, density := range []float64{0, 0.1, 0.5, 1} {
+		rows := randSparseRows(rng, 17, 9, density)
+		m := NewCSRFromDense(rows)
+		if m.NumRows() != 17 || m.NumCols() != 9 {
+			t.Fatalf("shape = %dx%d", m.NumRows(), m.NumCols())
+		}
+		back := m.Dense()
+		for i := range rows {
+			for j := range rows[i] {
+				if back[i][j] != rows[i][j] {
+					t.Fatalf("density %g: cell (%d,%d) = %v, want %v",
+						density, i, j, back[i][j], rows[i][j])
+				}
+			}
+		}
+		scratch := make([]float64, 9)
+		for i := range rows {
+			got := m.DenseRow(i, scratch)
+			for j := range rows[i] {
+				if got[j] != rows[i][j] {
+					t.Fatalf("DenseRow(%d)[%d] = %v, want %v", i, j, got[j], rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestCSRNormsAndDots(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := randSparseRows(rng, 25, 12, 0.3)
+	m := NewCSRFromDense(rows)
+	dense := make([]float64, 12)
+	for j := range dense {
+		dense[j] = rng.NormFloat64()
+	}
+	for i := range rows {
+		wantN2 := Dot(rows[i], rows[i])
+		if got := m.RowNorm2(i); math.Abs(got-wantN2) > 1e-12 {
+			t.Errorf("RowNorm2(%d) = %v, want %v", i, got, wantN2)
+		}
+		if got, want := m.RowNorm(i), math.Sqrt(wantN2); math.Abs(got-want) > 1e-12 {
+			t.Errorf("RowNorm(%d) = %v, want %v", i, got, want)
+		}
+		wantDot := Dot(rows[i], dense)
+		if got := m.DotDense(i, dense); math.Abs(got-wantDot) > 1e-12 {
+			t.Errorf("DotDense(%d) = %v, want %v", i, got, wantDot)
+		}
+		s := m.SparseRow(i)
+		if got := s.Dot(dense); math.Abs(got-wantDot) > 1e-12 {
+			t.Errorf("SparseRow(%d).Dot = %v, want %v", i, got, wantDot)
+		}
+	}
+}
+
+func TestCSRDensityAndNNZ(t *testing.T) {
+	rows := [][]float64{{1, 0, 0, 2}, {0, 0, 0, 0}, {3, 4, 5, 6}}
+	m := NewCSRFromDense(rows)
+	if m.NNZ() != 6 {
+		t.Errorf("NNZ = %d, want 6", m.NNZ())
+	}
+	if got, want := m.Density(), 6.0/12.0; got != want {
+		t.Errorf("Density = %v, want %v", got, want)
+	}
+	empty := NewCSRFromDense(nil)
+	if empty.NumRows() != 0 || empty.Density() != 0 {
+		t.Errorf("empty CSR: rows=%d density=%v", empty.NumRows(), empty.Density())
+	}
+	// The dense-side probe must agree with the CSR's own density.
+	if got := Density(rows); got != m.Density() {
+		t.Errorf("Density(rows) = %v, want %v", got, m.Density())
+	}
+	if Density(nil) != 0 {
+		t.Errorf("Density(nil) = %v, want 0", Density(nil))
+	}
+}
+
+func TestCSRPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCSRFromDense accepted ragged rows")
+		}
+	}()
+	NewCSRFromDense([][]float64{{1, 2}, {3}})
+}

@@ -9,8 +9,10 @@ package vsm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"adahealth/internal/dataset"
+	"adahealth/internal/vec"
 )
 
 // Weighting selects how raw exam counts are turned into vector entries.
@@ -89,6 +91,9 @@ type Matrix struct {
 	featureFreq  []int       // global record count per feature
 	totalRecords int
 	featureIndex map[string]int
+
+	sparseOnce sync.Once
+	sparse     *vec.CSRMatrix
 }
 
 // Build constructs the VSM matrix for a log.
@@ -291,6 +296,15 @@ func (m *Matrix) Project(n int) *Matrix {
 	}
 	out.Rows = weigh(raw, m.Opts)
 	return out
+}
+
+// Sparse returns the CSR view of Rows, built once on first use and
+// cached (Rows are immutable after Build/Project). The clustering
+// pipeline hands this shared view to the sparse K-means kernel so the
+// whole Table I sweep compresses the matrix exactly once.
+func (m *Matrix) Sparse() *vec.CSRMatrix {
+	m.sparseOnce.Do(func() { m.sparse = vec.NewCSRFromDense(m.Rows) })
+	return m.sparse
 }
 
 // Sparsity returns the fraction of zero cells in the raw count matrix.

@@ -227,3 +227,38 @@ func TestRowSumsMatchRecordCounts(t *testing.T) {
 		t.Errorf("matrix mass = %v, want %d records", total, log.NumRecords())
 	}
 }
+
+func TestSparseViewMatchesRowsAndIsCached(t *testing.T) {
+	log, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(log, Options{Weighting: Count, Normalization: L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := m.Sparse()
+	if csr != m.Sparse() {
+		t.Error("Sparse() rebuilt the CSR view instead of caching it")
+	}
+	if csr.NumRows() != m.NumRows() || csr.NumCols() != m.NumFeatures() {
+		t.Fatalf("CSR shape %dx%d, want %dx%d",
+			csr.NumRows(), csr.NumCols(), m.NumRows(), m.NumFeatures())
+	}
+	back := csr.Dense()
+	for i := range m.Rows {
+		for j := range m.Rows[i] {
+			if back[i][j] != m.Rows[i][j] {
+				t.Fatalf("CSR cell (%d,%d) = %v, want %v", i, j, back[i][j], m.Rows[i][j])
+			}
+		}
+	}
+	// A projection carries its own independent cached view.
+	sub := m.Project(3)
+	if sub.Sparse() == csr {
+		t.Error("projection shares the parent's CSR view")
+	}
+	if sub.Sparse().NumCols() != 3 {
+		t.Errorf("projected CSR cols = %d, want 3", sub.Sparse().NumCols())
+	}
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the root benchmark suite with -benchmem and writes the results
+# to BENCH_<date>.json at the repo root, so the perf trajectory of the
+# Table I sweep is tracked PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                  # default benchmark set, 1 iteration each
+#   BENCHTIME=3x scripts/bench.sh     # more iterations
+#   BENCH='BenchmarkTableI$' scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation|BenchmarkVSMWeighting}"
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_$(date +%F).json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
+
+awk -v date="$(date +%FT%T%z)" -v gover="$(go version)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, gover
+}
+/^cpu:/ { sub(/^cpu:[ \t]*/, ""); cpu = $0 }
+/^Benchmark/ {
+    printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", \
+        (n++ ? "," : ""), $1, $2
+    sep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\": %s", sep, $(i + 1), $i
+        sep = ", "
+    }
+    printf "}}"
+}
+END {
+    printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
