@@ -13,6 +13,15 @@
 //	engine, _ := adahealth.NewEngine(adahealth.DefaultConfig())
 //	report, _ := engine.Analyze(log)
 //	fmt.Println(report.Sweep.BestK)
+//
+// The pipeline executes as a concurrent stage DAG: independent stages
+// (pattern mining, the K sweep, demand extraction, ...) overlap on a
+// bounded worker pool, Engine.AnalyzeContext threads cancellation
+// through every compute kernel, Engine.AnalyzeMany batches several
+// logs over one shared pool, and Report.Stages carries per-stage
+// wall-time/allocation traces (also persisted in the K-DB). Set
+// Config.Sequential for the legacy serial execution, which produces a
+// bit-for-bit identical Report.
 package adahealth
 
 import (
@@ -52,6 +61,8 @@ type (
 	KDB = kdb.KDB
 	// Feedback is one expert judgement stored in the K-DB.
 	Feedback = kdb.Feedback
+	// StageTrace is the recorded execution of one pipeline stage.
+	StageTrace = kdb.StageTrace
 
 	// KnowledgeItem is one unit of extracted knowledge.
 	KnowledgeItem = knowledge.Item

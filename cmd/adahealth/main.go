@@ -7,12 +7,16 @@
 //	adahealth -synthetic                  # analyze a synthetic paper-scale log
 //	adahealth -data dir/                  # analyze CSVs written by datagen
 //	adahealth -kdb kdbdir/ -top 15        # persist the K-DB, show 15 items
+//	adahealth -synthetic -timeout 90s     # bound the analysis wall-clock
+//	adahealth -synthetic -sequential      # legacy serial stage execution
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
@@ -21,12 +25,15 @@ import (
 
 func main() {
 	var (
-		dataDir   = flag.String("data", "", "directory with exams/patients/records CSVs")
-		synthetic = flag.Bool("synthetic", false, "analyze a synthetic paper-scale dataset")
-		small     = flag.Bool("small", false, "with -synthetic: use the small test-scale dataset")
-		kdbDir    = flag.String("kdb", "", "knowledge-base directory (default: in-memory)")
-		seed      = flag.Int64("seed", 1, "seed for data generation and algorithms")
-		top       = flag.Int("top", 10, "number of ranked knowledge items to print")
+		dataDir    = flag.String("data", "", "directory with exams/patients/records CSVs")
+		synthetic  = flag.Bool("synthetic", false, "analyze a synthetic paper-scale dataset")
+		small      = flag.Bool("small", false, "with -synthetic: use the small test-scale dataset")
+		kdbDir     = flag.String("kdb", "", "knowledge-base directory (default: in-memory)")
+		seed       = flag.Int64("seed", 1, "seed for data generation and algorithms")
+		top        = flag.Int("top", 10, "number of ranked knowledge items to print")
+		timeout    = flag.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit)")
+		sequential = flag.Bool("sequential", false, "run pipeline stages serially (legacy execution)")
+		jobs       = flag.Int("jobs", 0, "max concurrently running stages (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -54,17 +61,56 @@ func main() {
 		os.Exit(1)
 	}
 
-	engine, err := core.New(core.Config{KDBDir: *kdbDir, Seed: *seed})
+	engine, err := core.New(core.Config{
+		KDBDir:      *kdbDir,
+		Seed:        *seed,
+		Sequential:  *sequential,
+		Parallelism: *jobs,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adahealth: %v\n", err)
 		os.Exit(1)
 	}
-	rep, err := engine.Analyze(log)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := engine.AnalyzeContext(ctx, log)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adahealth: analysis: %v\n", err)
 		os.Exit(1)
 	}
 	printReport(rep, *top)
+	printStageTimings(rep)
+}
+
+// printStageTimings renders the stage-graph execution trace: per-stage
+// wall time and allocation estimate, plus the observed concurrency.
+func printStageTimings(rep *core.Report) {
+	if len(rep.Stages) == 0 {
+		return
+	}
+	fmt.Println("\n=== Stage timings ===")
+	origin := rep.Stages[0].Start
+	total := time.Duration(0)
+	for _, tr := range rep.Stages {
+		fmt.Printf("%-16s +%-9s %10s  %8.1f MB\n",
+			tr.Stage,
+			tr.Start.Sub(origin).Round(time.Microsecond),
+			tr.Wall().Round(time.Microsecond),
+			float64(tr.AllocBytes)/(1<<20))
+		total += tr.Wall()
+	}
+	wall := rep.Stages[len(rep.Stages)-1].End.Sub(origin)
+	for _, tr := range rep.Stages {
+		if tr.End.Sub(origin) > wall {
+			wall = tr.End.Sub(origin)
+		}
+	}
+	fmt.Printf("stage sum %s, wall clock %s, max %d stages concurrent\n",
+		total.Round(time.Microsecond), wall.Round(time.Microsecond), rep.StageConcurrency)
 }
 
 func printReport(rep *core.Report, top int) {

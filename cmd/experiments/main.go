@@ -6,13 +6,16 @@
 //	experiments -arch            # Figure 1 (architecture)
 //	experiments -all             # everything
 //	experiments -scale small     # fast smoke run
+//	experiments -timeout 2m ...  # bound the whole run
 //
 // The -table1 run at full scale takes a few minutes: it re-runs
 // K-means and a 10-fold cross-validated decision tree for each of the
-// eight K values of Table I on 6,380 patients.
+// eight K values of Table I on 6,380 patients. -timeout cancels the
+// sweep mid-flight through the context threaded into every kernel.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +32,16 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		scale   = flag.String("scale", "full", `dataset scale: "full" (paper) or "small" (smoke)`)
 		seed    = flag.Int64("seed", 1, "generator / algorithm seed")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if !*table1 && !*partial && !*arch && !*all {
 		flag.Usage()
@@ -52,7 +63,7 @@ func main() {
 	}
 	if *partial || *all {
 		start := time.Now()
-		_, res, err := experiments.RunPartial(experiments.PartialConfig{Scale: sc, Seed: *seed})
+		_, res, err := experiments.RunPartial(ctx, experiments.PartialConfig{Scale: sc, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: partial: %v\n", err)
 			os.Exit(1)
@@ -62,7 +73,7 @@ func main() {
 	}
 	if *table1 || *all {
 		start := time.Now()
-		res, err := experiments.RunTableI(experiments.TableIConfig{Scale: sc, Seed: *seed})
+		res, err := experiments.RunTableI(ctx, experiments.TableIConfig{Scale: sc, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: table1: %v\n", err)
 			os.Exit(1)

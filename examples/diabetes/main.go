@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 	// 2. Horizontal partial mining: probe 20%/40%/100% of exam types
 	// (most frequent first) and keep the smallest subset within 5% of
 	// the full-data overall similarity.
-	part, err := partial.RunHorizontal(matrix, partial.Config{Seed: 1})
+	part, err := partial.RunHorizontal(context.Background(), matrix, partial.Config{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func main() {
 
 	// 3. Optimize K: SSE plus decision-tree robustness, 10-fold CV
 	// (the procedure behind Table I).
-	sweep, err := optimize.Sweep(working.Rows, optimize.SweepConfig{Seed: 1})
+	sweep, err := optimize.Sweep(context.Background(), working.Rows, optimize.SweepConfig{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

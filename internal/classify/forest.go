@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 )
 
@@ -18,7 +19,9 @@ type ForestOptions struct {
 	FeatureFraction float64
 	// Seed drives bootstrap sampling and feature bagging.
 	Seed int64
-	// Parallelism bounds concurrent tree fits; <= 0 means 4.
+	// Parallelism bounds concurrent tree fits; <= 0 uses all cores
+	// (runtime.GOMAXPROCS(0)), matching the cluster.Options /
+	// optimize.SweepConfig convention.
 	Parallelism int
 }
 
@@ -26,6 +29,13 @@ type ForestOptions struct {
 // subsampling. It is the natural upgrade of the paper's single
 // decision tree for the cluster-robustness assessment, offered as an
 // ablation of that design choice.
+//
+// The forest implements SubsetFitter: in cross-validation every
+// bootstrap fit derives its sorted columns from the one shared
+// ColumnOrder of the fold matrix (a stable linear filter per tree)
+// instead of materializing and re-sorting a bootstrap copy, with the
+// bootstrap multiset encoded as integer sample weights. The fitted
+// ensemble is identical to the materialize-and-sort path.
 type RandomForest struct {
 	Opts ForestOptions
 
@@ -41,17 +51,68 @@ func NewRandomForest(opts ForestOptions) *RandomForest {
 
 // Fit implements Classifier.
 func (f *RandomForest) Fit(X [][]float64, y []int) error {
-	dim, classes, err := validateXY(X, y)
+	_, classes, err := validateXY(X, y)
 	if err != nil {
 		return err
 	}
+	ord, err := NewColumnOrder(X)
+	if err != nil {
+		return err
+	}
+	rows := make([]int, len(X))
+	for i := range rows {
+		rows[i] = i
+	}
+	return f.fitShared(ord, y, rows, classes)
+}
+
+// FitSubset implements SubsetFitter: it trains the forest on the rows
+// subset of X, bootstrapping within the subset and reusing ord (built
+// once per matrix, e.g. per cross-validation) for every tree.
+func (f *RandomForest) FitSubset(X [][]float64, y []int, rows []int, ord *ColumnOrder) error {
+	if ord == nil {
+		var err error
+		if ord, err = NewColumnOrder(X); err != nil {
+			return err
+		}
+	}
+	if err := checkOrderShape(ord, X); err != nil {
+		return err
+	}
+	if len(y) != len(X) {
+		return fmt.Errorf("classify: %d rows but %d labels", len(X), len(y))
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("classify: empty training subset")
+	}
+	classes := 0
+	for _, r := range rows {
+		if r < 0 || r >= len(y) {
+			return fmt.Errorf("classify: training row %d outside [0,%d)", r, len(y))
+		}
+		if y[r] < 0 {
+			return fmt.Errorf("classify: negative label %d at row %d", y[r], r)
+		}
+		if y[r]+1 > classes {
+			classes = y[r] + 1
+		}
+	}
+	return f.fitShared(ord, y, rows, classes)
+}
+
+// fitShared grows the ensemble over the shared presorted view: per
+// tree, a deterministic RNG draws the feature bag and a bootstrap
+// sample of rows (with replacement, collapsed to multiplicities), and
+// the tree trains through the weighted fitBag fast path.
+func (f *RandomForest) fitShared(ord *ColumnOrder, y []int, rows []int, classes int) error {
 	opts := f.Opts
 	if opts.NumTrees <= 0 {
 		opts.NumTrees = 20
 	}
 	if opts.Parallelism <= 0 {
-		opts.Parallelism = 4
+		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	dim := ord.dim
 	nFeatures := dim
 	if opts.FeatureFraction > 0 {
 		nFeatures = int(opts.FeatureFraction * float64(dim))
@@ -94,20 +155,23 @@ func (f *RandomForest) Fit(X [][]float64, y []int) error {
 			// Feature bag.
 			perm := treeRng.Perm(dim)[:nFeatures]
 			f.features[t] = perm
-			// Bootstrap sample.
-			bootX := make([][]float64, len(X))
-			bootY := make([]int, len(X))
-			for i := range bootX {
-				j := treeRng.Intn(len(X))
-				row := make([]float64, nFeatures)
-				for fi, col := range perm {
-					row[fi] = X[j][col]
+			// Bootstrap sample over the training rows, collapsed to
+			// per-row multiplicities (same RNG draws as materializing
+			// the sample row by row, so models are unchanged).
+			multiplicity := make([]int32, len(rows))
+			for i := 0; i < len(rows); i++ {
+				multiplicity[treeRng.Intn(len(rows))]++
+			}
+			bagRows := make([]int, 0, len(rows))
+			bagWts := make([]int32, 0, len(rows))
+			for li, w := range multiplicity {
+				if w > 0 {
+					bagRows = append(bagRows, rows[li])
+					bagWts = append(bagWts, w)
 				}
-				bootX[i] = row
-				bootY[i] = y[j]
 			}
 			tree := NewDecisionTree(opts.Tree)
-			if err := tree.Fit(bootX, bootY); err != nil {
+			if err := tree.fitBag(ord, y, bagRows, bagWts, perm); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("classify: forest tree %d: %w", t, err)

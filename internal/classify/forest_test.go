@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -94,4 +95,125 @@ func TestForestAsCVFactory(t *testing.T) {
 	// The forest must satisfy the Classifier contract used by
 	// cross-validation in the optimization component.
 	var _ Classifier = NewRandomForest(ForestOptions{})
+}
+
+func TestForestImplementsSubsetFitter(t *testing.T) {
+	var _ SubsetFitter = (*RandomForest)(nil)
+}
+
+// TestForestFitMatchesMaterializedBootstrap replays the forest's exact
+// RNG recipe (per-tree seed → feature bag → bootstrap draws), fits a
+// reference tree per bag on the materialized projected sample with the
+// slow Fit path, and checks the shared-ColumnOrder weighted-bag path
+// produced an identical ensemble — the equivalence claim behind the
+// fast path.
+func TestForestFitMatchesMaterializedBootstrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	X, y := gaussianClasses(rng, 60)
+	opts := ForestOptions{NumTrees: 7, Seed: 5}
+	f := NewRandomForest(opts)
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+
+	dim := len(X[0])
+	nFeatures := int(math.Ceil(math.Sqrt(float64(dim))))
+	seedRng := rand.New(rand.NewSource(opts.Seed))
+	for tr := 0; tr < opts.NumTrees; tr++ {
+		treeRng := rand.New(rand.NewSource(seedRng.Int63()))
+		perm := treeRng.Perm(dim)[:nFeatures]
+		bootX := make([][]float64, len(X))
+		bootY := make([]int, len(X))
+		for i := range bootX {
+			j := treeRng.Intn(len(X))
+			row := make([]float64, nFeatures)
+			for fi, col := range perm {
+				row[fi] = X[j][col]
+			}
+			bootX[i] = row
+			bootY[i] = y[j]
+		}
+		ref := NewDecisionTree(opts.Tree)
+		if err := ref.Fit(bootX, bootY); err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range X {
+			proj := make([]float64, 0, nFeatures)
+			for _, col := range perm {
+				proj = append(proj, x[col])
+			}
+			if got, want := f.trees[tr].Predict(proj), ref.Predict(proj); got != want {
+				t.Fatalf("tree %d row %d: bag fit predicts %d, materialized fit %d",
+					tr, i, got, want)
+			}
+		}
+	}
+}
+
+// TestForestFitSubsetMatchesFitOnSubset checks the SubsetFitter
+// contract: training on a row subset through the shared presorted view
+// is the same model as materializing the subset matrix and calling
+// Fit.
+func TestForestFitSubsetMatchesFitOnSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	X, y := gaussianClasses(rng, 70)
+	rows := []int{0, 2, 3, 5, 8, 13, 21, 30, 31, 32, 40, 44, 45, 50, 51, 52, 60, 61, 65, 69}
+
+	ord, err := NewColumnOrder(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewRandomForest(ForestOptions{NumTrees: 9, Seed: 11})
+	if err := sub.FitSubset(X, y, rows, ord); err != nil {
+		t.Fatal(err)
+	}
+
+	subX := make([][]float64, len(rows))
+	subY := make([]int, len(rows))
+	for i, r := range rows {
+		subX[i] = X[r]
+		subY[i] = y[r]
+	}
+	ref := NewRandomForest(ForestOptions{NumTrees: 9, Seed: 11})
+	if err := ref.Fit(subX, subY); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if sub.Predict(x) != ref.Predict(x) {
+			t.Fatal("FitSubset model differs from Fit on the materialized subset")
+		}
+	}
+}
+
+func TestForestFitSubsetErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	X, y := gaussianClasses(rng, 20)
+	f := NewRandomForest(ForestOptions{NumTrees: 2, Seed: 1})
+	if err := f.FitSubset(X, y, nil, nil); err == nil {
+		t.Error("accepted empty subset")
+	}
+	if err := f.FitSubset(X, y, []int{0, 99}, nil); err == nil {
+		t.Error("accepted out-of-range row")
+	}
+	ord, _ := NewColumnOrder(X[:10])
+	if err := f.FitSubset(X, y, []int{0, 1}, ord); err == nil {
+		t.Error("accepted mismatched ColumnOrder")
+	}
+}
+
+func TestFitSubsetEmptyMatrixErrorsNotPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	X, _ := gaussianClasses(rng, 10)
+	ord, err := NewColumnOrder(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty matrix with a populated ColumnOrder must be rejected
+	// with an error, not an index panic from the shape message.
+	if err := NewRandomForest(ForestOptions{}).FitSubset(nil, nil, []int{0}, ord); err == nil {
+		t.Error("forest accepted empty matrix with non-empty ColumnOrder")
+	}
+	if err := NewDecisionTree(TreeOptions{}).FitSubset(nil, nil, []int{0}, ord); err == nil {
+		t.Error("tree accepted empty matrix with non-empty ColumnOrder")
+	}
 }

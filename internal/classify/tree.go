@@ -52,6 +52,7 @@ type DecisionTree struct {
 	scratchIdx []int32
 	scratchVal []float64
 	scratchLab []int32
+	scratchWts []int32
 }
 
 // fitState is the whole training set in column-sorted form, shared by
@@ -64,11 +65,20 @@ type DecisionTree struct {
 // three flat, pointer-free arrays makes the split scan a pure
 // sequential walk (no per-sample pointer chase into the row-major X)
 // and avoids any per-node slice allocation the GC would have to scan.
+//
+// wts, when non-nil, carries integer sample multiplicities parallel to
+// labs (the bootstrap-bag fast path): a sample of weight w behaves
+// exactly like w adjacent copies in the sorted columns — copies share
+// the feature value, so no split can fall between them and the grown
+// tree is identical to fitting the materialized multiset. nil means
+// unit weights (the Fit / FitSubset path pays nothing for the
+// generality beyond a predictable nil check).
 type fitState struct {
 	n    int
 	idx  []int32
 	vals []float64
 	labs []int32
+	wts  []int32
 }
 
 type treeNode struct {
@@ -156,6 +166,21 @@ type SubsetFitter interface {
 	FitSubset(X [][]float64, y []int, rows []int, ord *ColumnOrder) error
 }
 
+// checkOrderShape rejects a ColumnOrder built for a different matrix.
+// The column count is read defensively so an empty X yields an error,
+// not an index panic.
+func checkOrderShape(ord *ColumnOrder, X [][]float64) error {
+	cols := 0
+	if len(X) > 0 {
+		cols = len(X[0])
+	}
+	if ord.rows != len(X) || (len(X) > 0 && ord.dim != cols) {
+		return fmt.Errorf("classify: ColumnOrder shape %dx%d does not match matrix %dx%d",
+			ord.rows, ord.dim, len(X), cols)
+	}
+	return nil
+}
+
 // Fit implements Classifier.
 func (t *DecisionTree) Fit(X [][]float64, y []int) error {
 	dim, classes, err := validateXY(X, y)
@@ -184,9 +209,8 @@ func (t *DecisionTree) FitSubset(X [][]float64, y []int, rows []int, ord *Column
 			return err
 		}
 	}
-	if ord.rows != len(X) || (len(X) > 0 && ord.dim != len(X[0])) {
-		return fmt.Errorf("classify: ColumnOrder shape %dx%d does not match matrix %dx%d",
-			ord.rows, ord.dim, len(X), len(X[0]))
+	if err := checkOrderShape(ord, X); err != nil {
+		return err
 	}
 	if len(y) != len(X) {
 		return fmt.Errorf("classify: %d rows but %d labels", len(X), len(y))
@@ -260,6 +284,97 @@ func (t *DecisionTree) fitOrdered(ord *ColumnOrder, y []int, rows []int, dim, cl
 	return nil
 }
 
+// fitBag trains on a weighted row multiset over a feature subset of a
+// presorted matrix — the random-forest fast path. rows lists distinct
+// full-matrix row indices, weights[i] > 0 is the bootstrap
+// multiplicity of rows[i], and feats names the bagged feature columns
+// of ord. The fitted tree lives in the bag's local feature space
+// (node features index into feats), exactly as if the caller had
+// materialized the bootstrap sample with projected columns and called
+// Fit — but the sorted columns are derived from ord with a stable
+// linear filter instead of an O(n log n) sort per tree, and the
+// multiset is encoded as integer sample weights instead of copied
+// rows.
+func (t *DecisionTree) fitBag(ord *ColumnOrder, y []int, rows []int, weights []int32, feats []int) error {
+	if ord == nil {
+		return fmt.Errorf("classify: fitBag needs a presorted view")
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("classify: empty training bag")
+	}
+	if len(weights) != len(rows) {
+		return fmt.Errorf("classify: %d weights for %d rows", len(weights), len(rows))
+	}
+	if len(feats) == 0 {
+		return fmt.Errorf("classify: empty feature bag")
+	}
+	classes := 0
+	for li, r := range rows {
+		if r < 0 || r >= ord.rows {
+			return fmt.Errorf("classify: training row %d outside [0,%d)", r, ord.rows)
+		}
+		if weights[li] <= 0 {
+			return fmt.Errorf("classify: non-positive weight %d for row %d", weights[li], r)
+		}
+		if y[r] < 0 {
+			return fmt.Errorf("classify: negative label %d at row %d", y[r], r)
+		}
+		if y[r]+1 > classes {
+			classes = y[r] + 1
+		}
+	}
+	for _, f := range feats {
+		if f < 0 || f >= ord.dim {
+			return fmt.Errorf("classify: bagged feature %d outside [0,%d)", f, ord.dim)
+		}
+	}
+
+	t.Opts = t.Opts.withDefaults()
+	t.classes = classes
+	t.features = len(feats)
+	t.importance = make([]float64, len(feats))
+	n := len(rows)
+	t.goesLeft = make([]bool, n)
+	t.scratchIdx = make([]int32, n)
+	t.scratchVal = make([]float64, n)
+	t.scratchLab = make([]int32, n)
+	t.scratchWts = make([]int32, n)
+
+	dim := len(feats)
+	st := &fitState{
+		n:    n,
+		idx:  make([]int32, n*dim),
+		vals: make([]float64, n*dim),
+		labs: make([]int32, n*dim),
+		wts:  make([]int32, n*dim),
+	}
+	mark := make([]int32, ord.rows)
+	for local, r := range rows {
+		if mark[r] != 0 {
+			return fmt.Errorf("classify: duplicate training row %d (bag multiplicity belongs in weights)", r)
+		}
+		mark[r] = int32(local) + 1
+	}
+	for fi, f := range feats {
+		fullOrd := ord.order[f*ord.rows : (f+1)*ord.rows]
+		fullVals := ord.vals[f*ord.rows : (f+1)*ord.rows]
+		base := fi * n
+		pos := 0
+		for p, i := range fullOrd {
+			if li := mark[i]; li != 0 {
+				st.idx[base+pos] = li - 1
+				st.vals[base+pos] = fullVals[p]
+				st.labs[base+pos] = int32(y[i])
+				st.wts[base+pos] = weights[li-1]
+				pos++
+			}
+		}
+	}
+	t.root = t.grow(st, 0, n, 0)
+	t.goesLeft, t.scratchIdx, t.scratchVal, t.scratchLab, t.scratchWts = nil, nil, nil, nil, nil
+	return nil
+}
+
 // gini returns the Gini impurity of a class histogram with n samples.
 func gini(counts []int, n int) float64 {
 	if n == 0 {
@@ -284,20 +399,33 @@ func argmax(h []int) int {
 }
 
 // grow builds the subtree for the samples held in the [lo, hi)
-// subrange of every feature segment of st.
+// subrange of every feature segment of st. All sample-count arithmetic
+// is in weighted units (weight 1 per sample when st.wts is nil), so a
+// weighted bag grows the same tree a materialized multiset would.
 func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
 	m := hi - lo
 	counts := make([]int, t.classes)
-	for _, yc := range st.labs[lo:hi] {
-		counts[yc]++
+	W := m // total weighted samples in the node
+	if st.wts == nil {
+		for _, yc := range st.labs[lo:hi] {
+			counts[yc]++
+		}
+	} else {
+		W = 0
+		wf := st.wts[lo:hi]
+		for p, yc := range st.labs[lo:hi] {
+			w := int(wf[p])
+			counts[yc] += w
+			W += w
+		}
 	}
 	node := &treeNode{
 		prediction: argmax(counts),
 		counts:     counts,
-		samples:    m,
+		samples:    W,
 	}
-	imp := gini(counts, m)
-	if imp == 0 || depth >= t.Opts.MaxDepth || m < t.Opts.MinSamplesSplit {
+	imp := gini(counts, W)
+	if imp == 0 || depth >= t.Opts.MaxDepth || W < t.Opts.MinSamplesSplit {
 		return node
 	}
 
@@ -318,7 +446,7 @@ func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
 	// would, and the MinImpurityDecrease gate becomes a score floor.
 	bestFeature, bestThreshold := -1, 0.0
 	bestScore := math.Inf(-1)
-	n := float64(m)
+	n := float64(W)
 	var sumP int64
 	for _, c := range counts {
 		sumP += int64(c) * int64(c)
@@ -333,23 +461,34 @@ func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
 		if vf[0] == vf[m-1] {
 			continue // feature constant within the node: no valid split
 		}
+		var wf []int32
+		if st.wts != nil {
+			wf = st.wts[base : base+m]
+		}
 		for c := range leftCounts {
 			leftCounts[c] = 0
 		}
 		sumL, sumR := int64(0), sumP
+		nLeft := 0 // weighted samples left of the boundary
 		for i := 0; i < m-1; i++ {
 			yc := lf[i]
+			w := int64(1)
+			if wf != nil {
+				w = int64(wf[i])
+			}
+			// Moving w samples of class yc across the boundary changes
+			// Σ_c left² by w·(2l+w) and the right sum by −w·(2r−w).
 			l := int64(leftCounts[yc])
 			r := int64(counts[yc]) - l
-			sumL += 2*l + 1
-			sumR -= 2*r - 1
-			leftCounts[yc]++
+			sumL += w * (2*l + w)
+			sumR -= w * (2*r - w)
+			leftCounts[yc] += int(w)
+			nLeft += int(w)
 			v, next := vf[i], vf[i+1]
 			if v == next {
 				continue // can't split between equal values
 			}
-			nLeft := i + 1
-			nRight := m - nLeft
+			nRight := W - nLeft
 			if nLeft < t.Opts.MinSamplesLeaf || nRight < t.Opts.MinSamplesLeaf {
 				continue
 			}
@@ -372,44 +511,59 @@ func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
 	// slices are shared: only this node's sample entries are read, and
 	// all of them are written first.
 	goesLeft := t.goesLeft
-	nLeft := 0
+	nLeftPos := 0 // child boundary is in sample positions, not weights
 	bfBase := bestFeature*st.n + lo
 	for p, i := range st.idx[bfBase : bfBase+m] {
 		l := st.vals[bfBase+p] <= bestThreshold
 		goesLeft[i] = l
 		if l {
-			nLeft++
+			nLeftPos++
 		}
 	}
-	if nLeft == 0 || nLeft == m {
+	if nLeftPos == 0 || nLeftPos == m {
 		return node // numerically degenerate split
 	}
 	sIdx, sVal, sLab := t.scratchIdx[:m], t.scratchVal[:m], t.scratchLab[:m]
+	var sWts []int32
+	if st.wts != nil {
+		sWts = t.scratchWts[:m]
+	}
 	for f := 0; f < t.features; f++ {
 		base := f*st.n + lo
 		col := st.idx[base : base+m]
 		vf := st.vals[base : base+m]
 		lf := st.labs[base : base+m]
-		li, ri := 0, nLeft
+		var wfSeg []int32
+		if st.wts != nil {
+			wfSeg = st.wts[base : base+m]
+		}
+		li, ri := 0, nLeftPos
 		for p, i := range col {
+			to := ri
 			if goesLeft[i] {
-				sIdx[li], sVal[li], sLab[li] = i, vf[p], lf[p]
+				to = li
 				li++
 			} else {
-				sIdx[ri], sVal[ri], sLab[ri] = i, vf[p], lf[p]
 				ri++
+			}
+			sIdx[to], sVal[to], sLab[to] = i, vf[p], lf[p]
+			if wfSeg != nil {
+				sWts[to] = wfSeg[p]
 			}
 		}
 		copy(col, sIdx)
 		copy(vf, sVal)
 		copy(lf, sLab)
+		if wfSeg != nil {
+			copy(wfSeg, sWts)
+		}
 	}
 	bestDecrease := (bestScore - float64(sumP)/n) / n
 	t.importance[bestFeature] += bestDecrease * n
 	node.feature = bestFeature
 	node.threshold = bestThreshold
-	node.left = t.grow(st, lo, lo+nLeft, depth+1)
-	node.right = t.grow(st, lo+nLeft, hi, depth+1)
+	node.left = t.grow(st, lo, lo+nLeftPos, depth+1)
+	node.right = t.grow(st, lo+nLeftPos, hi, depth+1)
 	return node
 }
 

@@ -50,6 +50,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -199,7 +200,14 @@ func AutoCSR(data [][]float64) *vec.CSRMatrix {
 // KMeans clusters data into opts.K groups. Data must be non-empty and
 // rectangular, with opts.K in [1, len(data)].
 func KMeans(data [][]float64, opts Options) (*Result, error) {
-	return run(data, nil, opts)
+	return run(context.Background(), data, nil, opts)
+}
+
+// KMeansContext is KMeans under a context: the iteration loop checks
+// ctx between Lloyd iterations and returns ctx.Err() (unwrapped, so
+// errors.Is works) as soon as the context is cancelled or times out.
+func KMeansContext(ctx context.Context, data [][]float64, opts Options) (*Result, error) {
+	return run(ctx, data, nil, opts)
 }
 
 // KMeansCSR is KMeans over a prebuilt sparse view, so repeated runs on
@@ -209,11 +217,17 @@ func KMeans(data [][]float64, opts Options) (*Result, error) {
 // results stay bit-for-bit identical to dense serial Lloyd. A nil
 // dense is materialized once from m.
 func KMeansCSR(m *vec.CSRMatrix, dense [][]float64, opts Options) (*Result, error) {
+	return KMeansCSRContext(context.Background(), m, dense, opts)
+}
+
+// KMeansCSRContext is KMeansCSR with cancellation, the entry point the
+// pipeline's sweep and partial-mining stages use.
+func KMeansCSRContext(ctx context.Context, m *vec.CSRMatrix, dense [][]float64, opts Options) (*Result, error) {
 	if m == nil {
 		if dense == nil {
 			return nil, fmt.Errorf("cluster: KMeansCSR needs a CSR view or dense rows")
 		}
-		return KMeans(dense, opts)
+		return run(ctx, dense, nil, opts)
 	}
 	if dense == nil {
 		dense = m.Dense()
@@ -222,10 +236,10 @@ func KMeansCSR(m *vec.CSRMatrix, dense [][]float64, opts Options) (*Result, erro
 		return nil, fmt.Errorf("cluster: dense view has %d rows, CSR has %d",
 			len(dense), m.NumRows())
 	}
-	return run(dense, m, opts)
+	return run(ctx, dense, m, opts)
 }
 
-func run(data [][]float64, csr *vec.CSRMatrix, opts Options) (*Result, error) {
+func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := len(data)
 	if n == 0 {
@@ -322,6 +336,12 @@ func run(data [][]float64, csr *vec.CSRMatrix, opts Options) (*Result, error) {
 
 	res := &Result{K: opts.K, Algorithm: algo}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		// One Lloyd iteration is the cancellation granularity of the
+		// hot loop: milliseconds at paper scale, so a cancelled context
+		// is honoured promptly without a per-point check in the kernel.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter + 1
 
 		// Assignment step.

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/optimize"
+	"adahealth/internal/partial"
+	"adahealth/internal/synth"
+)
+
+// seededConfig is the fast test pipeline configuration at a given
+// seed.
+func seededConfig(seed int64) Config {
+	return Config{
+		Seed: seed,
+		Partial: partial.Config{
+			Ks: []int{4},
+		},
+		Sweep: optimize.SweepConfig{
+			Ks:      []int{3, 4, 5},
+			CVFolds: 4,
+		},
+	}
+}
+
+func seededLog(t *testing.T, seed int64) *dataset.Log {
+	t.Helper()
+	cfg := synth.SmallConfig()
+	cfg.Seed = seed
+	log, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// comparable strips the execution telemetry — the only Report fields
+// allowed to differ between the DAG and the sequential path — and
+// projects Recommendations to a value-comparable form (endgoal.Goal
+// embeds its feasibility-check closure, and non-nil funcs are never
+// reflect.DeepEqual).
+func comparable(rep *Report) Report {
+	c := *rep
+	c.Stages = nil
+	c.StageConcurrency = 0
+	c.Recommendations = nil
+	return c
+}
+
+// recProjection is the func-free view of one recommendation.
+type recProjection struct {
+	GoalID   string
+	Feasible bool
+	Reason   string
+	Interest string
+	Score    float64
+	Source   string
+}
+
+func projectRecs(rep *Report) []recProjection {
+	out := make([]recProjection, len(rep.Recommendations))
+	for i, r := range rep.Recommendations {
+		out[i] = recProjection{
+			GoalID:   string(r.Goal.ID),
+			Feasible: r.Feasible,
+			Reason:   r.Reason,
+			Interest: string(r.Interest),
+			Score:    r.Score,
+			Source:   r.Source,
+		}
+	}
+	return out
+}
+
+// TestAnalyzeDAGMatchesSequential is the DAG/sequential equivalence
+// property: for several generator/algorithm seeds, the concurrent
+// stage-graph execution must produce a bit-for-bit identical Report to
+// the legacy sequential path.
+func TestAnalyzeDAGMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		log := seededLog(t, seed)
+
+		seqCfg := seededConfig(seed)
+		seqCfg.Sequential = true
+		seqEngine, err := New(seqCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRep, err := seqEngine.Analyze(log)
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+
+		dagCfg := seededConfig(seed)
+		dagCfg.Parallelism = 4
+		dagEngine, err := New(dagCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dagRep, err := dagEngine.AnalyzeContext(context.Background(), log)
+		if err != nil {
+			t.Fatalf("seed %d DAG: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(comparable(seqRep), comparable(dagRep)) {
+			t.Errorf("seed %d: DAG report differs from sequential report", seed)
+		}
+		if !reflect.DeepEqual(projectRecs(seqRep), projectRecs(dagRep)) {
+			t.Errorf("seed %d: DAG recommendations differ from sequential", seed)
+		}
+		// Both paths traced every stage of the pipeline.
+		want := len(dagEngine.pipelineStages())
+		if len(seqRep.Stages) != want || len(dagRep.Stages) != want {
+			t.Errorf("seed %d: stage traces seq=%d dag=%d, want %d",
+				seed, len(seqRep.Stages), len(dagRep.Stages), want)
+		}
+		for _, tr := range seqRep.Stages {
+			if !tr.Sequential {
+				t.Errorf("seed %d: sequential trace %s unflagged", seed, tr.Stage)
+			}
+		}
+		// The traces were persisted to the K-DB of each engine.
+		stored, err := dagEngine.KDB().StageTraces(log.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stored) != want {
+			t.Errorf("seed %d: K-DB holds %d stage traces, want %d", seed, len(stored), want)
+		}
+	}
+}
+
+// TestAnalyzeCancellationMidSweep asserts Analyze honours context
+// cancellation promptly: a context cancelled while the pipeline is in
+// flight surfaces as ctx.Err() well before the analysis could finish.
+func TestAnalyzeCancellationMidSweep(t *testing.T) {
+	cfg := seededConfig(1)
+	// Stretch the sweep so cancellation reliably lands mid-flight.
+	cfg.Sweep.Ks = []int{3, 4, 5, 6, 7, 8, 9, 10}
+	cfg.Sweep.CVFolds = 8
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := seededLog(t, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = e.AnalyzeContext(ctx, log)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled analysis took %v to return", elapsed)
+	}
+
+	// A context that is already dead never starts the pipeline.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := e.AnalyzeContext(dead, log); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeManyMatchesSerial runs a batch of logs through one shared
+// pool and checks each report is bit-for-bit what a serial Analyze of
+// the same log yields.
+func TestAnalyzeManyMatchesSerial(t *testing.T) {
+	logs := []*dataset.Log{
+		seededLog(t, 1), seededLog(t, 2), seededLog(t, 3), seededLog(t, 4),
+	}
+	// Distinct names so per-dataset K-DB records don't collide.
+	for i, l := range logs {
+		l.Name = l.Name + "-" + string(rune('a'+i))
+	}
+
+	batch, err := New(seededConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := batch.AnalyzeMany(context.Background(), logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(logs) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(logs))
+	}
+
+	for i, log := range logs {
+		single, err := New(seededConfig(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.Analyze(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reports[i] == nil {
+			t.Fatalf("report %d is nil", i)
+		}
+		// Recommendations are compared structurally too: with no
+		// feedback recorded, sibling descriptors in the shared K-DB
+		// must not change the prior-driven recommendation.
+		if !reflect.DeepEqual(comparable(reports[i]), comparable(want)) {
+			t.Errorf("batch report %d differs from serial analysis", i)
+		}
+		if !reflect.DeepEqual(projectRecs(reports[i]), projectRecs(want)) {
+			t.Errorf("batch report %d recommendations differ from serial", i)
+		}
+	}
+}
+
+func TestAnalyzeManyPropagatesFailure(t *testing.T) {
+	e, err := New(seededConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := []*dataset.Log{
+		seededLog(t, 1),
+		dataset.NewLog("empty"), // fails validation immediately
+	}
+	_, err = e.AnalyzeMany(context.Background(), logs)
+	if err == nil {
+		t.Fatal("empty log accepted in batch")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("root failure reported as cancellation: %v", err)
+	}
+}
+
+func TestAnalyzeManyEmpty(t *testing.T) {
+	e, err := New(seededConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := e.AnalyzeMany(context.Background(), nil)
+	if err != nil || reports != nil {
+		t.Fatalf("AnalyzeMany(nil) = %v, %v", reports, err)
+	}
+}
+
+func TestAnalyzeManyPersistsSharedKDB(t *testing.T) {
+	// Batch analyses share one disk-backed K-DB; the single batch-level
+	// flush must leave a loadable snapshot containing every log's
+	// traces and knowledge (a torn concurrent flush would fail Open).
+	dir := t.TempDir()
+	cfg := seededConfig(1)
+	cfg.KDBDir = dir
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := []*dataset.Log{seededLog(t, 1), seededLog(t, 2), seededLog(t, 3)}
+	for i, l := range logs {
+		l.Name = l.Name + "-" + string(rune('a'+i))
+	}
+	if _, err := e.AnalyzeMany(context.Background(), logs); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{KDBDir: dir})
+	if err != nil {
+		t.Fatalf("reopening batch K-DB: %v", err)
+	}
+	for _, l := range logs {
+		traces, err := re.KDB().StageTraces(l.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(traces) == 0 {
+			t.Errorf("no persisted stage traces for %s", l.Name)
+		}
+	}
+}

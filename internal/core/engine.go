@@ -6,10 +6,28 @@
 // Given an examination log and minimal configuration, Analyze produces
 // a ranked, manageable set of knowledge items with no further user
 // intervention — the paper's headline behaviour.
+//
+// # Execution model
+//
+// The pipeline is an explicit stage DAG (see Stage): each stage
+// declares the state keys it consumes and produces, and a scheduler
+// topologically orders the stages and runs independent ones
+// concurrently on a bounded worker pool — pattern mining overlaps the
+// K-sweep, demand extraction overlaps clustering. Cancellation is
+// threaded through every compute kernel via context.Context, per-stage
+// wall-time and allocation metrics land in Report.Stages and the
+// K-DB's stage_traces collection, and AnalyzeMany batches several logs
+// over one shared pool. Config.Sequential selects the legacy serial
+// path, which executes the same stages in declaration order and
+// produces a bit-for-bit identical Report.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"adahealth/internal/classify"
 	"adahealth/internal/cluster"
@@ -20,7 +38,6 @@ import (
 	"adahealth/internal/knowledge"
 	"adahealth/internal/optimize"
 	"adahealth/internal/partial"
-	"adahealth/internal/ranking"
 	"adahealth/internal/stats"
 	"adahealth/internal/vsm"
 )
@@ -48,6 +65,17 @@ type Config struct {
 	KDBDir string
 	// Seed drives every stochastic component.
 	Seed int64
+	// Sequential forces the legacy serial execution: the same stages,
+	// run one at a time in declaration order on the calling goroutine.
+	// The concurrent DAG produces a bit-for-bit identical Report; this
+	// flag exists for debugging, deterministic profiling, and the
+	// equivalence tests.
+	Sequential bool
+	// Parallelism bounds how many stages run concurrently — one pool
+	// shared across all logs of an AnalyzeMany call, so batch analysis
+	// does not oversubscribe the machine; <= 0 uses all cores
+	// (runtime.GOMAXPROCS(0)).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,126 +129,177 @@ type Report struct {
 	// Demand is the monthly examination-volume series backing the
 	// resource-planning end-goal.
 	Demand []stats.DemandPoint
+
+	// Stages holds the per-stage execution traces of this analysis,
+	// ordered by start time; overlapping [Start, End) intervals show
+	// which stages actually ran concurrently. The same traces are
+	// persisted to the K-DB's stage_traces collection.
+	Stages []kdb.StageTrace
+	// StageConcurrency is the maximum number of stages the scheduler
+	// observed running at the same instant (1 under Config.Sequential).
+	StageConcurrency int
 }
 
-// Analyze runs the full pipeline on a log.
+// Analyze runs the full pipeline on a log. It is AnalyzeContext with
+// a background context.
 func (e *Engine) Analyze(log *dataset.Log) (*Report, error) {
+	return e.AnalyzeContext(context.Background(), log)
+}
+
+// AnalyzeContext runs the full pipeline on a log under a context.
+// Cancellation is honoured inside the clustering, sweep and
+// partial-mining hot loops (per Lloyd iteration / per probe) and at
+// stage and phase boundaries elsewhere: a cancelled analysis returns
+// ctx.Err() (errors.Is-matchable) as soon as the in-flight work
+// reaches its next checkpoint, rather than finishing the grid.
+func (e *Engine) AnalyzeContext(ctx context.Context, log *dataset.Log) (*Report, error) {
+	return e.analyze(ctx, log, nil, true)
+}
+
+// AnalyzeMany analyzes several logs as one batch sharing a single
+// bounded stage pool, so concurrent logs interleave their independent
+// stages instead of oversubscribing the machine with len(logs) full
+// pipelines. When Sweep.Parallelism is unset, each log's K sweep is
+// additionally derated to its fair share of the pool, so the batch's
+// total compute fan-out stays at roughly Config.Parallelism (sweep
+// results are identical for every worker count, so this only affects
+// scheduling). Reports are returned in input order. On failure the
+// remaining work is cancelled and the first error (preferring a stage
+// failure over a cancellation victim) is returned alongside the
+// reports that did complete.
+//
+// Reports are deterministic per log with one caveat: the end-goal
+// recommender reads the whole shared K-DB, so once feedback exists for
+// a dataset, a batch re-analysis may train its interest model before
+// or after a sibling log's descriptor lands — serialize analyses of
+// feedback-bearing datasets if byte-stable recommendations matter.
+func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Report, error) {
+	if len(logs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pool := make(chan struct{}, e.parallelism())
+
+	// Derate per-log inner parallelism to a fair share of the pool
+	// unless the caller pinned it explicitly.
+	be := *e
+	if be.cfg.Sweep.Parallelism <= 0 {
+		be.cfg.Sweep.Parallelism = e.parallelism() / len(logs)
+		if be.cfg.Sweep.Parallelism < 1 {
+			be.cfg.Sweep.Parallelism = 1
+		}
+		if be.cfg.Sweep.Cluster.Parallelism == 0 {
+			// The stage pool and the sweep pool already carry the
+			// batch concurrency; keep the K-means kernel serial.
+			be.cfg.Sweep.Cluster.Parallelism = 1
+		}
+	}
+	if be.cfg.Partial.Cluster.Parallelism == 0 {
+		// Same for the partial-mining probe runs: concurrent
+		// partialmine stages must not each fan the kernel out to
+		// GOMAXPROCS workers.
+		be.cfg.Partial.Cluster.Parallelism = 1
+	}
+
+	reports := make([]*Report, len(logs))
+	errs := make([]error, len(logs))
+	var wg sync.WaitGroup
+	for i, log := range logs {
+		wg.Add(1)
+		go func(i int, log *dataset.Log) {
+			defer wg.Done()
+			// flush=false: per-log flushes from concurrent goroutines
+			// would race on the docstore's snapshot temp files; the
+			// batch flushes once below instead.
+			rep, err := be.analyze(ctx, log, pool, false)
+			reports[i], errs[i] = rep, err
+			if err != nil {
+				cancel() // fail fast: stop sibling analyses
+			}
+		}(i, log)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			firstErr = err // the root failure, not a cancellation victim
+			break
+		}
+	}
+	// One flush for the whole batch, after every writer goroutine has
+	// finished — persist completed analyses even when a sibling failed.
+	if err := e.kdb.Flush(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("core: flushing K-DB: %w", err)
+	}
+	return reports, firstErr
+}
+
+// analyze runs one log through the stage graph. pool is the shared
+// stage semaphore (nil = private pool sized by Config.Parallelism);
+// flush controls whether the K-DB is flushed here (AnalyzeMany defers
+// to one batch-level flush so concurrent snapshot writes cannot tear).
+func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool chan struct{}, flush bool) (*Report, error) {
 	if log.NumPatients() == 0 || log.NumRecords() == 0 {
 		return nil, fmt.Errorf("core: log %q is empty", log.Name)
 	}
-	rep := &Report{}
-
-	// 1. Data characterization (stored in K-DB collection 3).
-	rep.Descriptor = stats.Characterize(log)
-	if _, err := e.kdb.StoreDescriptor(rep.Descriptor); err != nil {
+	stages := e.pipelineStages()
+	if err := validateStages(stages); err != nil {
 		return nil, err
 	}
+	s := &pipelineState{log: log, rep: &Report{}}
 
-	// 2. Data transformation: VSM (collection 2 records the summary).
-	matrix, err := vsm.Build(log, e.cfg.VSM)
+	var (
+		sr  *scheduleResult
+		err error
+	)
+	if e.cfg.Sequential {
+		if pool != nil {
+			// Sequential pipelines inside a batch still occupy one
+			// shared-pool slot each, so AnalyzeMany stays bounded.
+			select {
+			case pool <- struct{}{}:
+				defer func() { <-pool }()
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		sr, err = runSequential(ctx, stages, s)
+	} else {
+		if pool == nil {
+			pool = make(chan struct{}, e.parallelism())
+		}
+		sr, err = runDAG(ctx, stages, s, pool)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: transforming: %w", err)
-	}
-	rep.Transformed = kdb.TransformedSummary{
-		Dataset:     log.Name,
-		Weighting:   e.cfg.VSM.Weighting.String(),
-		Norm:        e.cfg.VSM.Normalization.String(),
-		NumRows:     matrix.NumRows(),
-		NumFeatures: matrix.NumFeatures(),
-		Sparsity:    matrix.Sparsity(),
-		Features:    matrix.Features,
-	}
-	if _, err := e.kdb.StoreTransformed(rep.Transformed); err != nil {
 		return nil, err
 	}
+	s.rep.Stages = sr.traces
+	s.rep.StageConcurrency = sr.maxConcurrent
 
-	// 3. Adaptive horizontal partial mining (Section IV-B).
-	pres, err := partial.RunHorizontal(matrix, e.cfg.Partial)
-	if err != nil {
-		return nil, fmt.Errorf("core: partial mining: %w", err)
-	}
-	rep.Partial = pres
-	rep.SelectedSubset = pres.SelectedStep().NumFeatures
-	working := matrix.Project(rep.SelectedSubset)
-
-	// 4. Data-analytics optimization: the K sweep of Table I on the
-	// selected subset.
-	sweep, err := optimize.Sweep(working.Rows, e.cfg.Sweep)
-	if err != nil {
-		return nil, fmt.Errorf("core: optimizing: %w", err)
-	}
-	rep.Sweep = sweep
-
-	// 5. Final clustering with the selected K.
-	opts := e.cfg.Sweep.Cluster
-	opts.K = sweep.BestK
-	opts.Seed = e.cfg.Seed + int64(sweep.BestK)*7919
-	best, err := cluster.KMeans(working.Rows, opts)
-	if err != nil {
-		return nil, fmt.Errorf("core: final clustering: %w", err)
-	}
-	rep.BestClustering = best
-	rep.ClusterItems = knowledge.FromClusterResult(log.Name, best, working.Features, 5)
-
-	// 6. Pattern discovery over visits, taxonomy-aware (MeTA-style).
-	visits := log.Visits()
-	txs := make([][]string, len(visits))
-	for i, v := range visits {
-		txs[i] = v.ExamCodes
-	}
-	minSupport := int(e.cfg.MinSupportFrac * float64(len(txs)))
-	if minSupport < 2 {
-		minSupport = 2
-	}
-	tax := taxonomyOf(log)
-	gsets, err := fpm.MineGeneralized(txs, tax, minSupport)
-	if err != nil {
-		return nil, fmt.Errorf("core: pattern mining: %w", err)
-	}
-	flat := make([]fpm.Itemset, 0, len(gsets))
-	for _, g := range gsets {
-		flat = append(flat, g.Itemset)
-	}
-	fpm.SortItemsets(flat)
-	rep.PatternItems = knowledge.FromItemsets(log.Name, flat, len(txs))
-	if len(rep.PatternItems) > e.cfg.MaxPatternItems {
-		rep.PatternItems = rep.PatternItems[:e.cfg.MaxPatternItems]
-	}
-	rules, err := fpm.Rules(flat, len(txs), e.cfg.MinConfidence)
-	if err != nil {
-		return nil, fmt.Errorf("core: rule derivation: %w", err)
-	}
-	if len(rules) > e.cfg.MaxPatternItems {
-		rules = rules[:e.cfg.MaxPatternItems]
-	}
-	rep.RuleItems = knowledge.FromRules(log.Name, rules)
-
-	// 7. Store extracted knowledge (collections 4-5).
-	all := make([]knowledge.Item, 0,
-		len(rep.ClusterItems)+len(rep.PatternItems)+len(rep.RuleItems))
-	all = append(all, rep.ClusterItems...)
-	all = append(all, rep.PatternItems...)
-	all = append(all, rep.RuleItems...)
-	if err := e.kdb.StoreKnowledgeItems(all); err != nil {
+	if err := e.kdb.StoreStageTraces(sr.traces); err != nil {
 		return nil, err
 	}
-
-	// 8. End-goal recommendation from the K-DB.
-	recs, err := endgoal.NewRecommender(e.kdb).Recommend(rep.Descriptor)
-	if err != nil {
-		return nil, fmt.Errorf("core: recommending end-goals: %w", err)
+	if flush {
+		if err := e.kdb.Flush(); err != nil {
+			return nil, fmt.Errorf("core: flushing K-DB: %w", err)
+		}
 	}
-	rep.Recommendations = recs
+	return s.rep, nil
+}
 
-	// 9. Rank the knowledge for presentation; attach the demand
-	// series for the resource-planning goal.
-	rep.Ranked = ranking.NewRanker().Rank(all)
-	rep.Demand = stats.MonthlyDemand(log)
-
-	if err := e.kdb.Flush(); err != nil {
-		return nil, fmt.Errorf("core: flushing K-DB: %w", err)
+// parallelism resolves the stage-pool size.
+func (e *Engine) parallelism() int {
+	if e.cfg.Parallelism > 0 {
+		return e.cfg.Parallelism
 	}
-	return rep, nil
+	return runtime.GOMAXPROCS(0)
 }
 
 // taxonomyOf derives the exam → category taxonomy from the catalog,

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+
+	"adahealth/internal/kdb"
+)
+
+// scheduleResult is what one pipeline execution hands back: the
+// per-stage traces (ordered by start time) and the maximum number of
+// stages observed running at once.
+type scheduleResult struct {
+	traces        []kdb.StageTrace
+	maxConcurrent int
+}
+
+// validateStages checks the static shape of a stage list: every output
+// produced by exactly one stage, every input produced by some stage,
+// and the declaration order topologically valid (each stage's inputs
+// produced by strictly earlier stages). The last property is stronger
+// than mere acyclicity; it is what lets the sequential path execute
+// the declaration order directly and guarantees the concurrent
+// scheduler can always make progress.
+func validateStages(stages []Stage) error {
+	producer := map[string]string{}
+	for _, st := range stages {
+		for _, out := range st.Outputs() {
+			if prev, dup := producer[out]; dup {
+				return fmt.Errorf("core: stages %q and %q both produce %q", prev, st.Name(), out)
+			}
+			producer[out] = st.Name()
+		}
+	}
+	seen := map[string]bool{}
+	names := map[string]bool{}
+	for _, st := range stages {
+		if names[st.Name()] {
+			return fmt.Errorf("core: duplicate stage name %q", st.Name())
+		}
+		names[st.Name()] = true
+		for _, in := range st.Inputs() {
+			if _, ok := producer[in]; !ok {
+				return fmt.Errorf("core: stage %q needs %q, which no stage produces", st.Name(), in)
+			}
+			if !seen[in] {
+				return fmt.Errorf("core: stage %q declared before its input %q is produced (cycle or mis-ordered stage list)",
+					st.Name(), in)
+			}
+		}
+		for _, out := range st.Outputs() {
+			seen[out] = true
+		}
+	}
+	return nil
+}
+
+// heapAllocBytes reads the runtime's cumulative heap allocation
+// counter (cheap, no stop-the-world). Deltas around a stage give its
+// allocation cost: exact when nothing else runs, an upper bound when
+// stages execute concurrently.
+func heapAllocBytes() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// runSequential executes stages one by one in declaration order — the
+// legacy pre-DAG behaviour, kept behind Config.Sequential as the
+// reference implementation the DAG is equivalence-tested against.
+func runSequential(ctx context.Context, stages []Stage, s *pipelineState) (*scheduleResult, error) {
+	res := &scheduleResult{maxConcurrent: 1}
+	for _, st := range stages {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		start := time.Now()
+		a0 := heapAllocBytes()
+		err := st.Run(ctx, s)
+		end := time.Now()
+		res.traces = append(res.traces, kdb.StageTrace{
+			Dataset:    s.log.Name,
+			Stage:      st.Name(),
+			Start:      start,
+			End:        end,
+			WallNanos:  end.Sub(start).Nanoseconds(),
+			AllocBytes: heapAllocBytes() - a0,
+			Sequential: true,
+		})
+		if err != nil {
+			return res, stageErr(ctx, st, err)
+		}
+	}
+	return res, nil
+}
+
+// runDAG executes stages respecting their declared data dependencies,
+// running independent stages concurrently on the bounded worker pool
+// behind pool (a counting semaphore, shared across logs by
+// AnalyzeMany). On the first stage failure the remaining un-started
+// stages are abandoned and in-flight ones are cancelled; the first
+// error (by completion time) is returned, except that a cancelled
+// parent context always surfaces as ctx.Err().
+func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan struct{}) (*scheduleResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx   int
+		err   error
+		trace kdb.StageTrace
+	}
+	results := make(chan outcome)
+
+	var (
+		mu         sync.Mutex
+		running    int
+		maxRunning int
+	)
+	enter := func() {
+		mu.Lock()
+		running++
+		if running > maxRunning {
+			maxRunning = running
+		}
+		mu.Unlock()
+	}
+	leave := func() {
+		mu.Lock()
+		running--
+		mu.Unlock()
+	}
+
+	launch := func(idx int, st Stage) {
+		go func() {
+			select {
+			case pool <- struct{}{}:
+			case <-ctx.Done():
+				results <- outcome{idx: idx, err: ctx.Err()}
+				return
+			}
+			defer func() { <-pool }()
+			// Both select cases can be ready at once; never start a
+			// stage under a context that is already dead.
+			if err := ctx.Err(); err != nil {
+				results <- outcome{idx: idx, err: err}
+				return
+			}
+			enter()
+			defer leave()
+			start := time.Now()
+			a0 := heapAllocBytes()
+			err := st.Run(ctx, s)
+			end := time.Now()
+			results <- outcome{
+				idx: idx,
+				err: err,
+				trace: kdb.StageTrace{
+					Dataset:    s.log.Name,
+					Stage:      st.Name(),
+					Start:      start,
+					End:        end,
+					WallNanos:  end.Sub(start).Nanoseconds(),
+					AllocBytes: heapAllocBytes() - a0,
+				},
+			}
+		}()
+	}
+
+	done := map[string]bool{}
+	launched := make([]bool, len(stages))
+	ready := func(st Stage) bool {
+		for _, in := range st.Inputs() {
+			if !done[in] {
+				return false
+			}
+		}
+		return true
+	}
+	dispatch := func() int {
+		n := 0
+		for i, st := range stages {
+			if !launched[i] && ready(st) {
+				launched[i] = true
+				launch(i, st)
+				n++
+			}
+		}
+		return n
+	}
+
+	res := &scheduleResult{}
+	inFlight := dispatch()
+	var firstErr error
+	completed := 0
+	for inFlight > 0 {
+		out := <-results
+		inFlight--
+		completed++
+		if out.trace.Stage != "" {
+			res.traces = append(res.traces, out.trace)
+		}
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = stageErr(ctx, stages[out.idx], out.err)
+				cancel() // abandon the rest of the graph
+			}
+			continue
+		}
+		if firstErr == nil {
+			for _, o := range stages[out.idx].Outputs() {
+				done[o] = true
+			}
+			inFlight += dispatch()
+		}
+	}
+	mu.Lock()
+	res.maxConcurrent = maxRunning
+	mu.Unlock()
+	sort.SliceStable(res.traces, func(i, j int) bool {
+		return res.traces[i].Start.Before(res.traces[j].Start)
+	})
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if completed < len(stages) {
+		// Cannot happen with a validateStages-checked list; defensive.
+		return res, fmt.Errorf("core: pipeline stalled with %d of %d stages done",
+			completed, len(stages))
+	}
+	return res, nil
+}
+
+// stageErr attributes an error to its stage, letting a context
+// cancellation pass through unwrapped so errors.Is(err, ctx.Err())
+// holds for callers of Analyze.
+func stageErr(ctx context.Context, st Stage, err error) error {
+	if ctx.Err() != nil && err == ctx.Err() {
+		return err
+	}
+	return fmt.Errorf("core: stage %s: %w", st.Name(), err)
+}

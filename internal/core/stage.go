@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"adahealth/internal/cluster"
+	"adahealth/internal/dataset"
+	"adahealth/internal/endgoal"
+	"adahealth/internal/fpm"
+	"adahealth/internal/kdb"
+	"adahealth/internal/knowledge"
+	"adahealth/internal/optimize"
+	"adahealth/internal/partial"
+	"adahealth/internal/ranking"
+	"adahealth/internal/stats"
+	"adahealth/internal/vsm"
+)
+
+// Stage is one node of the analysis DAG: a named unit of pipeline work
+// with declared data dependencies. Inputs and Outputs are symbolic
+// state keys (the key* constants): a stage becomes runnable once every
+// stage producing one of its Inputs has completed, and its Outputs in
+// turn unblock downstream stages. The scheduler guarantees that Run is
+// called at most once, after all producers of its Inputs finished, so
+// a stage may read the pipelineState fields behind its declared inputs
+// and write the fields behind its declared outputs without locking —
+// the completion hand-off is the synchronization.
+//
+// To add a stage: pick a name, declare which keys it consumes and
+// which it produces (introducing new key* constants for new
+// intermediate data), add fields for its products to pipelineState or
+// Report, and append it to pipelineStages. Declaration order in
+// pipelineStages must remain a valid topological order — every input
+// produced by an earlier stage — because the sequential path executes
+// stages in exactly that order (validateStages enforces it at
+// construction). The scheduler derives all concurrency from the
+// declared keys; no stage ever spells out "runs in parallel with X".
+type Stage interface {
+	// Name identifies the stage in traces and error messages.
+	Name() string
+	// Inputs lists the state keys the stage consumes.
+	Inputs() []string
+	// Outputs lists the state keys the stage produces.
+	Outputs() []string
+	// Run executes the stage. It must honour ctx for long work and
+	// must only touch state covered by its declared inputs/outputs.
+	Run(ctx context.Context, s *pipelineState) error
+}
+
+// State keys wiring the built-in pipeline DAG.
+const (
+	keyDescriptor = "descriptor"      // statistical characterization (stored in K-DB)
+	keyMatrix     = "matrix"          // VSM-transformed patient matrix
+	keyWorking    = "working"         // partial-mining projection of the matrix
+	keySweep      = "sweep"           // Table I K-optimization result
+	keyClustering = "clustering"      // final clustering + cluster knowledge items
+	keyPatterns   = "patterns"        // pattern + rule knowledge items
+	keyDemand     = "demand"          // monthly demand series
+	keyKnowledge  = "knowledge"       // knowledge items persisted to the K-DB
+	keyEndGoals   = "recommendations" // end-goal recommendations
+	keyRanked     = "ranked"          // final ranked knowledge list
+)
+
+// pipelineState is the shared mutable state of one analysis run. The
+// stage DAG's data edges are fields here (or in the Report): each
+// field is written by exactly one stage and read only by stages that
+// declare the corresponding key as input. The input log is immutable
+// and readable by every stage without a key.
+type pipelineState struct {
+	log *dataset.Log
+	rep *Report
+
+	matrix  *vsm.Matrix // produced by transform
+	working *vsm.Matrix // produced by partialmine
+}
+
+// funcStage is the Stage implementation used by the built-in pipeline:
+// a name, declared keys, and a closure.
+type funcStage struct {
+	name    string
+	inputs  []string
+	outputs []string
+	run     func(ctx context.Context, s *pipelineState) error
+}
+
+func (f *funcStage) Name() string      { return f.name }
+func (f *funcStage) Inputs() []string  { return f.inputs }
+func (f *funcStage) Outputs() []string { return f.outputs }
+func (f *funcStage) Run(ctx context.Context, s *pipelineState) error {
+	return f.run(ctx, s)
+}
+
+// pipelineStages returns the built-in analysis DAG in a topologically
+// valid declaration order (the order the sequential path executes, and
+// the order of the paper's Figure 1 narrative):
+//
+//	characterize ─────────────┬──────────────────────────┐
+//	transform → partialmine → sweep → cluster ─┐         │
+//	patterns ──────────────────────────────────┼→ store → endgoals
+//	demand                                     └→ rank
+//
+// characterize, transform, patterns and demand are roots and run
+// concurrently; sweep overlaps with patterns; rank and endgoals join
+// the branches.
+func (e *Engine) pipelineStages() []Stage {
+	return []Stage{
+		&funcStage{
+			name:    "characterize",
+			outputs: []string{keyDescriptor},
+			run:     e.runCharacterize,
+		},
+		&funcStage{
+			name:    "transform",
+			outputs: []string{keyMatrix},
+			run:     e.runTransform,
+		},
+		&funcStage{
+			name:    "partialmine",
+			inputs:  []string{keyMatrix},
+			outputs: []string{keyWorking},
+			run:     e.runPartial,
+		},
+		&funcStage{
+			name:    "sweep",
+			inputs:  []string{keyWorking},
+			outputs: []string{keySweep},
+			run:     e.runSweep,
+		},
+		&funcStage{
+			name:    "cluster",
+			inputs:  []string{keyWorking, keySweep},
+			outputs: []string{keyClustering},
+			run:     e.runCluster,
+		},
+		&funcStage{
+			name:    "patterns",
+			outputs: []string{keyPatterns},
+			run:     e.runPatterns,
+		},
+		&funcStage{
+			name:    "demand",
+			outputs: []string{keyDemand},
+			run:     e.runDemand,
+		},
+		&funcStage{
+			name:    "store-knowledge",
+			inputs:  []string{keyClustering, keyPatterns},
+			outputs: []string{keyKnowledge},
+			run:     e.runStoreKnowledge,
+		},
+		&funcStage{
+			// endgoals consumes the stored knowledge (not just the
+			// in-memory items) so the recommender sees the same K-DB
+			// state the legacy sequential pipeline gave it.
+			name:    "endgoals",
+			inputs:  []string{keyDescriptor, keyKnowledge},
+			outputs: []string{keyEndGoals},
+			run:     e.runEndGoals,
+		},
+		&funcStage{
+			name:    "rank",
+			inputs:  []string{keyClustering, keyPatterns},
+			outputs: []string{keyRanked},
+			run:     e.runRank,
+		},
+	}
+}
+
+// --- stage bodies -----------------------------------------------------------
+
+func (e *Engine) runCharacterize(ctx context.Context, s *pipelineState) error {
+	s.rep.Descriptor = stats.Characterize(s.log)
+	if _, err := e.kdb.StoreDescriptor(s.rep.Descriptor); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *Engine) runTransform(ctx context.Context, s *pipelineState) error {
+	matrix, err := vsm.Build(s.log, e.cfg.VSM)
+	if err != nil {
+		return fmt.Errorf("transforming: %w", err)
+	}
+	s.matrix = matrix
+	s.rep.Transformed = kdb.TransformedSummary{
+		Dataset:     s.log.Name,
+		Weighting:   e.cfg.VSM.Weighting.String(),
+		Norm:        e.cfg.VSM.Normalization.String(),
+		NumRows:     matrix.NumRows(),
+		NumFeatures: matrix.NumFeatures(),
+		Sparsity:    matrix.Sparsity(),
+		Features:    matrix.Features,
+	}
+	if _, err := e.kdb.StoreTransformed(s.rep.Transformed); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *Engine) runPartial(ctx context.Context, s *pipelineState) error {
+	pres, err := partial.RunHorizontal(ctx, s.matrix, e.cfg.Partial)
+	if err != nil {
+		return wrapStageErr(ctx, "partial mining", err)
+	}
+	s.rep.Partial = pres
+	s.rep.SelectedSubset = pres.SelectedStep().NumFeatures
+	s.working = s.matrix.Project(s.rep.SelectedSubset)
+	return nil
+}
+
+func (e *Engine) runSweep(ctx context.Context, s *pipelineState) error {
+	sweep, err := optimize.SweepMatrix(ctx, s.working, e.cfg.Sweep)
+	if err != nil {
+		return wrapStageErr(ctx, "optimizing", err)
+	}
+	s.rep.Sweep = sweep
+	return nil
+}
+
+func (e *Engine) runCluster(ctx context.Context, s *pipelineState) error {
+	opts := e.cfg.Sweep.Cluster
+	opts.K = s.rep.Sweep.BestK
+	opts.Seed = e.cfg.Seed + int64(s.rep.Sweep.BestK)*7919
+	best, err := cluster.KMeansContext(ctx, s.working.Rows, opts)
+	if err != nil {
+		return wrapStageErr(ctx, "final clustering", err)
+	}
+	s.rep.BestClustering = best
+	s.rep.ClusterItems = knowledge.FromClusterResult(s.log.Name, best, s.working.Features, 5)
+	return nil
+}
+
+func (e *Engine) runPatterns(ctx context.Context, s *pipelineState) error {
+	// The fpm miners carry no context; cancellation is honoured at the
+	// phase boundaries (before mining and before rule derivation), the
+	// coarsest granularity in the pipeline.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	visits := s.log.Visits()
+	txs := make([][]string, len(visits))
+	for i, v := range visits {
+		txs[i] = v.ExamCodes
+	}
+	minSupport := int(e.cfg.MinSupportFrac * float64(len(txs)))
+	if minSupport < 2 {
+		minSupport = 2
+	}
+	tax := taxonomyOf(s.log)
+	gsets, err := fpm.MineGeneralized(txs, tax, minSupport)
+	if err != nil {
+		return fmt.Errorf("pattern mining: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	flat := make([]fpm.Itemset, 0, len(gsets))
+	for _, g := range gsets {
+		flat = append(flat, g.Itemset)
+	}
+	fpm.SortItemsets(flat)
+	s.rep.PatternItems = knowledge.FromItemsets(s.log.Name, flat, len(txs))
+	if len(s.rep.PatternItems) > e.cfg.MaxPatternItems {
+		s.rep.PatternItems = s.rep.PatternItems[:e.cfg.MaxPatternItems]
+	}
+	rules, err := fpm.Rules(flat, len(txs), e.cfg.MinConfidence)
+	if err != nil {
+		return fmt.Errorf("rule derivation: %w", err)
+	}
+	if len(rules) > e.cfg.MaxPatternItems {
+		rules = rules[:e.cfg.MaxPatternItems]
+	}
+	s.rep.RuleItems = knowledge.FromRules(s.log.Name, rules)
+	return nil
+}
+
+func (e *Engine) runDemand(ctx context.Context, s *pipelineState) error {
+	s.rep.Demand = stats.MonthlyDemand(s.log)
+	return nil
+}
+
+func (e *Engine) runStoreKnowledge(ctx context.Context, s *pipelineState) error {
+	if err := e.kdb.StoreKnowledgeItems(s.allItems()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *Engine) runEndGoals(ctx context.Context, s *pipelineState) error {
+	recs, err := endgoal.NewRecommender(e.kdb).Recommend(s.rep.Descriptor)
+	if err != nil {
+		return fmt.Errorf("recommending end-goals: %w", err)
+	}
+	s.rep.Recommendations = recs
+	return nil
+}
+
+func (e *Engine) runRank(ctx context.Context, s *pipelineState) error {
+	s.rep.Ranked = ranking.NewRanker().Rank(s.allItems())
+	return nil
+}
+
+// allItems concatenates the extracted knowledge in the fixed
+// presentation order (cluster, pattern, rule) both the store and the
+// ranker consume.
+func (s *pipelineState) allItems() []knowledge.Item {
+	rep := s.rep
+	all := make([]knowledge.Item, 0,
+		len(rep.ClusterItems)+len(rep.PatternItems)+len(rep.RuleItems))
+	all = append(all, rep.ClusterItems...)
+	all = append(all, rep.PatternItems...)
+	all = append(all, rep.RuleItems...)
+	return all
+}
+
+// wrapStageErr annotates a stage failure unless it is the (possibly
+// wrapped by neither) context error, which must surface unwrapped so
+// callers can errors.Is-match cancellation.
+func wrapStageErr(ctx context.Context, what string, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("%s: %w", what, err)
+}

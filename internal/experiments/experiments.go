@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -84,20 +85,20 @@ func (c PartialConfig) withDefaults() PartialConfig {
 type PartialResult = partial.Result
 
 // RunPartial executes E2 and returns both the matrix (for reuse) and
-// the partial-mining result.
-func RunPartial(cfg PartialConfig) (*vsm.Matrix, *PartialResult, error) {
+// the partial-mining result. The context bounds the whole experiment.
+func RunPartial(ctx context.Context, cfg PartialConfig) (*vsm.Matrix, *PartialResult, error) {
 	m, err := BuildMatrix(cfg.Scale, cfg.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	return RunPartialOnMatrix(m, cfg)
+	return RunPartialOnMatrix(ctx, m, cfg)
 }
 
 // RunPartialOnMatrix is RunPartial with a prebuilt matrix (used by the
 // benchmarks to exclude generation cost).
-func RunPartialOnMatrix(m *vsm.Matrix, cfg PartialConfig) (*vsm.Matrix, *PartialResult, error) {
+func RunPartialOnMatrix(ctx context.Context, m *vsm.Matrix, cfg PartialConfig) (*vsm.Matrix, *PartialResult, error) {
 	cfg = cfg.withDefaults()
-	res, err := partial.RunHorizontal(m, partial.Config{
+	res, err := partial.RunHorizontal(ctx, m, partial.Config{
 		Fractions: []float64{0.20, 0.40, 1.00},
 		Ks:        cfg.Ks,
 		Tolerance: 0.05,
@@ -181,19 +182,19 @@ type TableIResult struct {
 
 // RunTableI executes E1: build the dataset, take the feature prefix
 // covering the configured fraction of raw rows, then sweep K with SSE
-// + decision-tree 10-fold CV metrics.
-func RunTableI(cfg TableIConfig) (*TableIResult, error) {
+// + decision-tree 10-fold CV metrics. The context bounds the sweep.
+func RunTableI(ctx context.Context, cfg TableIConfig) (*TableIResult, error) {
 	cfg = cfg.withDefaults()
 	m, err := BuildMatrix(cfg.Scale, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return RunTableIOnMatrix(m, cfg)
+	return RunTableIOnMatrix(ctx, m, cfg)
 }
 
 // RunTableIOnMatrix is RunTableI with a prebuilt matrix (used by the
 // benchmarks to exclude generation cost).
-func RunTableIOnMatrix(m *vsm.Matrix, cfg TableIConfig) (*TableIResult, error) {
+func RunTableIOnMatrix(ctx context.Context, m *vsm.Matrix, cfg TableIConfig) (*TableIResult, error) {
 	cfg = cfg.withDefaults()
 	nf := m.FeaturesForCoverage(cfg.SubsetCoverage)
 	working := m.Project(nf)
@@ -218,7 +219,7 @@ func RunTableIOnMatrix(m *vsm.Matrix, cfg TableIConfig) (*TableIResult, error) {
 	// SweepMatrix routes every K evaluation through the sparse K-means
 	// kernel against the working subset's cached CSR view (the VSM
 	// matrix is sparse by construction).
-	sweep, err := optimize.SweepMatrix(working, optimize.SweepConfig{
+	sweep, err := optimize.SweepMatrix(ctx, working, optimize.SweepConfig{
 		Ks:          ks,
 		CVFolds:     cfg.CVFolds,
 		Seed:        cfg.Seed,

@@ -2,12 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunPartialSmallScale(t *testing.T) {
-	_, res, err := RunPartial(PartialConfig{Scale: SmallScale, Seed: 1, Ks: []int{4}})
+	_, res, err := RunPartial(context.Background(), PartialConfig{Scale: SmallScale, Seed: 1, Ks: []int{4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestRunPartialSmallScale(t *testing.T) {
 }
 
 func TestRunTableISmallScale(t *testing.T) {
-	res, err := RunTableI(TableIConfig{
+	res, err := RunTableI(context.Background(), TableIConfig{
 		Scale: SmallScale, Seed: 1, Ks: []int{4, 6, 8}, CVFolds: 3,
 	})
 	if err != nil {
@@ -116,7 +117,7 @@ func TestRunTableIOnMatrixClampsOversizedK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunTableIOnMatrix(m, TableIConfig{
+	res, err := RunTableIOnMatrix(context.Background(), m, TableIConfig{
 		Scale: SmallScale, Seed: 1, Ks: []int{4, 100000}, CVFolds: 3,
 	})
 	if err != nil {

@@ -5,37 +5,40 @@ import (
 	"sort"
 )
 
-// fpNode is one node of an FP-tree.
+// fpNode is one node of an FP-tree over integer-encoded items.
 type fpNode struct {
-	item     string
+	item     int32
 	count    int
 	parent   *fpNode
-	children map[string]*fpNode
+	children map[int32]*fpNode
 	next     *fpNode // header-table chain
 }
 
-// fpTree is an FP-tree with its header table.
+// fpTree is an FP-tree with its header table. Items are dictionary ids
+// of a Transactions encoding; noItem marks the root.
 type fpTree struct {
 	root    *fpNode
-	headers map[string]*fpNode
-	counts  map[string]int
+	headers map[int32]*fpNode
+	counts  map[int32]int
 }
+
+const noItem int32 = -1
 
 func newFPTree() *fpTree {
 	return &fpTree{
-		root:    &fpNode{children: map[string]*fpNode{}},
-		headers: map[string]*fpNode{},
-		counts:  map[string]int{},
+		root:    &fpNode{item: noItem, children: map[int32]*fpNode{}},
+		headers: map[int32]*fpNode{},
+		counts:  map[int32]int{},
 	}
 }
 
 // insert adds an ordered item list with a count to the tree.
-func (t *fpTree) insert(items []string, count int) {
+func (t *fpTree) insert(items []int32, count int) {
 	node := t.root
 	for _, it := range items {
 		child, ok := node.children[it]
 		if !ok {
-			child = &fpNode{item: it, parent: node, children: map[string]*fpNode{}}
+			child = &fpNode{item: it, parent: node, children: map[int32]*fpNode{}}
 			node.children[it] = child
 			// Prepend to header chain.
 			child.next = t.headers[it]
@@ -51,75 +54,75 @@ func (t *fpTree) insert(items []string, count int) {
 // FP-Growth algorithm (FP-tree plus recursive conditional trees). Its
 // output is set-equal to Apriori's; it is the faster choice at low
 // support thresholds.
+//
+// This entry point encodes the baskets first; callers mining the same
+// baskets repeatedly (several support thresholds, several algorithms)
+// should build a Transactions once and use its methods instead.
 func FPGrowth(txs [][]string, minSupport int) ([]Itemset, error) {
 	if minSupport < 1 {
 		return nil, fmt.Errorf("fpm: minSupport must be >= 1, got %d", minSupport)
 	}
-	// Global item frequencies.
-	freq := map[string]int{}
-	norm := make([][]string, len(txs))
-	for i, tx := range txs {
-		norm[i] = normalizeTx(tx)
-		for _, it := range norm[i] {
-			freq[it]++
-		}
-	}
-	order := func(items []string) []string {
-		kept := items[:0]
-		for _, it := range items {
-			if freq[it] >= minSupport {
-				kept = append(kept, it)
-			}
-		}
-		sort.Slice(kept, func(a, b int) bool {
-			if freq[kept[a]] != freq[kept[b]] {
-				return freq[kept[a]] > freq[kept[b]]
-			}
-			return kept[a] < kept[b]
-		})
-		return kept
-	}
+	return fpGrowthEncoded(NewTransactions(txs), minSupport), nil
+}
 
+// fpGrowthEncoded is the integer-item FP-Growth core. Dictionary ids
+// ascend lexicographically, so frequency ties break exactly as the
+// historical string implementation broke them and the emitted itemsets
+// are identical.
+func fpGrowthEncoded(t *Transactions, minSupport int) []Itemset {
 	tree := newFPTree()
-	for _, tx := range norm {
-		ordered := order(append([]string(nil), tx...))
+	ordered := make([]int32, 0, 16)
+	for i := 0; i < t.NumTx(); i++ {
+		ordered = ordered[:0]
+		for _, it := range t.tx(i) {
+			if t.freq[it] >= minSupport {
+				ordered = append(ordered, it)
+			}
+		}
+		// Decreasing global frequency, id (= lexicographic) ascending
+		// on ties: the canonical FP-tree insertion order.
+		sort.SliceStable(ordered, func(a, b int) bool {
+			fa, fb := t.freq[ordered[a]], t.freq[ordered[b]]
+			if fa != fb {
+				return fa > fb
+			}
+			return ordered[a] < ordered[b]
+		})
 		if len(ordered) > 0 {
 			tree.insert(ordered, 1)
 		}
 	}
 
 	var result []Itemset
-	mineFP(tree, nil, minSupport, &result)
+	mineFP(tree, t, nil, minSupport, &result)
 	SortItemsets(result)
-	return result, nil
+	return result
 }
 
 // mineFP recursively mines tree, emitting itemsets suffix ∪ {item}.
-func mineFP(tree *fpTree, suffix []string, minSupport int, out *[]Itemset) {
+func mineFP(tree *fpTree, t *Transactions, suffix []int32, minSupport int, out *[]Itemset) {
 	// Deterministic item order for the recursion.
-	items := make([]string, 0, len(tree.headers))
+	items := make([]int32, 0, len(tree.headers))
 	for it := range tree.headers {
 		if tree.counts[it] >= minSupport {
 			items = append(items, it)
 		}
 	}
-	sort.Strings(items)
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
 
 	for _, it := range items {
 		support := tree.counts[it]
-		pattern := make([]string, 0, len(suffix)+1)
+		pattern := make([]int32, 0, len(suffix)+1)
 		pattern = append(pattern, suffix...)
 		pattern = append(pattern, it)
-		sorted := append([]string(nil), pattern...)
-		sort.Strings(sorted)
-		*out = append(*out, Itemset{Items: sorted, Support: support})
+		*out = append(*out, decodeItemset(t, pattern, support))
 
 		// Conditional pattern base for `it`.
 		cond := newFPTree()
 		for node := tree.headers[it]; node != nil; node = node.next {
 			// Path from parent up to the root, reversed.
-			var path []string
-			for p := node.parent; p != nil && p.item != ""; p = p.parent {
+			var path []int32
+			for p := node.parent; p != nil && p.item != noItem; p = p.parent {
 				path = append(path, p.item)
 			}
 			if len(path) == 0 {
@@ -134,15 +137,25 @@ func mineFP(tree *fpTree, suffix []string, minSupport int, out *[]Itemset) {
 		// rebuilding it with only frequent items.
 		pruned := pruneFPTree(cond, minSupport)
 		if len(pruned.headers) > 0 {
-			mineFP(pruned, pattern, minSupport, out)
+			mineFP(pruned, t, pattern, minSupport, out)
 		}
 	}
+}
+
+// decodeItemset maps a pattern of item ids back to a sorted Itemset.
+func decodeItemset(t *Transactions, pattern []int32, support int) Itemset {
+	items := make([]string, len(pattern))
+	for i, id := range pattern {
+		items[i] = t.dict[id]
+	}
+	sort.Strings(items)
+	return Itemset{Items: items, Support: support}
 }
 
 // pruneFPTree rebuilds a conditional tree keeping only items whose
 // conditional support clears the threshold.
 func pruneFPTree(t *fpTree, minSupport int) *fpTree {
-	keep := map[string]bool{}
+	keep := map[int32]bool{}
 	for it, c := range t.counts {
 		if c >= minSupport {
 			keep[it] = true
@@ -151,16 +164,16 @@ func pruneFPTree(t *fpTree, minSupport int) *fpTree {
 	out := newFPTree()
 	// Re-walk every root-to-node path of the old tree; enumerate leaf
 	// paths by traversing children.
-	var walk func(n *fpNode, path []string, pathCount int)
-	walk = func(n *fpNode, path []string, pathCount int) {
+	var walk func(n *fpNode, path []int32, pathCount int)
+	walk = func(n *fpNode, path []int32, pathCount int) {
 		childSum := 0
 		for _, c := range n.children {
 			childSum += c.count
 		}
 		// The count attributable to paths ending at this node.
 		own := n.count - childSum
-		if n.item != "" && own > 0 {
-			kept := make([]string, 0, len(path)+1)
+		if n.item != noItem && own > 0 {
+			kept := make([]int32, 0, len(path)+1)
 			for _, it := range append(path, n.item) {
 				if keep[it] {
 					kept = append(kept, it)
@@ -171,15 +184,15 @@ func pruneFPTree(t *fpTree, minSupport int) *fpTree {
 			}
 		}
 		next := path
-		if n.item != "" {
+		if n.item != noItem {
 			next = append(path, n.item)
 		}
 		// Deterministic child order.
-		childItems := make([]string, 0, len(n.children))
+		childItems := make([]int32, 0, len(n.children))
 		for it := range n.children {
 			childItems = append(childItems, it)
 		}
-		sort.Strings(childItems)
+		sort.Slice(childItems, func(a, b int) bool { return childItems[a] < childItems[b] })
 		for _, it := range childItems {
 			walk(n.children[it], next, 0)
 		}

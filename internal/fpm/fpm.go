@@ -55,7 +55,9 @@ func SortItemsets(sets []Itemset) {
 
 // Apriori mines all itemsets with support >= minSupport (absolute
 // count, >= 1) using level-wise candidate generation with subset
-// pruning.
+// pruning. Callers mining the same baskets at several thresholds
+// should build a Transactions once and call its Apriori method, which
+// reuses one normalization across calls.
 func Apriori(txs [][]string, minSupport int) ([]Itemset, error) {
 	if minSupport < 1 {
 		return nil, fmt.Errorf("fpm: minSupport must be >= 1, got %d", minSupport)
@@ -64,7 +66,12 @@ func Apriori(txs [][]string, minSupport int) ([]Itemset, error) {
 	for i, tx := range txs {
 		norm[i] = normalizeTx(tx)
 	}
+	return aprioriNorm(norm, minSupport), nil
+}
 
+// aprioriNorm is the Apriori core over already-normalized (sorted,
+// deduplicated) transactions.
+func aprioriNorm(norm [][]string, minSupport int) []Itemset {
 	// L1.
 	counts := map[string]int{}
 	for _, tx := range norm {
@@ -152,7 +159,7 @@ func Apriori(txs [][]string, minSupport int) ([]Itemset, error) {
 		result = append(result, current...)
 	}
 	SortItemsets(result)
-	return result, nil
+	return result
 }
 
 // sortByKey orders itemsets lexicographically by canonical key, the

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"time"
 
 	"adahealth/internal/dataset"
 	"adahealth/internal/docstore"
@@ -24,7 +25,9 @@ import (
 	"adahealth/internal/stats"
 )
 
-// Collection names of the paper's data model.
+// Collection names of the paper's data model, plus the engine's own
+// operational telemetry (stage_traces, added by the stage-graph
+// pipeline engine — not part of the paper's six collections).
 const (
 	CollRaw         = "raw_datasets"
 	CollTransformed = "transformed"
@@ -32,6 +35,7 @@ const (
 	CollClusterKI   = "knowledge_cluster"
 	CollPatternKI   = "knowledge_pattern"
 	CollFeedback    = "feedback"
+	CollStageTraces = "stage_traces"
 )
 
 // Feedback is one user interaction: a domain expert grading a
@@ -62,7 +66,75 @@ func Open(dir string) (*KDB, error) {
 	s.Collection(CollPatternKI).CreateIndex("dataset")
 	s.Collection(CollFeedback).CreateIndex("dataset")
 	s.Collection(CollFeedback).CreateIndex("item_id")
+	s.Collection(CollStageTraces).CreateIndex("dataset")
 	return k, nil
+}
+
+// StageTrace is the recorded execution of one pipeline stage: what
+// ran, when, for how long, and roughly how much it allocated. The
+// stage-graph engine stores one per stage per analysis, so the K-DB
+// accumulates a per-dataset performance history alongside the
+// knowledge itself.
+type StageTrace struct {
+	// Dataset is the analyzed log's name.
+	Dataset string `json:"dataset"`
+	// Stage is the stage name in the pipeline DAG.
+	Stage string `json:"stage"`
+	// Start / End delimit the stage's wall-clock execution interval;
+	// overlapping intervals between stages of one analysis are the
+	// direct evidence of concurrent execution.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// WallNanos is End − Start in nanoseconds (denormalized for
+	// querying without time parsing).
+	WallNanos int64 `json:"wall_ns"`
+	// AllocBytes is the process-wide heap-allocation delta observed
+	// during the stage: exact under sequential execution, an upper
+	// bound when other stages run concurrently.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Sequential records whether the legacy sequential path produced
+	// this trace (Config.Sequential), so timings are comparable.
+	Sequential bool `json:"sequential"`
+}
+
+// Wall returns the stage's wall-clock duration.
+func (t StageTrace) Wall() time.Duration { return time.Duration(t.WallNanos) }
+
+// StoreStageTraces appends the traces of one analysis run.
+func (k *KDB) StoreStageTraces(traces []StageTrace) error {
+	coll := k.store.Collection(CollStageTraces)
+	for _, tr := range traces {
+		doc, err := toDoc(tr)
+		if err != nil {
+			return fmt.Errorf("kdb: encoding stage trace %s/%s: %w", tr.Dataset, tr.Stage, err)
+		}
+		if _, err := coll.Insert(doc); err != nil {
+			return fmt.Errorf("kdb: storing stage trace %s/%s: %w", tr.Dataset, tr.Stage, err)
+		}
+	}
+	return nil
+}
+
+// StageTraces returns stored traces, filtered by dataset when
+// datasetName is non-empty, ordered by start time.
+func (k *KDB) StageTraces(datasetName string) ([]StageTrace, error) {
+	coll := k.store.Collection(CollStageTraces)
+	var docs []docstore.Document
+	if datasetName == "" {
+		docs = coll.Find(nil)
+	} else {
+		docs = coll.FindEq("dataset", datasetName)
+	}
+	out := make([]StageTrace, 0, len(docs))
+	for _, doc := range docs {
+		var tr StageTrace
+		if err := fromDoc(doc, &tr); err != nil {
+			return nil, fmt.Errorf("kdb: decoding stage trace: %w", err)
+		}
+		out = append(out, tr)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out, nil
 }
 
 // Flush persists the store when it is disk-backed.
@@ -308,7 +380,7 @@ func (k *KDB) Counts() map[string]int {
 	out := map[string]int{}
 	for _, name := range []string{
 		CollRaw, CollTransformed, CollDescriptors,
-		CollClusterKI, CollPatternKI, CollFeedback,
+		CollClusterKI, CollPatternKI, CollFeedback, CollStageTraces,
 	} {
 		out[name] = k.store.Collection(name).Count()
 	}

@@ -217,16 +217,71 @@ func TestPersistence(t *testing.T) {
 	}
 }
 
-func TestCountsCoversSixCollections(t *testing.T) {
+func TestCountsCoversAllCollections(t *testing.T) {
 	k, _ := Open("")
 	counts := k.Counts()
-	if len(counts) != 6 {
-		t.Errorf("counts covers %d collections, want the paper's 6", len(counts))
+	// The paper's six collections plus the engine's stage_traces.
+	if len(counts) != 7 {
+		t.Errorf("counts covers %d collections, want 7", len(counts))
 	}
 	for _, name := range []string{CollRaw, CollTransformed, CollDescriptors,
-		CollClusterKI, CollPatternKI, CollFeedback} {
+		CollClusterKI, CollPatternKI, CollFeedback, CollStageTraces} {
 		if _, ok := counts[name]; !ok {
 			t.Errorf("collection %s missing from Counts", name)
 		}
+	}
+}
+
+func TestStageTracesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	k, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 7, 29, 10, 0, 0, 0, time.UTC)
+	traces := []StageTrace{
+		{Dataset: "diab", Stage: "sweep", Start: base.Add(time.Millisecond),
+			End: base.Add(50 * time.Millisecond), WallNanos: 49e6, AllocBytes: 1 << 20},
+		{Dataset: "diab", Stage: "characterize", Start: base,
+			End: base.Add(2 * time.Millisecond), WallNanos: 2e6, Sequential: true},
+		{Dataset: "other", Stage: "characterize", Start: base, End: base},
+	}
+	if err := k.StoreStageTraces(traces); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Reload from disk: traces survive and filter by dataset, ordered
+	// by start time.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.StageTraces("diab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("stage traces for diab = %d, want 2", len(got))
+	}
+	if got[0].Stage != "characterize" || got[1].Stage != "sweep" {
+		t.Errorf("traces not ordered by start: %q, %q", got[0].Stage, got[1].Stage)
+	}
+	if !got[0].Sequential || got[1].Sequential {
+		t.Errorf("sequential flags lost in round trip")
+	}
+	if got[1].Wall() != 49*time.Millisecond {
+		t.Errorf("wall = %v, want 49ms", got[1].Wall())
+	}
+	if got[1].AllocBytes != 1<<20 {
+		t.Errorf("alloc bytes = %d", got[1].AllocBytes)
+	}
+	all, err := re.StageTraces("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("all stage traces = %d, want 3", len(all))
 	}
 }

@@ -10,6 +10,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -99,8 +100,11 @@ func (s *SweepResult) Best() KResult {
 
 // Sweep evaluates every K on data (rows are the same features the
 // clustering consumes; the classifier is trained on them with the
-// cluster labels as target, exactly as in Section IV-A).
-func Sweep(data [][]float64, cfg SweepConfig) (*SweepResult, error) {
+// cluster labels as target, exactly as in Section IV-A). The context
+// is checked between clustering iterations and between evaluation
+// phases, so a cancelled sweep returns ctx.Err() promptly instead of
+// finishing the grid.
+func Sweep(ctx context.Context, data [][]float64, cfg SweepConfig) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	if len(data) == 0 {
 		return nil, fmt.Errorf("optimize: no data")
@@ -129,11 +133,20 @@ func Sweep(data [][]float64, cfg SweepConfig) (*SweepResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i] = evaluateK(data, k, cfg)
+			if err := ctx.Err(); err != nil {
+				rows[i] = KResult{K: k, Err: err.Error()}
+				return
+			}
+			rows[i] = evaluateK(ctx, data, k, cfg)
 		}(i, k)
 	}
 	wg.Wait()
 
+	// A cancelled context outranks per-row errors: return it unwrapped
+	// so callers can match with errors.Is.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, r := range rows {
 		if r.Err != "" {
 			return nil, fmt.Errorf("optimize: K=%d: %s", r.K, r.Err)
@@ -148,18 +161,18 @@ func Sweep(data [][]float64, cfg SweepConfig) (*SweepResult, error) {
 // SweepMatrix is Sweep over a VSM matrix, reusing the matrix's cached
 // sparse view (built at most once per matrix) when the sparse kernel
 // is expected to pay.
-func SweepMatrix(m *vsm.Matrix, cfg SweepConfig) (*SweepResult, error) {
+func SweepMatrix(ctx context.Context, m *vsm.Matrix, cfg SweepConfig) (*SweepResult, error) {
 	// Probe density on the dense rows first so a dense matrix never
 	// materializes (and permanently caches) a CSR view it won't use.
 	if cfg.csr == nil && m.NumRows() > 0 &&
 		cluster.SparseProfitable(m.NumRows(), m.NumFeatures(), vec.Density(m.Rows)) {
 		cfg.csr = m.Sparse()
 	}
-	return Sweep(m.Rows, cfg)
+	return Sweep(ctx, m.Rows, cfg)
 }
 
 // evaluateK runs one clustering + robustness assessment.
-func evaluateK(data [][]float64, k int, cfg SweepConfig) KResult {
+func evaluateK(ctx context.Context, data [][]float64, k int, cfg SweepConfig) KResult {
 	out := KResult{K: k}
 	opts := cfg.Cluster
 	opts.K = k
@@ -172,7 +185,7 @@ func evaluateK(data [][]float64, k int, cfg SweepConfig) KResult {
 		// any worker count, so this is purely a scheduling choice.
 		opts.Parallelism = 1
 	}
-	cr, err := cluster.KMeansCSR(cfg.csr, data, opts)
+	cr, err := cluster.KMeansCSRContext(ctx, cfg.csr, data, opts)
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -186,6 +199,10 @@ func evaluateK(data [][]float64, k int, cfg SweepConfig) KResult {
 	}
 	out.Similarity = os
 
+	if err := ctx.Err(); err != nil {
+		out.Err = err.Error()
+		return out
+	}
 	cv, err := eval.CrossValidate(func() classify.Classifier {
 		return classify.NewDecisionTree(cfg.Tree)
 	}, data, cr.Labels, cfg.CVFolds, cfg.Seed+int64(k))

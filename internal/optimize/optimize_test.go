@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -29,14 +30,14 @@ func structured(rng *rand.Rand, k, perCluster, d int) [][]float64 {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if _, err := Sweep(nil, SweepConfig{}); err == nil {
+	if _, err := Sweep(context.Background(), nil, SweepConfig{}); err == nil {
 		t.Error("accepted empty data")
 	}
 	data := structured(rand.New(rand.NewSource(1)), 2, 10, 3)
-	if _, err := Sweep(data, SweepConfig{Ks: []int{1}}); err == nil {
+	if _, err := Sweep(context.Background(), data, SweepConfig{Ks: []int{1}}); err == nil {
 		t.Error("accepted K=1")
 	}
-	if _, err := Sweep(data, SweepConfig{Ks: []int{1000}}); err == nil {
+	if _, err := Sweep(context.Background(), data, SweepConfig{Ks: []int{1000}}); err == nil {
 		t.Error("accepted K > n")
 	}
 }
@@ -44,7 +45,7 @@ func TestSweepErrors(t *testing.T) {
 func TestSweepTableShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	data := structured(rng, 4, 50, 6)
-	res, err := Sweep(data, SweepConfig{
+	res, err := Sweep(context.Background(), data, SweepConfig{
 		Ks:      []int{2, 3, 4, 5, 6, 8},
 		CVFolds: 5,
 		Seed:    1,
@@ -82,7 +83,7 @@ func TestSweepMetricsCollapseBeyondTrueK(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	trueK := 4
 	data := structured(rng, trueK, 50, 5)
-	res, err := Sweep(data, SweepConfig{
+	res, err := Sweep(context.Background(), data, SweepConfig{
 		Ks:      []int{4, 12, 20},
 		CVFolds: 5,
 		Seed:    2,
@@ -132,11 +133,11 @@ func TestSelectBestK(t *testing.T) {
 func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	data := structured(rng, 3, 40, 4)
-	a, err := Sweep(data, SweepConfig{Ks: []int{2, 3, 4}, CVFolds: 4, Seed: 9, Parallelism: 1})
+	a, err := Sweep(context.Background(), data, SweepConfig{Ks: []int{2, 3, 4}, CVFolds: 4, Seed: 9, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sweep(data, SweepConfig{Ks: []int{2, 3, 4}, CVFolds: 4, Seed: 9, Parallelism: 8})
+	b, err := Sweep(context.Background(), data, SweepConfig{Ks: []int{2, 3, 4}, CVFolds: 4, Seed: 9, Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 func TestSweepBestAccessor(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	data := structured(rng, 3, 30, 3)
-	res, err := Sweep(data, SweepConfig{Ks: []int{2, 3}, CVFolds: 3, Seed: 1})
+	res, err := Sweep(context.Background(), data, SweepConfig{Ks: []int{2, 3}, CVFolds: 3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestElbowK(t *testing.T) {
 func TestSweepWithFilteringAlgorithm(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	data := structured(rng, 3, 40, 4)
-	res, err := Sweep(data, SweepConfig{
+	res, err := Sweep(context.Background(), data, SweepConfig{
 		Ks: []int{2, 3, 4}, CVFolds: 3, Seed: 5,
 		Cluster: cluster.Options{Algorithm: cluster.Filtering},
 	})

@@ -17,6 +17,7 @@
 package partial
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -121,8 +122,10 @@ func (r *Result) SelectedStep() Step { return r.Steps[r.Selected] }
 
 // RunHorizontal performs the incremental exam-type analysis of
 // Section IV-B on a VSM matrix whose features are ordered by
-// decreasing frequency (as vsm.Build guarantees).
-func RunHorizontal(m *vsm.Matrix, cfg Config) (*Result, error) {
+// decreasing frequency (as vsm.Build guarantees). The context is
+// honoured between (fraction, K) probes and inside every clustering
+// run; a cancelled run returns ctx.Err().
+func RunHorizontal(ctx context.Context, m *vsm.Matrix, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -151,9 +154,12 @@ func RunHorizontal(m *vsm.Matrix, cfg Config) (*Result, error) {
 			csr = sub.Sparse()
 		}
 		for _, k := range cfg.Ks {
-			os, err := probeSimilarity(csr, sub.Rows, m.Rows, k, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			os, err := probeSimilarity(ctx, csr, sub.Rows, m.Rows, k, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("partial: probing fraction %g at K=%d: %w", frac, k, err)
+				return nil, probeErr(ctx, frac, k, err)
 			}
 			step.SimilarityByK[k] = os
 		}
@@ -166,7 +172,7 @@ func RunHorizontal(m *vsm.Matrix, cfg Config) (*Result, error) {
 // RunVertical performs the same adaptive loop over increasing patient
 // subsets (all exam types retained). Rows are sampled without
 // replacement with a seeded shuffle so each step extends the previous.
-func RunVertical(m *vsm.Matrix, cfg Config) (*Result, error) {
+func RunVertical(ctx context.Context, m *vsm.Matrix, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -198,9 +204,12 @@ func RunVertical(m *vsm.Matrix, cfg Config) (*Result, error) {
 			if k > nr {
 				continue // cannot form k clusters from fewer rows
 			}
-			os, err := probeSimilarity(csr, rows, m.Rows, k, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			os, err := probeSimilarity(ctx, csr, rows, m.Rows, k, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("partial: probing fraction %g at K=%d: %w", frac, k, err)
+				return nil, probeErr(ctx, frac, k, err)
 			}
 			step.SimilarityByK[k] = os
 		}
@@ -218,11 +227,11 @@ func RunVertical(m *vsm.Matrix, cfg Config) (*Result, error) {
 // label. For the vertical strategy the subset is a sample of patients
 // in the full space: the remaining patients are assigned to the
 // nearest learned centroid, the standard out-of-sample extension.
-func probeSimilarity(csr *vec.CSRMatrix, subsetRows, evalRows [][]float64, k int, cfg Config) (float64, error) {
+func probeSimilarity(ctx context.Context, csr *vec.CSRMatrix, subsetRows, evalRows [][]float64, k int, cfg Config) (float64, error) {
 	opts := cfg.Cluster
 	opts.K = k
 	opts.Seed = cfg.Seed + int64(k)*1009
-	cr, err := cluster.KMeansCSR(csr, subsetRows, opts)
+	cr, err := cluster.KMeansCSRContext(ctx, csr, subsetRows, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -236,6 +245,16 @@ func probeSimilarity(csr *vec.CSRMatrix, subsetRows, evalRows [][]float64, k int
 		}
 	}
 	return eval.OverallSimilarity(evalRows, labels, cr.K)
+}
+
+// probeErr keeps cancellation errors unwrapped (so errors.Is matches
+// context.Canceled / DeadlineExceeded) while annotating real failures
+// with the probe coordinates.
+func probeErr(ctx context.Context, frac float64, k int, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("partial: probing fraction %g at K=%d: %w", frac, k, err)
 }
 
 // finishSelection computes per-step relative differences against the

@@ -1,6 +1,7 @@
 package partial
 
 import (
+	"context"
 	"testing"
 
 	"adahealth/internal/synth"
@@ -34,7 +35,7 @@ func TestConfigValidation(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, err := RunHorizontal(m, c.cfg); err == nil {
+			if _, err := RunHorizontal(context.Background(), m, c.cfg); err == nil {
 				t.Errorf("accepted %s", c.name)
 			}
 		})
@@ -43,7 +44,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestHorizontalDefaultsAndShape(t *testing.T) {
 	m := smallMatrix(t)
-	res, err := RunHorizontal(m, Config{Seed: 1})
+	res, err := RunHorizontal(context.Background(), m, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestHorizontalCoverageMatchesPaperShape(t *testing.T) {
 	// With the synthetic Zipf data: 20% of exam types ≈ 70% of rows,
 	// 40% ≈ 85% (the fractions reported in §IV-B).
 	m := smallMatrix(t)
-	res, err := RunHorizontal(m, Config{Seed: 1})
+	res, err := RunHorizontal(context.Background(), m, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestHorizontalCoverageMatchesPaperShape(t *testing.T) {
 func TestHorizontalSelectsSmallestWithinTolerance(t *testing.T) {
 	m := smallMatrix(t)
 	// Generous tolerance: the smallest step must be selected.
-	res, err := RunHorizontal(m, Config{Seed: 1, Tolerance: 10})
+	res, err := RunHorizontal(context.Background(), m, Config{Seed: 1, Tolerance: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestHorizontalSelectsSmallestWithinTolerance(t *testing.T) {
 		t.Errorf("selected step %d under infinite tolerance, want 0", res.Selected)
 	}
 	// Tiny tolerance: only the reference step qualifies.
-	res, err = RunHorizontal(m, Config{Seed: 1, Tolerance: 1e-12})
+	res, err = RunHorizontal(context.Background(), m, Config{Seed: 1, Tolerance: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestHorizontalSimilarityDecreasesWithFewerExams(t *testing.T) {
 	// data: the 100% step is the reference; check the 20% step's
 	// similarity differs from it.
 	m := smallMatrix(t)
-	res, err := RunHorizontal(m, Config{Seed: 3, Ks: []int{6}})
+	res, err := RunHorizontal(context.Background(), m, Config{Seed: 3, Ks: []int{6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestHorizontalSimilarityDecreasesWithFewerExams(t *testing.T) {
 
 func TestVertical(t *testing.T) {
 	m := smallMatrix(t)
-	res, err := RunVertical(m, Config{Seed: 1, Fractions: []float64{0.3, 0.6, 1}, Ks: []int{4}})
+	res, err := RunVertical(context.Background(), m, Config{Seed: 1, Fractions: []float64{0.3, 0.6, 1}, Ks: []int{4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestVerticalSkipsOversizedK(t *testing.T) {
 	m := smallMatrix(t)
 	// First fraction yields very few rows; K larger than that row
 	// count must be skipped, not error.
-	res, err := RunVertical(m, Config{
+	res, err := RunVertical(context.Background(), m, Config{
 		Seed: 1, Fractions: []float64{0.005, 1}, Ks: []int{2, 500},
 	})
 	if err != nil {
@@ -174,11 +175,11 @@ func TestVerticalSkipsOversizedK(t *testing.T) {
 
 func TestDeterministicForSeed(t *testing.T) {
 	m := smallMatrix(t)
-	a, err := RunHorizontal(m, Config{Seed: 5})
+	a, err := RunHorizontal(context.Background(), m, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunHorizontal(m, Config{Seed: 5})
+	b, err := RunHorizontal(context.Background(), m, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

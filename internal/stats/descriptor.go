@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"sort"
+
 	"adahealth/internal/dataset"
 )
 
@@ -56,11 +58,17 @@ func Characterize(l *dataset.Log) Descriptor {
 		NumExamTypes: l.NumExamTypes(),
 	}
 
+	// RecordsPerPatient and ExamFrequencies are maps: sort the values
+	// before any floating-point accumulation so the summaries are
+	// bit-for-bit reproducible run to run (Go randomizes map iteration
+	// order, and the higher-moment and entropy sums are not exact, so
+	// an arbitrary order perturbs the last ulp).
 	perPatient := l.RecordsPerPatient()
 	rp := make([]float64, 0, len(perPatient))
 	for _, c := range perPatient {
 		rp = append(rp, float64(c))
 	}
+	sort.Float64s(rp)
 	d.RecordsPerPatient = Summarize(rp)
 
 	visits := l.Visits()
@@ -82,6 +90,7 @@ func Characterize(l *dataset.Log) Descriptor {
 	for _, c := range freqMap {
 		counts = append(counts, c)
 	}
+	sort.Ints(counts)
 	d.FrequencyEntropy = Entropy(counts)
 	d.FrequencyEntropyNorm = NormalizedEntropy(counts)
 	d.FrequencyGini = Gini(counts)

@@ -90,3 +90,18 @@ func TestCharacterizeEmptyLog(t *testing.T) {
 		t.Errorf("empty descriptor = %+v", d)
 	}
 }
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	// Characterize draws per-patient and per-exam counts out of maps;
+	// without a deterministic ordering before the floating-point
+	// accumulations (entropy, skewness, kurtosis), Go's randomized map
+	// iteration perturbs the last ulp between runs. Repeated calls
+	// must agree bit for bit.
+	l := descriptorLog(t)
+	first := Characterize(l)
+	for i := 0; i < 30; i++ {
+		if got := Characterize(l); got != first {
+			t.Fatalf("run %d differs:\n%+v\nvs\n%+v", i, got, first)
+		}
+	}
+}

@@ -7,10 +7,17 @@
 #   scripts/bench.sh                  # default benchmark set, 1 iteration each
 #   BENCHTIME=3x scripts/bench.sh     # more iterations
 #   BENCH='BenchmarkTableI$' scripts/bench.sh
+#   SMOKE=1 scripts/bench.sh          # fast subset for the CI regression gate
+#
+# The CI workflow runs the SMOKE subset and diffs ns/op against the
+# latest committed BENCH_*.json with scripts/benchdiff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation|BenchmarkVSMWeighting}"
+BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation|BenchmarkVSMWeighting|BenchmarkAnalyzeMany}"
+if [ "${SMOKE:-0}" = "1" ]; then
+    BENCH="${SMOKE_BENCH:-BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkAnalyzeMany}"
+fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
 RAW="$(mktemp)"

@@ -1,0 +1,125 @@
+// Command benchdiff compares two BENCH_*.json snapshots written by
+// scripts/bench.sh and fails when any benchmark present in both
+// regressed in ns/op beyond the tolerance — the CI gate that keeps the
+// perf trajectory monotone.
+//
+//	go run ./scripts/benchdiff -tolerance 20 BENCH_old.json BENCH_new.json
+//
+// Exit status: 0 when every common benchmark is within tolerance (or
+// improved), 1 on regression, 2 on usage/parse errors. Benchmarks
+// present in only one snapshot are reported but never gate, so adding
+// or retiring benchmarks does not break CI. When the two snapshots
+// were recorded on different CPUs the timings are only roughly
+// comparable, so regressions are reported but do not fail the run
+// unless -strict is set; regenerate the committed baseline on the CI
+// runner family to arm the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type snapshot struct {
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (map[string]float64, *snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	nsPerOp := map[string]float64{}
+	for _, b := range s.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			nsPerOp[b.Name] = ns
+		}
+	}
+	return nsPerOp, &s, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 20, "max ns/op regression in percent before failing")
+	strict := flag.Bool("strict", false, "gate even when the snapshots were recorded on different CPUs")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldNs, oldSnap, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, newSnap, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("old: %s (%s)\nnew: %s (%s)\n", flag.Arg(0), oldSnap.Date, flag.Arg(1), newSnap.Date)
+	cpuMismatch := oldSnap.CPU != newSnap.CPU
+	if cpuMismatch {
+		fmt.Printf("note: CPU differs (%q vs %q); timings are only roughly comparable\n",
+			oldSnap.CPU, newSnap.CPU)
+	}
+
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	common, regressions := 0, 0
+	fmt.Printf("%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		prev, ok := oldNs[name]
+		if !ok {
+			fmt.Printf("%-60s %14s %14.0f %9s\n", name, "-", newNs[name], "new")
+			continue
+		}
+		common++
+		delta := (newNs[name] - prev) / prev * 100
+		marker := ""
+		if delta > *tolerance {
+			marker = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+8.1f%%%s\n", name, prev, newNs[name], delta, marker)
+	}
+	for name := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Printf("%-60s %14.0f %14s %9s\n", name, oldNs[name], "-", "gone")
+		}
+	}
+
+	switch {
+	case common == 0:
+		fmt.Println("no common benchmarks: nothing gated")
+	case regressions > 0 && cpuMismatch && !*strict:
+		fmt.Printf("%d of %d common benchmarks beyond %.0f%%, but the CPUs differ: "+
+			"not gating (pass -strict to fail anyway; regenerate the baseline on this runner to arm the gate)\n",
+			regressions, common, *tolerance)
+	case regressions > 0:
+		fmt.Printf("%d of %d common benchmarks regressed beyond %.0f%%\n",
+			regressions, common, *tolerance)
+		os.Exit(1)
+	default:
+		fmt.Printf("all %d common benchmarks within %.0f%% of the snapshot\n",
+			common, *tolerance)
+	}
+}
