@@ -7,21 +7,49 @@
 // for better healthcare: A path towards automated data analysis?"
 // (ICDE Workshops 2016).
 //
-// Quickstart:
+// The primary surface is the job API — analysis as a service, the
+// paper's framing of mining as a shared hospital-wide facility. A
+// Service owns one engine, a bounded admission queue and a shared
+// stage pool; Submit returns immediately with a Job handle that
+// exposes live progress:
+//
+//	svc, _ := adahealth.NewService(adahealth.ServiceConfig{Workers: 4})
+//	defer svc.Shutdown(context.Background())
+//
+//	log, _ := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+//	job, err := svc.Submit(ctx, log,
+//		adahealth.WithPriority(5),
+//		adahealth.WithDeadline(time.Now().Add(2*time.Minute)))
+//	if errors.Is(err, adahealth.ErrQueueFull) { /* shed load or SubmitWait */ }
+//
+//	go func() {
+//		for ev := range job.Events() { fmt.Println(ev.Phase, ev.Stage) }
+//	}()
+//	report, _ := job.Wait(ctx)
+//	fmt.Println(report.Sweep.BestK)
+//
+// Submissions are admission-controlled: a full queue fast-rejects with
+// ErrQueueFull (Service.SubmitWait blocks instead), higher-priority
+// jobs dispatch first, per-job deadlines cover queue wait, and bad
+// configurations are rejected at Submit time. cmd/adahealthd serves
+// the same API over HTTP JSON.
+//
+// The one-shot path remains the simple case — identical results,
+// no service in between:
 //
 //	log, _ := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
 //	engine, _ := adahealth.NewEngine(adahealth.DefaultConfig())
 //	report, _ := engine.Analyze(log)
 //	fmt.Println(report.Sweep.BestK)
 //
-// The pipeline executes as a concurrent stage DAG: independent stages
-// (pattern mining, the K sweep, demand extraction, ...) overlap on a
-// bounded worker pool, Engine.AnalyzeContext threads cancellation
-// through every compute kernel, Engine.AnalyzeMany batches several
-// logs over one shared pool, and Report.Stages carries per-stage
-// wall-time/allocation traces (also persisted in the K-DB). Set
-// Config.Sequential for the legacy serial execution, which produces a
-// bit-for-bit identical Report.
+// Either way the pipeline executes as a concurrent stage DAG:
+// independent stages (pattern mining, the K sweep, demand extraction,
+// ...) overlap on a bounded worker pool, Engine.AnalyzeContext threads
+// cancellation through every compute kernel, Engine.AnalyzeMany
+// batches several logs over one shared pool, and Report.Stages carries
+// per-stage wall-time/allocation traces (also persisted in the K-DB).
+// Set Config.Sequential for the legacy serial execution, which
+// produces a bit-for-bit identical Report.
 package adahealth
 
 import (
@@ -31,6 +59,7 @@ import (
 	"adahealth/internal/kdb"
 	"adahealth/internal/knowledge"
 	"adahealth/internal/ranking"
+	"adahealth/internal/service"
 	"adahealth/internal/stats"
 	"adahealth/internal/synth"
 )
@@ -79,7 +108,67 @@ type (
 	Ranker = ranking.Ranker
 	// NavigationSession pages through ranked knowledge interactively.
 	NavigationSession = ranking.Session
+
+	// Service is the asynchronous analysis service: one shared engine,
+	// a bounded admission queue, priority dispatch.
+	Service = service.Service
+	// ServiceConfig configures a Service.
+	ServiceConfig = service.Config
+	// Job is the handle of one submitted analysis.
+	Job = service.Job
+	// JobStatus is a job's lifecycle position
+	// (queued/running/done/failed/cancelled).
+	JobStatus = service.Status
+	// StageEvent is one live progress event of a job: a lifecycle
+	// transition or a per-stage start/finish.
+	StageEvent = service.StageEvent
+	// SubmitOption tunes one submission (WithPriority, WithDeadline,
+	// WithSeed, WithConfigOverride, WithLabels).
+	SubmitOption = service.Option
+	// ServiceStats is a point-in-time queue/worker gauge snapshot.
+	ServiceStats = service.Stats
+	// TraceDump is the stage-schedule JSON encoding shared by
+	// `adahealth -trace` and the daemon's status endpoint.
+	TraceDump = service.TraceDump
 )
+
+// Job lifecycle statuses.
+const (
+	JobQueued    = service.StatusQueued
+	JobRunning   = service.StatusRunning
+	JobDone      = service.StatusDone
+	JobFailed    = service.StatusFailed
+	JobCancelled = service.StatusCancelled
+)
+
+// Admission-control sentinels.
+var (
+	// ErrQueueFull is Submit's fast reject when the admission queue is
+	// at capacity (HTTP 429 on the daemon).
+	ErrQueueFull = service.ErrQueueFull
+	// ErrServiceClosed rejects submissions after Shutdown.
+	ErrServiceClosed = service.ErrClosed
+)
+
+// Submission options.
+var (
+	// WithPriority dispatches higher-priority jobs first.
+	WithPriority = service.WithPriority
+	// WithDeadline bounds a job's lifetime, queue wait included.
+	WithDeadline = service.WithDeadline
+	// WithSeed overrides the analysis seed for one job.
+	WithSeed = service.WithSeed
+	// WithConfigOverride analyzes one job under a different Config
+	// (validated at admission, shared K-DB).
+	WithConfigOverride = service.WithConfigOverride
+	// WithLabels attaches caller metadata to a job.
+	WithLabels = service.WithLabels
+)
+
+// NewService starts an asynchronous analysis service. The zero
+// ServiceConfig is a working default: paper-faithful engine, in-memory
+// K-DB, 4 worker slots, a 64-deep admission queue.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // Interest degrees.
 const (

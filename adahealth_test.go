@@ -1,6 +1,7 @@
 package adahealth_test
 
 import (
+	"context"
 	"testing"
 
 	"adahealth"
@@ -78,5 +79,61 @@ func TestCharacterize(t *testing.T) {
 	}
 	if d.VSMSparsity <= 0 {
 		t.Errorf("sparsity = %v, want > 0", d.VSMSparsity)
+	}
+}
+
+// TestPublicJobAPI exercises the service surface end-to-end through
+// the re-exported names: submit, stream events, wait, and admission
+// errors.
+func TestPublicJobAPI(t *testing.T) {
+	log, err := adahealth.GenerateSyntheticLog(adahealth.SmallDataConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := adahealth.ServiceConfig{Workers: 2}
+	cfg.Engine.Seed = 1
+	cfg.Engine.Sweep.Ks = []int{3, 4}
+	cfg.Engine.Sweep.CVFolds = 3
+	cfg.Engine.Partial.Ks = []int{4}
+	svc, err := adahealth.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown(context.Background())
+
+	job, err := svc.Submit(context.Background(), log,
+		adahealth.WithPriority(1),
+		adahealth.WithLabels(map[string]string{"suite": "public"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRunning := make(chan bool, 1)
+	go func() {
+		saw := false
+		for ev := range job.Events() {
+			if ev.Phase == string(adahealth.JobRunning) {
+				saw = true
+			}
+		}
+		sawRunning <- saw
+	}()
+	report, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if job.Status() != adahealth.JobDone {
+		t.Errorf("status = %s", job.Status())
+	}
+	if report.Sweep.BestK < 3 || report.Sweep.BestK > 4 {
+		t.Errorf("BestK = %d", report.Sweep.BestK)
+	}
+	if !<-sawRunning {
+		t.Error("events stream never reported running")
+	}
+
+	badCfg := cfg.Engine
+	badCfg.MinConfidence = 7
+	if _, err := svc.Submit(context.Background(), log, adahealth.WithConfigOverride(badCfg)); err == nil {
+		t.Error("bad override accepted at admission")
 	}
 }

@@ -9,6 +9,7 @@
 //	adahealth -kdb kdbdir/ -top 15        # persist the K-DB, show 15 items
 //	adahealth -synthetic -timeout 90s     # bound the analysis wall-clock
 //	adahealth -synthetic -sequential      # legacy serial stage execution
+//	adahealth -synthetic -trace out.json  # dump the stage schedule as JSON
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
+	"adahealth/internal/service"
 	"adahealth/internal/synth"
 )
 
@@ -34,6 +36,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit)")
 		sequential = flag.Bool("sequential", false, "run pipeline stages serially (legacy execution)")
 		jobs       = flag.Int("jobs", 0, "max concurrently running stages (0 = all cores)")
+		trace      = flag.String("trace", "", "write the stage schedule (Report.Stages) to this file as JSON")
 	)
 	flag.Parse()
 
@@ -84,6 +87,28 @@ func main() {
 	}
 	printReport(rep, *top)
 	printStageTimings(rep)
+	if *trace != "" {
+		if err := writeTraceFile(*trace, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "adahealth: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stage trace written to %s\n", *trace)
+	}
+}
+
+// writeTraceFile dumps the stage schedule in the same JSON encoding
+// the daemon's status endpoint serves (service.TraceDump), so offline
+// flame-style tooling consumes one format for both.
+func writeTraceFile(path string, rep *core.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteTrace(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printStageTimings renders the stage-graph execution trace: per-stage

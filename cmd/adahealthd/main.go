@@ -1,0 +1,97 @@
+// Command adahealthd is the ADA-HEALTH analysis daemon: a long-running
+// HTTP JSON service that turns the blocking library pipeline into
+// asynchronous, admission-controlled analysis jobs over one shared
+// engine and stage pool.
+//
+//	adahealthd -addr :8080 -kdb kdbdir/ -workers 4 -queue 64
+//
+// API (all JSON):
+//
+//	POST   /v1/analyses             submit a job; 202 + {"id": ...}, 429 when the queue is full
+//	GET    /v1/analyses/{id}        status, live stage progress, stage-trace dump when done
+//	GET    /v1/analyses/{id}/report the finished report (409 until done)
+//	DELETE /v1/analyses/{id}        cancel the job
+//	GET    /healthz                 liveness + queue/worker gauges
+//
+// A submission names its data inline ({"log": {...}}) or asks the
+// daemon to generate a synthetic log ({"synthetic": {"NumPatients":
+// 300, ...}}), and may set "priority", "deadline_ms", "seed", "labels"
+// and a full per-job "config" override (validated at admission).
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
+// HTTP connections and new jobs, lets queued and running jobs finish
+// within -drain, then cancels whatever remains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adahealth/internal/core"
+	"adahealth/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		kdbDir  = flag.String("kdb", "", "knowledge-base directory (default: in-memory)")
+		seed    = flag.Int64("seed", 1, "base analysis seed (jobs may override per submission)")
+		workers = flag.Int("workers", 0, "max concurrently running jobs (0 = service default)")
+		queue   = flag.Int("queue", 0, "admission queue depth before 429s (0 = service default)")
+		jobs    = flag.Int("jobs", 0, "stage pool size shared by all running jobs (0 = all cores)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Engine: core.Config{
+			KDBDir:      *kdbDir,
+			Seed:        *seed,
+			Parallelism: *jobs,
+		},
+		Workers:    *workers,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("adahealthd: listening on %s (workers=%d queue=%d)\n",
+		*addr, svc.Stats().Workers, svc.Stats().QueueDepth)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "adahealthd: serving: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections and jobs, give
+	// in-flight work the drain budget, then cut it loose.
+	fmt.Println("adahealthd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "adahealthd: http shutdown: %v\n", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: drain budget exceeded; cancelled remaining jobs\n")
+		os.Exit(1)
+	}
+	fmt.Println("adahealthd: drained cleanly")
+}

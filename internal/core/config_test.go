@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNewRejectsBadConfig: New must fail bad configurations with a
+// descriptive error at construction time instead of silently
+// defaulting — the admission-time contract the job service relies on.
+func TestNewRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error
+	}{
+		{"support above one", Config{MinSupportFrac: 1.5}, "MinSupportFrac"},
+		{"negative support", Config{MinSupportFrac: -0.1}, "MinSupportFrac"},
+		{"confidence above one", Config{MinConfidence: 1.2}, "MinConfidence"},
+		{"negative confidence", Config{MinConfidence: -0.5}, "MinConfidence"},
+		{"negative pattern cap", Config{MaxPatternItems: -1}, "MaxPatternItems"},
+		{"negative parallelism", Config{Parallelism: -2}, "Parallelism"},
+		{"negative seed", Config{Seed: -7}, "Seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatalf("New accepted %+v", tc.cfg)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+			if err := tc.cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", tc.cfg)
+			}
+		})
+	}
+}
+
+// TestNewAcceptsZeroAndBoundaryConfig: zero values select defaults and
+// in-range boundaries pass.
+func TestNewAcceptsZeroAndBoundaryConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{MinSupportFrac: 1, MinConfidence: 1},
+		{MinSupportFrac: 0.02, MinConfidence: 0.6, MaxPatternItems: 10, Parallelism: 2, Seed: 42},
+	} {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		if e.Config().MinSupportFrac <= 0 || e.Config().MinConfidence <= 0 {
+			t.Fatalf("defaults not filled: %+v", e.Config())
+		}
+	}
+}
+
+// TestWithConfigSharesKDB: a derived engine validates its override and
+// keeps the parent's knowledge base.
+func TestWithConfigSharesKDB(t *testing.T) {
+	e, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WithConfig(Config{MinConfidence: 3}); err == nil {
+		t.Error("WithConfig accepted MinConfidence 3")
+	}
+	d, err := e.WithConfig(Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.KDB() != e.KDB() {
+		t.Error("derived engine does not share the parent K-DB")
+	}
+	if d.Config().Seed != 9 {
+		t.Errorf("derived seed = %d, want 9", d.Config().Seed)
+	}
+}

@@ -72,9 +72,10 @@ type Config struct {
 	// equivalence tests.
 	Sequential bool
 	// Parallelism bounds how many stages run concurrently — one pool
-	// shared across all logs of an AnalyzeMany call, so batch analysis
-	// does not oversubscribe the machine; <= 0 uses all cores
-	// (runtime.GOMAXPROCS(0)).
+	// shared across all logs of an AnalyzeMany call (or all jobs of a
+	// service), so batch analysis does not oversubscribe the machine;
+	// 0 uses all cores (runtime.GOMAXPROCS(0)), negative is rejected
+	// by Validate.
 	Parallelism int
 }
 
@@ -93,25 +94,92 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate checks the declared analysis parameters before defaults are
+// filled in: a zero value always passes (it selects the documented
+// default), anything outside a parameter's meaningful range is
+// rejected with a descriptive error. New and Engine.WithConfig enforce
+// it, so a bad configuration fails at construction/admission time
+// rather than silently defaulting or misbehaving mid-analysis.
+func (c Config) Validate() error {
+	if c.MinSupportFrac < 0 || c.MinSupportFrac > 1 {
+		return fmt.Errorf("core: MinSupportFrac %v outside [0, 1] (it is a fraction of visits; 0 selects the 0.02 default)", c.MinSupportFrac)
+	}
+	if c.MinConfidence < 0 || c.MinConfidence > 1 {
+		return fmt.Errorf("core: MinConfidence %v outside (0, 1] (0 selects the 0.6 default)", c.MinConfidence)
+	}
+	if c.MaxPatternItems < 0 {
+		return fmt.Errorf("core: negative MaxPatternItems %d (0 selects the default of 50)", c.MaxPatternItems)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative Parallelism %d (use 0 for all cores)", c.Parallelism)
+	}
+	if c.Seed < 0 {
+		return fmt.Errorf("core: negative Seed %d (seeds must be non-negative so derived per-component seeds stay in range)", c.Seed)
+	}
+	return nil
+}
+
 // Engine is the ADA-HEALTH automated analysis engine.
 type Engine struct {
 	cfg Config
 	kdb *kdb.KDB
+	txc *txCache
 }
 
-// New builds an engine, opening (or creating) its knowledge base.
+// New builds an engine, opening (or creating) its knowledge base. The
+// configuration is validated first (see Config.Validate); a rejected
+// configuration returns a descriptive error instead of silently
+// defaulting.
 func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	k, err := kdb.Open(cfg.KDBDir)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening K-DB: %w", err)
 	}
-	return &Engine{cfg: cfg, kdb: k}, nil
+	return &Engine{cfg: cfg, kdb: k, txc: newTxCache()}, nil
 }
+
+// WithConfig returns a derived engine that analyzes under cfg but
+// shares this engine's knowledge base and transaction cache. It is how
+// a long-running service runs per-job configuration overrides (seed,
+// thresholds, sweep grid) without opening a second K-DB. The override
+// is validated like New validates; KDBDir is ignored — the K-DB is
+// inherited.
+func (e *Engine) WithConfig(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.KDBDir = e.cfg.KDBDir
+	return &Engine{cfg: cfg.withDefaults(), kdb: e.kdb, txc: e.txc}, nil
+}
+
+// Config returns the engine's resolved configuration (defaults filled
+// in).
+func (e *Engine) Config() Config { return e.cfg }
 
 // KDB exposes the engine's knowledge base (feedback recording,
 // inspection).
 func (e *Engine) KDB() *kdb.KDB { return e.kdb }
+
+// StageParallelism reports the resolved stage-pool size
+// (Config.Parallelism, or all cores when unset).
+func (e *Engine) StageParallelism() int { return e.parallelism() }
+
+// ReleaseLog drops the engine's cached per-log state (the patterns
+// stage's transaction encoding). Long-running callers that know a log
+// will not be re-analyzed — the job service, once a submission's last
+// job finishes — call this so request-scoped logs do not stay pinned
+// in memory until cache eviction. Releasing a log that is mid-analysis
+// is safe: the analysis keeps its reference and a later re-analysis
+// simply rebuilds.
+func (e *Engine) ReleaseLog(log *dataset.Log) { e.txc.release(log) }
+
+// CachedLogs reports how many logs currently hold cached per-log state
+// (observability: the daemon's memory footprint tracks this).
+func (e *Engine) CachedLogs() int { return e.txc.size() }
 
 // Report is the complete outcome of one automated analysis.
 type Report struct {
@@ -153,7 +221,100 @@ func (e *Engine) Analyze(log *dataset.Log) (*Report, error) {
 // ctx.Err() (errors.Is-matchable) as soon as the in-flight work
 // reaches its next checkpoint, rather than finishing the grid.
 func (e *Engine) AnalyzeContext(ctx context.Context, log *dataset.Log) (*Report, error) {
-	return e.analyze(ctx, log, nil, true)
+	return e.AnalyzeWith(ctx, log, AnalyzeOptions{})
+}
+
+// StagePool is a bounded counting semaphore shared by concurrently
+// executing analyses: every running stage holds one slot, so however
+// many analyses are in flight, at most cap(pool) stages execute at
+// once. AnalyzeMany sizes one from Config.Parallelism; a long-running
+// service creates one at startup and passes it to every job's
+// AnalyzeWith.
+type StagePool chan struct{}
+
+// NewStagePool builds a stage pool admitting n concurrent stages
+// (n < 1 uses all cores).
+func NewStagePool(n int) StagePool {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return make(StagePool, n)
+}
+
+// AnalyzeOptions tunes one shared-dispatch analysis. The zero value
+// reproduces AnalyzeContext: a private pool, no observer, a K-DB flush
+// on completion.
+type AnalyzeOptions struct {
+	// Pool is the stage pool this analysis shares with its siblings
+	// (nil = a private pool sized by Config.Parallelism).
+	Pool StagePool
+	// Observer, when non-nil, receives a StageEvent at every stage
+	// start and finish — the scheduler's trace points — while the
+	// analysis runs. Calls come from scheduler goroutines and stop
+	// before AnalyzeWith returns; observers must not block.
+	Observer StageObserver
+	// NoFlush suppresses the per-analysis K-DB flush. Batch callers
+	// (AnalyzeMany, a job service) set it and flush once themselves:
+	// concurrent flushes would race on the docstore's snapshot files.
+	NoFlush bool
+	// FairShare, when > 0, derates the analysis's inner sweep and
+	// partial-mining parallelism to a 1/FairShare share of the stage
+	// pool and pins the K-means kernels serial — the batch fairness
+	// rule AnalyzeMany applies with FairShare = len(logs), and a
+	// service applies with its worker count (even a 1-slot service
+	// sets it: the stage pool and sweep pool already carry the
+	// concurrency, so the kernels must not also fan out to all
+	// cores). Sweep results are identical for every worker count, so
+	// this only affects scheduling. 0 leaves the kernels free to use
+	// the whole machine, as a lone Analyze call should.
+	FairShare int
+}
+
+// AnalyzeWith is the single dispatch path every analysis funnels
+// through: Analyze/AnalyzeContext call it with zero options,
+// AnalyzeMany fans a batch out over one shared pool, and the job
+// service (internal/service) submits each admitted job here with its
+// own pool and event observer.
+func (e *Engine) AnalyzeWith(ctx context.Context, log *dataset.Log, opts AnalyzeOptions) (*Report, error) {
+	if log != nil {
+		// The DAG's root stages read the log concurrently; build its
+		// lazy lookup tables before any of them race to do it. (Callers
+		// running concurrent AnalyzeWith calls on one log pointer must
+		// index it before fanning out, as AnalyzeMany does.)
+		log.EnsureIndexes()
+	}
+	be := e
+	if opts.FairShare > 0 {
+		be = e.derated(opts.FairShare)
+	}
+	return be.analyze(ctx, log, opts.Pool, !opts.NoFlush, opts.Observer)
+}
+
+// derated returns a copy of the engine whose inner sweep and
+// partial-mining parallelism is reduced to a fair 1/n share of the
+// stage pool, so n concurrent analyses do not each fan their kernels
+// out to GOMAXPROCS workers on top of the stage-level concurrency.
+// Explicitly pinned values are left alone.
+func (e *Engine) derated(n int) *Engine {
+	be := *e
+	if be.cfg.Sweep.Parallelism <= 0 {
+		be.cfg.Sweep.Parallelism = e.parallelism() / n
+		if be.cfg.Sweep.Parallelism < 1 {
+			be.cfg.Sweep.Parallelism = 1
+		}
+		if be.cfg.Sweep.Cluster.Parallelism == 0 {
+			// The stage pool and the sweep pool already carry the
+			// batch concurrency; keep the K-means kernel serial.
+			be.cfg.Sweep.Cluster.Parallelism = 1
+		}
+	}
+	if be.cfg.Partial.Cluster.Parallelism == 0 {
+		// Same for the partial-mining probe runs: concurrent
+		// partialmine stages must not each fan the kernel out to
+		// GOMAXPROCS workers.
+		be.cfg.Partial.Cluster.Parallelism = 1
+	}
+	return &be
 }
 
 // AnalyzeMany analyzes several logs as one batch sharing a single
@@ -179,29 +340,19 @@ func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Repor
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	pool := make(chan struct{}, e.parallelism())
+	pool := NewStagePool(e.parallelism())
 
-	// Derate per-log inner parallelism to a fair share of the pool
-	// unless the caller pinned it explicitly.
-	be := *e
-	if be.cfg.Sweep.Parallelism <= 0 {
-		be.cfg.Sweep.Parallelism = e.parallelism() / len(logs)
-		if be.cfg.Sweep.Parallelism < 1 {
-			be.cfg.Sweep.Parallelism = 1
-		}
-		if be.cfg.Sweep.Cluster.Parallelism == 0 {
-			// The stage pool and the sweep pool already carry the
-			// batch concurrency; keep the K-means kernel serial.
-			be.cfg.Sweep.Cluster.Parallelism = 1
-		}
+	// Each log is one shared-dispatch analysis: one stage pool, batch
+	// fair-share derating, flush deferred to the single batch flush
+	// below (per-log flushes from concurrent goroutines would race on
+	// the docstore's snapshot temp files).
+	opts := AnalyzeOptions{Pool: pool, NoFlush: true, FairShare: len(logs)}
+	// Index every log serially before fanning out: a log submitted
+	// twice in one batch would otherwise have two goroutines racing to
+	// build its lazy lookup tables.
+	for _, log := range logs {
+		log.EnsureIndexes()
 	}
-	if be.cfg.Partial.Cluster.Parallelism == 0 {
-		// Same for the partial-mining probe runs: concurrent
-		// partialmine stages must not each fan the kernel out to
-		// GOMAXPROCS workers.
-		be.cfg.Partial.Cluster.Parallelism = 1
-	}
-
 	reports := make([]*Report, len(logs))
 	errs := make([]error, len(logs))
 	var wg sync.WaitGroup
@@ -209,10 +360,7 @@ func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Repor
 		wg.Add(1)
 		go func(i int, log *dataset.Log) {
 			defer wg.Done()
-			// flush=false: per-log flushes from concurrent goroutines
-			// would race on the docstore's snapshot temp files; the
-			// batch flushes once below instead.
-			rep, err := be.analyze(ctx, log, pool, false)
+			rep, err := e.AnalyzeWith(ctx, log, opts)
 			reports[i], errs[i] = rep, err
 			if err != nil {
 				cancel() // fail fast: stop sibling analyses
@@ -244,8 +392,9 @@ func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Repor
 // analyze runs one log through the stage graph. pool is the shared
 // stage semaphore (nil = private pool sized by Config.Parallelism);
 // flush controls whether the K-DB is flushed here (AnalyzeMany defers
-// to one batch-level flush so concurrent snapshot writes cannot tear).
-func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool chan struct{}, flush bool) (*Report, error) {
+// to one batch-level flush so concurrent snapshot writes cannot tear);
+// observe, when non-nil, receives stage start/finish events live.
+func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, flush bool, observe StageObserver) (*Report, error) {
 	if log.NumPatients() == 0 || log.NumRecords() == 0 {
 		return nil, fmt.Errorf("core: log %q is empty", log.Name)
 	}
@@ -270,12 +419,12 @@ func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool chan struct
 				return nil, ctx.Err()
 			}
 		}
-		sr, err = runSequential(ctx, stages, s)
+		sr, err = runSequential(ctx, stages, s, observe)
 	} else {
 		if pool == nil {
-			pool = make(chan struct{}, e.parallelism())
+			pool = NewStagePool(e.parallelism())
 		}
-		sr, err = runDAG(ctx, stages, s, pool)
+		sr, err = runDAG(ctx, stages, s, pool, observe)
 	}
 	if err != nil {
 		return nil, err

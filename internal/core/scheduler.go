@@ -75,16 +75,18 @@ func heapAllocBytes() uint64 {
 // runSequential executes stages one by one in declaration order — the
 // legacy pre-DAG behaviour, kept behind Config.Sequential as the
 // reference implementation the DAG is equivalence-tested against.
-func runSequential(ctx context.Context, stages []Stage, s *pipelineState) (*scheduleResult, error) {
+func runSequential(ctx context.Context, stages []Stage, s *pipelineState, observe StageObserver) (*scheduleResult, error) {
 	res := &scheduleResult{maxConcurrent: 1}
 	for _, st := range stages {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		start := time.Now()
+		observe.observe(s.log.Name, st.Name(), StageStart, start, nil)
 		a0 := heapAllocBytes()
 		err := st.Run(ctx, s)
 		end := time.Now()
+		observe.observe(s.log.Name, st.Name(), StageFinish, end, err)
 		res.traces = append(res.traces, kdb.StageTrace{
 			Dataset:    s.log.Name,
 			Stage:      st.Name(),
@@ -108,7 +110,7 @@ func runSequential(ctx context.Context, stages []Stage, s *pipelineState) (*sche
 // stages are abandoned and in-flight ones are cancelled; the first
 // error (by completion time) is returned, except that a cancelled
 // parent context always surfaces as ctx.Err().
-func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan struct{}) (*scheduleResult, error) {
+func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan struct{}, observe StageObserver) (*scheduleResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -156,9 +158,11 @@ func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan str
 			enter()
 			defer leave()
 			start := time.Now()
+			observe.observe(s.log.Name, st.Name(), StageStart, start, nil)
 			a0 := heapAllocBytes()
 			err := st.Run(ctx, s)
 			end := time.Now()
+			observe.observe(s.log.Name, st.Name(), StageFinish, end, err)
 			results <- outcome{
 				idx: idx,
 				err: err,

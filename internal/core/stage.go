@@ -238,17 +238,17 @@ func (e *Engine) runPatterns(ctx context.Context, s *pipelineState) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	visits := s.log.Visits()
-	txs := make([][]string, len(visits))
-	for i, v := range visits {
-		txs[i] = v.ExamCodes
-	}
-	minSupport := int(e.cfg.MinSupportFrac * float64(len(txs)))
+	// The visit baskets and their taxonomy extension depend only on
+	// the log, so the int-encoded transaction database is built once
+	// per log and shared across analyses (and across engines derived
+	// via WithConfig).
+	ext, numTx := e.txc.basketsFor(s.log)
+	minSupport := int(e.cfg.MinSupportFrac * float64(numTx))
 	if minSupport < 2 {
 		minSupport = 2
 	}
 	tax := taxonomyOf(s.log)
-	gsets, err := fpm.MineGeneralized(txs, tax, minSupport)
+	gsets, err := fpm.MineGeneralizedEncoded(ext, tax, minSupport)
 	if err != nil {
 		return fmt.Errorf("pattern mining: %w", err)
 	}
@@ -260,11 +260,11 @@ func (e *Engine) runPatterns(ctx context.Context, s *pipelineState) error {
 		flat = append(flat, g.Itemset)
 	}
 	fpm.SortItemsets(flat)
-	s.rep.PatternItems = knowledge.FromItemsets(s.log.Name, flat, len(txs))
+	s.rep.PatternItems = knowledge.FromItemsets(s.log.Name, flat, numTx)
 	if len(s.rep.PatternItems) > e.cfg.MaxPatternItems {
 		s.rep.PatternItems = s.rep.PatternItems[:e.cfg.MaxPatternItems]
 	}
-	rules, err := fpm.Rules(flat, len(txs), e.cfg.MinConfidence)
+	rules, err := fpm.Rules(flat, numTx, e.cfg.MinConfidence)
 	if err != nil {
 		return fmt.Errorf("rule derivation: %w", err)
 	}

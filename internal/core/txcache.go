@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/fpm"
+)
+
+// txCacheMax bounds how many logs keep a cached basket encoding. A
+// long-running service re-analyzes the same logs under different
+// configurations far more often than it sees txCacheMax distinct logs;
+// past the bound an arbitrary entry is dropped and simply rebuilt on
+// next use.
+const txCacheMax = 64
+
+// txCache memoizes, per examination log, the taxonomy-extended
+// fpm.Transactions the patterns stage mines — the one-time cost of
+// grouping records into visits, string-encoding baskets and climbing
+// the taxonomy, paid once per log instead of once per analysis. The
+// cache is shared between an engine and every engine derived from it
+// via WithConfig (the encoding depends only on the log, not on the
+// configuration), and is safe for concurrent analyses.
+type txCache struct {
+	mu sync.Mutex
+	m  map[*dataset.Log]*logBaskets
+}
+
+// logBaskets is one cached encoding, built lazily exactly once even
+// when several analyses of the same log race on a cold cache.
+type logBaskets struct {
+	once  sync.Once
+	ext   *fpm.Transactions // visit baskets extended with taxonomy ancestors
+	numTx int               // number of visits (the support denominator)
+}
+
+func newTxCache() *txCache {
+	return &txCache{m: make(map[*dataset.Log]*logBaskets)}
+}
+
+// release drops the cached encoding for log (no-op when absent).
+func (c *txCache) release(log *dataset.Log) {
+	c.mu.Lock()
+	delete(c.m, log)
+	c.mu.Unlock()
+}
+
+// size reports how many logs currently hold a cached encoding.
+func (c *txCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// basketsFor returns the cached taxonomy-extended transaction encoding
+// of log and the visit count its relative support thresholds are
+// computed against.
+func (c *txCache) basketsFor(log *dataset.Log) (*fpm.Transactions, int) {
+	c.mu.Lock()
+	lb := c.m[log]
+	if lb == nil {
+		if len(c.m) >= txCacheMax {
+			for k := range c.m {
+				delete(c.m, k)
+				break
+			}
+		}
+		lb = &logBaskets{}
+		c.m[log] = lb
+	}
+	c.mu.Unlock()
+	lb.once.Do(func() {
+		visits := log.Visits()
+		txs := make([][]string, len(visits))
+		for i, v := range visits {
+			txs[i] = v.ExamCodes
+		}
+		lb.numTx = len(txs)
+		lb.ext = taxonomyOf(log).ExtendEncoded(fpm.NewTransactions(txs))
+	})
+	return lb.ext, lb.numTx
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTxCacheReuseAndRelease: the patterns-stage encoding is built
+// once per log, shared with WithConfig-derived engines, and dropped by
+// ReleaseLog.
+func TestTxCacheReuseAndRelease(t *testing.T) {
+	e, err := New(seededConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := seededLog(t, 1)
+
+	ext1, n1 := e.txc.basketsFor(log)
+	ext2, n2 := e.txc.basketsFor(log)
+	if ext1 != ext2 || n1 != n2 {
+		t.Error("repeated basketsFor did not reuse the cached encoding")
+	}
+	if n1 == 0 {
+		t.Fatal("no visits encoded")
+	}
+
+	derived, err := e.WithConfig(seededConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext3, _ := derived.txc.basketsFor(log); ext3 != ext1 {
+		t.Error("WithConfig-derived engine does not share the transaction cache")
+	}
+
+	if e.CachedLogs() != 1 {
+		t.Fatalf("CachedLogs = %d, want 1", e.CachedLogs())
+	}
+	e.ReleaseLog(log)
+	if e.CachedLogs() != 0 {
+		t.Fatalf("CachedLogs after release = %d, want 0", e.CachedLogs())
+	}
+	// A release mid-flight is harmless: the next analysis rebuilds.
+	if ext4, n4 := e.txc.basketsFor(log); ext4 == nil || n4 != n1 {
+		t.Error("rebuild after release diverged")
+	}
+}

@@ -123,6 +123,13 @@ func (l *Log) ReindexAfterLoad() {
 	l.ensureIndexes()
 }
 
+// EnsureIndexes builds the internal lookup tables if they are missing,
+// leaving valid ones untouched. Accessors build them lazily on first
+// use, which is not safe when that first use happens on several
+// goroutines at once — callers handing one log to concurrent readers
+// (e.g. the stage DAG's root stages) index it here, serially, first.
+func (l *Log) EnsureIndexes() { l.ensureIndexes() }
+
 // Exam returns the exam type for code, if registered.
 func (l *Log) Exam(code string) (ExamType, bool) {
 	l.ensureIndexes()

@@ -90,6 +90,29 @@ func MineGeneralized(txs [][]string, tax Taxonomy, minSupport int) ([]Generalize
 	if err != nil {
 		return nil, err
 	}
+	return annotateGeneralized(flat, tax), nil
+}
+
+// MineGeneralizedEncoded mines generalized itemsets over an
+// already-extended shared encoding (Taxonomy.ExtendEncoded), the
+// int-encoded counterpart of MineGeneralized: callers that analyze the
+// same log repeatedly build the extended Transactions once and re-mine
+// it at any support threshold without touching string baskets again.
+// Results are identical to MineGeneralized over the same baskets and
+// taxonomy (equivalence-tested).
+func MineGeneralizedEncoded(ext *Transactions, tax Taxonomy, minSupport int) ([]GeneralizedItemset, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("fpm: minSupport must be >= 1, got %d", minSupport)
+	}
+	if ext == nil {
+		return nil, fmt.Errorf("fpm: nil transactions")
+	}
+	return annotateGeneralized(fpGrowthEncoded(ext, minSupport), tax), nil
+}
+
+// annotateGeneralized drops itemsets pairing an item with one of its
+// own ancestors and annotates the rest with their abstraction level.
+func annotateGeneralized(flat []Itemset, tax Taxonomy) []GeneralizedItemset {
 	levelCache := map[string]int{}
 	levelOf := func(item string) int {
 		if l, ok := levelCache[item]; ok {
@@ -113,7 +136,84 @@ func MineGeneralized(txs [][]string, tax Taxonomy, minSupport int) ([]Generalize
 		}
 		out = append(out, GeneralizedItemset{Itemset: s, MaxLevel: maxLevel})
 	}
-	return out, nil
+	return out
+}
+
+// ExtendEncoded returns a transaction database augmenting every basket
+// of base with the ancestors of its items — the encoded counterpart of
+// ExtendTransactions. The dictionary grows to the union of base's
+// items and every reachable ancestor (still in lexicographic order, so
+// the int-encoded miners keep emitting itemsets in the same order as
+// the string path); base itself is not modified and is returned
+// unchanged when the taxonomy is empty.
+func (t Taxonomy) ExtendEncoded(base *Transactions) *Transactions {
+	if len(t) == 0 {
+		return base
+	}
+	// Union dictionary: base items plus all their ancestors.
+	names := make(map[string]bool, len(base.dict))
+	for _, it := range base.dict {
+		names[it] = true
+		for _, a := range t.Ancestors(it) {
+			names[a] = true
+		}
+	}
+	dict := make([]string, 0, len(names))
+	for it := range names {
+		dict = append(dict, it)
+	}
+	sort.Strings(dict)
+	nameID := make(map[string]int32, len(dict))
+	for id, it := range dict {
+		nameID[it] = int32(id)
+	}
+	// Per old item id: its new id and its ancestors' new ids.
+	remap := make([]int32, len(base.dict))
+	ancestors := make([][]int32, len(base.dict))
+	for old, it := range base.dict {
+		remap[old] = nameID[it]
+		as := t.Ancestors(it)
+		if len(as) == 0 {
+			continue
+		}
+		ids := make([]int32, len(as))
+		for i, a := range as {
+			ids[i] = nameID[a]
+		}
+		ancestors[old] = ids
+	}
+
+	n := base.NumTx()
+	out := &Transactions{
+		dict: dict,
+		ptr:  make([]int, 1, n+1),
+		freq: make([]int, len(dict)),
+	}
+	mark := make([]bool, len(dict))
+	ids := make([]int32, 0, 32)
+	for i := 0; i < n; i++ {
+		ids = ids[:0]
+		for _, old := range base.tx(i) {
+			if nid := remap[old]; !mark[nid] {
+				mark[nid] = true
+				ids = append(ids, nid)
+			}
+			for _, a := range ancestors[old] {
+				if !mark[a] {
+					mark[a] = true
+					ids = append(ids, a)
+				}
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			mark[id] = false
+			out.freq[id]++
+		}
+		out.items = append(out.items, ids...)
+		out.ptr = append(out.ptr, len(out.items))
+	}
+	return out
 }
 
 // containsAncestorPair reports whether any item in the set is an

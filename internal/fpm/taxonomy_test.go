@@ -1,6 +1,7 @@
 package fpm
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -130,5 +131,48 @@ func TestFilterByLevel(t *testing.T) {
 func TestMineGeneralizedValidation(t *testing.T) {
 	if _, err := MineGeneralized(nil, examTaxonomy(), 0); err == nil {
 		t.Error("accepted minSupport 0")
+	}
+}
+
+// TestMineGeneralizedEncodedMatchesStrings is the equivalence property
+// behind the per-log transaction cache: mining a pre-extended encoded
+// database must reproduce the string-basket path exactly — same
+// itemsets, same supports, same levels, same order — across support
+// thresholds.
+func TestMineGeneralizedEncodedMatchesStrings(t *testing.T) {
+	tax := examTaxonomy()
+	txs := [][]string{
+		{"ecg", "glucose", "hba1c"},
+		{"echo", "glucose"},
+		{"fundus", "hba1c", ""},
+		{"oct", "creatinine", "glucose"},
+		{"ecg", "echo", "hba1c"},
+		{"glucose", "hba1c", "glucose"}, // duplicate inside a basket
+		{"fundus", "ecg"},
+		{"creatinine"},
+	}
+	ext := tax.ExtendEncoded(NewTransactions(txs))
+	for _, minSupport := range []int{2, 3, 4} {
+		want, err := MineGeneralized(txs, tax, minSupport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MineGeneralizedEncoded(ext, tax, minSupport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("minSupport %d: encoded path diverges\nstring: %v\nencoded: %v",
+				minSupport, want, got)
+		}
+	}
+}
+
+// TestExtendEncodedEmptyTaxonomy: with no taxonomy the extension is
+// the identity, not a copy.
+func TestExtendEncodedEmptyTaxonomy(t *testing.T) {
+	base := NewTransactions([][]string{{"a", "b"}})
+	if got := (Taxonomy{}).ExtendEncoded(base); got != base {
+		t.Error("empty taxonomy should return the base encoding unchanged")
 	}
 }

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"adahealth/internal/core"
+	"adahealth/internal/dataset"
+	"adahealth/internal/synth"
+)
+
+// SubmitRequest is the JSON body of POST /v1/analyses. Exactly one of
+// Log (an inline examination log) or Synthetic (a generator
+// configuration for the built-in synthetic diabetic-log generator)
+// selects the data source.
+type SubmitRequest struct {
+	// Name overrides the log's dataset name.
+	Name string `json:"name,omitempty"`
+	// Log is an inline examination log (exams, patients, records).
+	Log *dataset.Log `json:"log,omitempty"`
+	// Synthetic generates the log server-side (tests, demos, load).
+	Synthetic *synth.Config `json:"synthetic,omitempty"`
+	// Seed overrides the analysis seed (WithSeed).
+	Seed *int64 `json:"seed,omitempty"`
+	// Priority sets the dispatch priority (WithPriority).
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds the job's lifetime, queue wait included, in
+	// milliseconds from admission (WithDeadline).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Labels attaches caller metadata (WithLabels).
+	Labels map[string]string `json:"labels,omitempty"`
+	// Config analyzes under a full per-job configuration override
+	// (WithConfigOverride), validated at admission.
+	Config *core.Config `json:"config,omitempty"`
+}
+
+// SubmitResponse is the 202 body of POST /v1/analyses.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the daemon's HTTP API over svc:
+//
+//	POST   /v1/analyses             submit (202 + job id; 429 when the queue is full)
+//	GET    /v1/analyses/{id}        status + live stage progress
+//	GET    /v1/analyses/{id}/report finished report (409 until done)
+//	DELETE /v1/analyses/{id}        cancel (202)
+//	GET    /healthz                 liveness + queue/worker gauges
+//
+// Every response is JSON. The handler is safe for concurrent use.
+func NewHandler(svc *Service) http.Handler {
+	h := &httpAPI{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyses", h.submit)
+	mux.HandleFunc("GET /v1/analyses/{id}", h.status)
+	mux.HandleFunc("GET /v1/analyses/{id}/report", h.report)
+	mux.HandleFunc("DELETE /v1/analyses/{id}", h.cancel)
+	mux.HandleFunc("GET /healthz", h.health)
+	return mux
+}
+
+type httpAPI struct {
+	svc *Service
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+
+	var (
+		log *dataset.Log
+		err error
+	)
+	switch {
+	case req.Log != nil && req.Synthetic != nil:
+		writeError(w, http.StatusBadRequest, errors.New("pass either log or synthetic, not both"))
+		return
+	case req.Log != nil:
+		log = req.Log
+	case req.Synthetic != nil:
+		cfg := *req.Synthetic
+		if req.Seed != nil {
+			cfg.Seed = *req.Seed
+		}
+		log, err = synth.Generate(cfg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("generating synthetic log: %w", err))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("pass a log or a synthetic generator config"))
+		return
+	}
+	if req.Name != "" {
+		log.Name = req.Name
+	}
+
+	var opts []Option
+	if req.Priority != 0 {
+		opts = append(opts, WithPriority(req.Priority))
+	}
+	if req.DeadlineMS > 0 {
+		opts = append(opts, WithDeadline(time.Now().Add(time.Duration(req.DeadlineMS)*time.Millisecond)))
+	}
+	if len(req.Labels) > 0 {
+		opts = append(opts, WithLabels(req.Labels))
+	}
+	if req.Config != nil {
+		opts = append(opts, WithConfigOverride(*req.Config))
+	}
+	if req.Seed != nil {
+		opts = append(opts, WithSeed(*req.Seed))
+	}
+
+	job, err := h.svc.Submit(r.Context(), log, opts...)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID(), Status: job.Status()})
+}
+
+func (h *httpAPI) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := h.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return nil, false
+	}
+	return job, true
+}
+
+func (h *httpAPI) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.State())
+}
+
+func (h *httpAPI) report(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	rep, done := job.Report()
+	if !done {
+		status := job.Status()
+		if status.Terminal() {
+			// Failed or cancelled: there is no report to serve.
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("job %s is %s: %v", job.ID(), status, job.Err()))
+			return
+		}
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; report not ready", job.ID(), status))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (h *httpAPI) cancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID(), Status: job.Status()})
+}
+
+func (h *httpAPI) health(w http.ResponseWriter, r *http.Request) {
+	stats := h.svc.Stats()
+	code := http.StatusOK
+	if stats.Closed {
+		code = http.StatusServiceUnavailable
+	}
+	state := "ok"
+	if stats.Closed {
+		state = "draining"
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+		Stats
+	}{Status: state, Stats: stats})
+}

@@ -1,0 +1,313 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adahealth/internal/core"
+	"adahealth/internal/synth"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonEndToEnd drives the full HTTP lifecycle against a real
+// service: submit a synthetic analysis, poll status until done, fetch
+// the report, and cancel a second queued job.
+func TestDaemonEndToEnd(t *testing.T) {
+	svc, err := New(Config{Engine: fastConfig(1), Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	// Health before any work.
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if code := getJSON(t, srv, "/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz = %d %q", code, health.Status)
+	}
+
+	// Submit a synthetic job.
+	synthCfg := synth.SmallConfig()
+	resp, body := postJSON(t, srv, "/v1/analyses", SubmitRequest{
+		Name:      "e2e",
+		Synthetic: &synthCfg,
+		Seed:      ptr(int64(1)),
+		Labels:    map[string]string{"origin": "httptest"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" {
+		t.Fatalf("no job id in %s", body)
+	}
+
+	// Report is 409 until the job finishes.
+	if code := getJSON(t, srv, "/v1/analyses/"+sub.ID+"/report", nil); code != http.StatusConflict && code != http.StatusOK {
+		t.Fatalf("early report = %d, want 409 (or 200 if already done)", code)
+	}
+
+	// Poll status until done.
+	var state JobState
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, srv, "/v1/analyses/"+sub.ID, &state); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if state.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", state.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state.Status != StatusDone {
+		t.Fatalf("job finished %s (%s)", state.Status, state.Error)
+	}
+	if state.Labels["origin"] != "httptest" {
+		t.Errorf("labels = %v", state.Labels)
+	}
+	if state.Trace == nil || len(state.Trace.Stages) == 0 {
+		t.Error("done status carries no stage trace")
+	}
+	var phases []string
+	for _, ev := range state.Events {
+		if ev.Stage == "" {
+			phases = append(phases, ev.Phase)
+		}
+	}
+	if want := []string{"queued", "running", "done"}; strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Errorf("lifecycle = %v, want %v", phases, want)
+	}
+
+	// Fetch the report and spot-check the analysis outcome.
+	var report struct {
+		Sweep *struct {
+			BestK int `json:"best_k"`
+		}
+		Ranked []any
+	}
+	if code := getJSON(t, srv, "/v1/analyses/"+sub.ID+"/report", &report); code != http.StatusOK {
+		t.Fatalf("report = %d", code)
+	}
+	if report.Sweep == nil || report.Sweep.BestK < 2 {
+		t.Errorf("report sweep missing or degenerate: %+v", report.Sweep)
+	}
+	if len(report.Ranked) == 0 {
+		t.Error("report has no ranked knowledge items")
+	}
+
+	// Submit two more (the first may run; the second queues), then
+	// cancel the queued one via DELETE.
+	ids := make([]string, 2)
+	for i := range ids {
+		resp, body := postJSON(t, srv, "/v1/analyses", SubmitRequest{Synthetic: &synthCfg})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d: %s", i, resp.StatusCode, body)
+		}
+		var s SubmitResponse
+		if err := json.Unmarshal(body, &s); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = s.ID
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/analyses/"+ids[1], nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel = %d", dresp.StatusCode)
+	}
+	for {
+		if code := getJSON(t, srv, "/v1/analyses/"+ids[1], &state); code != http.StatusOK {
+			t.Fatalf("status after cancel = %d", code)
+		}
+		if state.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled job stuck in %s", state.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state.Status != StatusCancelled && state.Status != StatusDone {
+		t.Fatalf("cancelled job ended %s", state.Status)
+	}
+
+	// Unknown id → 404.
+	if code := getJSON(t, srv, "/v1/analyses/job-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", code)
+	}
+}
+
+// TestDaemonQueueFull429: a saturated service answers POST with 429.
+func TestDaemonQueueFull429(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 1)
+	defer close(release)
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	synthCfg := synth.SmallConfig()
+	submit := func() int {
+		resp, _ := postJSON(t, srv, "/v1/analyses", SubmitRequest{Synthetic: &synthCfg})
+		return resp.StatusCode
+	}
+	if code := submit(); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	<-started // worker busy
+	if code := submit(); code != http.StatusAccepted {
+		t.Fatalf("queued submit = %d", code)
+	}
+	if code := submit(); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", code)
+	}
+}
+
+// TestDaemonBadRequests: malformed and invalid submissions are 400s
+// with a JSON error.
+func TestDaemonBadRequests(t *testing.T) {
+	svc, err := New(Config{Engine: fastConfig(1), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"no source", SubmitRequest{}},
+		{"bad override", SubmitRequest{Synthetic: ptrCfg(synth.SmallConfig()), Config: &core.Config{MinConfidence: 5}}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv, "/v1/analyses", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, body %s", tc.name, resp.StatusCode, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: not a JSON error body: %s", tc.name, body)
+		}
+	}
+
+	// Non-JSON body.
+	resp, err := http.Post(srv.URL+"/v1/analyses", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated JSON = %d, want 400", resp.StatusCode)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func ptrCfg(c synth.Config) *synth.Config { return &c }
+
+// TestDaemonInlineDecodedLog is the regression test for the
+// decoded-log index race: a log arriving as JSON has no internal
+// lookup tables, and the concurrent DAG's root stages must not race to
+// build them (this test fails under -race without the admission-time
+// reindex). It also checks the submission's cached per-log engine
+// state is released once the job finishes.
+func TestDaemonInlineDecodedLog(t *testing.T) {
+	svc, err := New(Config{Engine: fastConfig(1), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	// Round-trip a generated log through JSON, exactly as a client
+	// submission arrives.
+	raw, err := json.Marshal(testLog(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded json.RawMessage = raw
+	resp, body := postJSON(t, srv, "/v1/analyses", struct {
+		Log json.RawMessage `json:"log"`
+	}{Log: decoded})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	var state JobState
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, srv, "/v1/analyses/"+sub.ID, &state); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if state.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", state.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if state.Status != StatusDone {
+		t.Fatalf("job ended %s (%s)", state.Status, state.Error)
+	}
+	// The request-scoped log's cached baskets were released with the
+	// job.
+	if n := svc.Engine().CachedLogs(); n != 0 {
+		t.Errorf("%d logs still cached after the only job finished", n)
+	}
+}

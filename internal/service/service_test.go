@@ -1,0 +1,458 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"adahealth/internal/core"
+	"adahealth/internal/dataset"
+	"adahealth/internal/optimize"
+	"adahealth/internal/partial"
+	"adahealth/internal/synth"
+)
+
+// testLog builds one small synthetic log.
+func testLog(t *testing.T, seed int64) *dataset.Log {
+	t.Helper()
+	cfg := synth.SmallConfig()
+	cfg.Seed = seed
+	log, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// fastConfig is the quick analysis configuration the core tests use.
+func fastConfig(seed int64) core.Config {
+	return core.Config{
+		Seed:    seed,
+		Partial: partial.Config{Ks: []int{4}},
+		Sweep:   optimize.SweepConfig{Ks: []int{3, 4, 5}, CVFolds: 4},
+	}
+}
+
+// blockingService builds a service whose jobs block until released,
+// for deterministic admission/dispatch tests. started receives each
+// job as its fake run begins; release unblocks all current and future
+// runs when closed. runJob is replaced before any submission, so the
+// worker goroutines observe the override through the admission mutex.
+func blockingService(t *testing.T, workers, depth int) (svc *Service, started chan *Job, release chan struct{}, order func() []string) {
+	t.Helper()
+	svc, err := New(Config{Engine: fastConfig(1), Workers: workers, QueueDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	started = make(chan *Job, 64)
+	release = make(chan struct{})
+	var mu sync.Mutex
+	var ran []string
+	svc.runJob = func(j *Job) (*core.Report, error) {
+		mu.Lock()
+		ran = append(ran, j.ID())
+		mu.Unlock()
+		started <- j
+		select {
+		case <-release:
+			return &core.Report{}, nil
+		case <-j.ctx.Done():
+			return nil, j.ctx.Err()
+		}
+	}
+	order = func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), ran...)
+	}
+	return svc, started, release, order
+}
+
+func waitStatus(t *testing.T, j *Job, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Status() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %s, want %s", j.ID(), j.Status(), want)
+}
+
+// TestSubmitQueueFullFastReject: with every worker busy and the queue
+// at capacity, Submit must reject immediately with ErrQueueFull.
+func TestSubmitQueueFullFastReject(t *testing.T) {
+	svc, started, _, _ := blockingService(t, 1, 2)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	j1, err := svc.Submit(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // j1 occupies the only worker; its queue slot is free again
+	_ = j1
+
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(ctx, log); err != nil {
+			t.Fatalf("queued submission %d: %v", i, err)
+		}
+	}
+	if _, err := svc.Submit(ctx, log); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submission: err = %v, want ErrQueueFull", err)
+	}
+
+	// Once draining, closed beats full: the still-saturated queue must
+	// not disguise a terminal ErrClosed as retryable backpressure.
+	go svc.Shutdown(context.Background()) // blocks on the stuck jobs; admission closes immediately
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := svc.Submit(ctx, log); errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining service never reported ErrClosed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitWaitUnblocks: SubmitWait must block while the queue is
+// full and admit as soon as a worker drains one queued job; a done
+// context must abort the wait with ctx.Err().
+func TestSubmitWaitUnblocks(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 1)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	if _, err := svc.Submit(ctx, log); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := svc.Submit(ctx, log); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+
+	admitted := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitWait(ctx, log)
+		admitted <- err
+	}()
+	select {
+	case err := <-admitted:
+		t.Fatalf("SubmitWait returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release) // running job finishes; worker pops the queued job, freeing a slot
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("SubmitWait after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubmitWait never unblocked")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.SubmitWait(cancelled, log); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitWait with dead ctx: %v", err)
+	}
+}
+
+// TestPriorityOrdering: with the single worker saturated, queued jobs
+// must dispatch by descending priority, submission order breaking
+// ties.
+func TestPriorityOrdering(t *testing.T) {
+	svc, started, release, order := blockingService(t, 1, 8)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	first, err := svc.Submit(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // saturate the worker before queueing the contenders
+
+	low, _ := svc.Submit(ctx, log, WithPriority(0))
+	highA, _ := svc.Submit(ctx, log, WithPriority(5))
+	highB, _ := svc.Submit(ctx, log, WithPriority(5))
+	mid, _ := svc.Submit(ctx, log, WithPriority(1))
+	if low == nil || highA == nil || highB == nil || mid == nil {
+		t.Fatal("submission failed")
+	}
+
+	close(release)
+	for _, j := range []*Job{first, low, highA, highB, mid} {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("job %s: %v", j.ID(), err)
+		}
+	}
+	want := []string{first.ID(), highA.ID(), highB.ID(), mid.ID(), low.ID()}
+	if !reflect.DeepEqual(order(), want) {
+		t.Fatalf("dispatch order %v, want %v", order(), want)
+	}
+}
+
+// TestQueuedThenRunningEvents is the acceptance property: on a
+// saturated 2-slot service a submitted job reports queued then running
+// via Events(), and the stream closes exactly once after the terminal
+// event.
+func TestQueuedThenRunningEvents(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 2, 8)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	// Saturate both slots.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(ctx, log); err != nil {
+			t.Fatal(err)
+		}
+		<-started
+	}
+	j, err := svc.Submit(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status() != StatusQueued {
+		t.Fatalf("status = %s, want queued", j.Status())
+	}
+	close(release)
+
+	var phases []string
+	for ev := range j.Events() {
+		if ev.Stage == "" {
+			phases = append(phases, ev.Phase)
+		}
+		if ev.JobID != j.ID() {
+			t.Errorf("event for %s on job %s's stream", ev.JobID, j.ID())
+		}
+	}
+	// Channel closed: a further receive must not block.
+	if _, open := <-j.Events(); open {
+		t.Error("events channel delivered after close")
+	}
+	want := []string{"queued", "running", "done"}
+	if !reflect.DeepEqual(phases, want) {
+		t.Fatalf("lifecycle phases %v, want %v", phases, want)
+	}
+	if _, err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineExpired: a job whose deadline lapses (here: while
+// queued behind a saturated worker) must fail with
+// context.DeadlineExceeded from Wait.
+func TestDeadlineExpired(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 8)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	if _, err := svc.Submit(ctx, log); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	j, err := svc.Submit(ctx, log, WithDeadline(time.Now().Add(20*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+	if j.Status() != StatusFailed {
+		t.Fatalf("status = %s, want failed", j.Status())
+	}
+	close(release)
+}
+
+// TestCancelQueuedJob: cancelling a queued job reaps it immediately —
+// it never runs, Wait returns context.Canceled, and its queue slot is
+// returned (the follow-up Submit succeeds).
+func TestCancelQueuedJob(t *testing.T) {
+	svc, started, release, order := blockingService(t, 1, 1)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	if _, err := svc.Submit(ctx, log); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j, err := svc.Submit(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	if _, err := j.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if j.Status() != StatusCancelled {
+		t.Fatalf("status = %s, want cancelled", j.Status())
+	}
+	// The reap freed the queue slot.
+	if _, err := svc.Submit(ctx, log); err != nil {
+		t.Fatalf("slot not returned after reap: %v", err)
+	}
+	close(release)
+	for _, id := range order() {
+		if id == j.ID() {
+			t.Fatal("cancelled queued job was dispatched")
+		}
+	}
+}
+
+// TestBadSubmissionRejectedAtAdmission: an invalid config override and
+// an empty log must fail Submit itself, not the job later.
+func TestBadSubmissionRejectedAtAdmission(t *testing.T) {
+	svc, _, _, _ := blockingService(t, 1, 4)
+	ctx := context.Background()
+
+	if _, err := svc.Submit(ctx, testLog(t, 1), WithConfigOverride(core.Config{MinSupportFrac: 2})); err == nil {
+		t.Fatal("accepted MinSupportFrac 2 override")
+	}
+	if _, err := svc.Submit(ctx, &dataset.Log{Name: "empty"}); err == nil {
+		t.Fatal("accepted an empty log")
+	}
+	// Rejections must not leak queue slots.
+	st := svc.Stats()
+	if st.Queued != 0 {
+		t.Fatalf("rejected submissions left %d queued", st.Queued)
+	}
+}
+
+// TestShutdownDrains: Shutdown lets queued jobs finish, then Submit
+// reports ErrClosed.
+func TestShutdownDrains(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 4)
+	log := testLog(t, 1)
+	ctx := context.Background()
+
+	j1, err := svc.Submit(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := svc.Submit(ctx, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		if j.Status() != StatusDone {
+			t.Errorf("job %s drained into %s, want done", j.ID(), j.Status())
+		}
+	}
+	if _, err := svc.Submit(ctx, log); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown Submit: %v, want ErrClosed", err)
+	}
+}
+
+// comparableReport strips execution telemetry and the closure-bearing
+// recommendations, as the core DAG/sequential equivalence test does.
+func comparableReport(rep *core.Report) core.Report {
+	c := *rep
+	c.Stages = nil
+	c.StageConcurrency = 0
+	c.Recommendations = nil
+	return c
+}
+
+// TestJobReportMatchesEngineAnalyze is the acceptance property: a
+// Submit-ed job's report must be bit-for-bit identical to
+// Engine.Analyze on the same log and seed, and its Events stream must
+// carry start/finish for every pipeline stage.
+func TestJobReportMatchesEngineAnalyze(t *testing.T) {
+	const seed = 7
+	log := testLog(t, seed)
+
+	engine, err := core.New(fastConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := New(Config{Engine: fastConfig(seed), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	j, err := svc.Submit(context.Background(), log, WithLabels(map[string]string{"ward": "diabetic"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(comparableReport(want), comparableReport(got)) {
+		t.Error("job report differs from Engine.Analyze")
+	}
+	if len(got.Stages) != len(want.Stages) {
+		t.Errorf("job traced %d stages, engine %d", len(got.Stages), len(want.Stages))
+	}
+
+	// Every stage surfaced a start and a finish in the progress log.
+	starts, finishes := map[string]int{}, map[string]int{}
+	for _, ev := range j.Progress() {
+		switch ev.Phase {
+		case "start":
+			starts[ev.Stage]++
+		case "finish":
+			finishes[ev.Stage]++
+		}
+	}
+	for _, tr := range want.Stages {
+		if starts[tr.Stage] != 1 || finishes[tr.Stage] != 1 {
+			t.Errorf("stage %s: %d starts, %d finishes in events, want 1/1",
+				tr.Stage, starts[tr.Stage], finishes[tr.Stage])
+		}
+	}
+	if j.Labels()["ward"] != "diabetic" {
+		t.Errorf("labels lost: %v", j.Labels())
+	}
+}
+
+// TestWithSeedOverride: two jobs with different seeds on one service
+// produce reports matching their per-seed Engine.Analyze equivalents.
+func TestWithSeedOverride(t *testing.T) {
+	log := testLog(t, 3)
+	svc, err := New(Config{Engine: fastConfig(3), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	j, err := svc.Submit(context.Background(), log, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.New(fastConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(comparableReport(want), comparableReport(got)) {
+		t.Error("WithSeed(11) report differs from a seed-11 engine's")
+	}
+}
