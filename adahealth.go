@@ -42,6 +42,16 @@
 //	report, _ := engine.Analyze(log)
 //	fmt.Println(report.Sweep.BestK)
 //
+// The K-optimization sweep warm-starts by default (each K seeded from
+// the previous K's converged centroids) and self-selects an exact
+// K-means kernel per data shape — Elkan over the sparse CSR view for
+// VSM matrices, Hamerly or kd-tree filtering for dense data — with
+// Sculley mini-batch available (approximate, deterministic) for
+// very large logs. Pick a kernel explicitly via the per-job config
+// override ("Sweep":{"Cluster":{"Algorithm":"elkan"}}), the
+// -algorithm CLI flag, or cluster.Options.Algorithm; see the
+// internal/cluster package doc for the full algorithm matrix.
+//
 // Either way the pipeline executes as a concurrent stage DAG:
 // independent stages (pattern mining, the K sweep, demand extraction,
 // ...) overlap on a bounded worker pool, Engine.AnalyzeContext threads

@@ -152,9 +152,14 @@ func BenchmarkKMeansAblation(b *testing.B) {
 		for _, k := range []int{8, 64} {
 			// Lloyd auto-routes to the sparse kernel when the data is
 			// sparse enough; DenseLloyd pins the classic dense scan so
-			// the sparse speedup stays visible side by side.
+			// the sparse speedup stays visible side by side. Hamerly
+			// and Elkan are the exact triangle-inequality kernels,
+			// minibatch the approximate Sculley kernel, and auto the
+			// shape-based router (elkan on vsm-d8; hamerly at K=8 /
+			// filtering at K=64 on blobs-d3).
 			for _, alg := range []cluster.Algorithm{
 				cluster.Lloyd, cluster.DenseLloyd, cluster.SparseLloyd, cluster.Filtering,
+				cluster.Hamerly, cluster.Elkan, cluster.AlgorithmMiniBatch, cluster.AlgorithmAuto,
 			} {
 				b.Run(fmt.Sprintf("%s/K=%d/%s", w.name, k, alg), func(b *testing.B) {
 					b.ReportAllocs()

@@ -19,8 +19,10 @@ import (
 	"os"
 	"time"
 
+	"adahealth/internal/cluster"
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
+	"adahealth/internal/optimize"
 	"adahealth/internal/service"
 	"adahealth/internal/synth"
 )
@@ -37,8 +39,16 @@ func main() {
 		sequential = flag.Bool("sequential", false, "run pipeline stages serially (legacy execution)")
 		jobs       = flag.Int("jobs", 0, "max concurrently running stages (0 = all cores)")
 		trace      = flag.String("trace", "", "write the stage schedule (Report.Stages) to this file as JSON")
+		algorithm  = flag.String("algorithm", "", "K-means assignment kernel for the sweep and partial mining: lloyd, dense-lloyd, sparse-lloyd, filtering, hamerly, elkan, minibatch or auto (default: lloyd auto-routing)")
+		warmStart  = flag.Bool("warmstart", true, "warm-start the K sweep: seed each K from the previous K's centroids (false = legacy independent seeding)")
 	)
 	flag.Parse()
+
+	alg, algErr := cluster.ParseAlgorithm(*algorithm)
+	if algErr != nil {
+		fmt.Fprintf(os.Stderr, "adahealth: %v\n", algErr)
+		os.Exit(2)
+	}
 
 	var (
 		log *dataset.Log
@@ -64,12 +74,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	engine, err := core.New(core.Config{
+	cfg := core.Config{
 		KDBDir:      *kdbDir,
 		Seed:        *seed,
 		Sequential:  *sequential,
 		Parallelism: *jobs,
-	})
+	}
+	cfg.Sweep.Cluster.Algorithm = alg
+	cfg.Partial.Cluster.Algorithm = alg
+	if !*warmStart {
+		cfg.Sweep.WarmStart = optimize.WarmStartOff
+	}
+	engine, err := core.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adahealth: %v\n", err)
 		os.Exit(1)

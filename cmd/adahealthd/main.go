@@ -34,7 +34,9 @@ import (
 	"syscall"
 	"time"
 
+	"adahealth/internal/cluster"
 	"adahealth/internal/core"
+	"adahealth/internal/optimize"
 	"adahealth/internal/service"
 )
 
@@ -46,16 +48,30 @@ func main() {
 		workers = flag.Int("workers", 0, "max concurrently running jobs (0 = service default)")
 		queue   = flag.Int("queue", 0, "admission queue depth before 429s (0 = service default)")
 		jobs    = flag.Int("jobs", 0, "stage pool size shared by all running jobs (0 = all cores)")
+		algo    = flag.String("algorithm", "", "base K-means kernel: lloyd, filtering, hamerly, elkan, minibatch or auto (jobs may override per submission)")
+		warm    = flag.Bool("warmstart", true, "warm-start K sweeps: seed each K from the previous K's centroids (false = legacy independent seeding)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 	)
 	flag.Parse()
 
+	alg, err := cluster.ParseAlgorithm(*algo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
+		os.Exit(2)
+	}
+	engineCfg := core.Config{
+		KDBDir:      *kdbDir,
+		Seed:        *seed,
+		Parallelism: *jobs,
+	}
+	engineCfg.Sweep.Cluster.Algorithm = alg
+	engineCfg.Partial.Cluster.Algorithm = alg
+	if !*warm {
+		engineCfg.Sweep.WarmStart = optimize.WarmStartOff
+	}
+
 	svc, err := service.New(service.Config{
-		Engine: core.Config{
-			KDBDir:      *kdbDir,
-			Seed:        *seed,
-			Parallelism: *jobs,
-		},
+		Engine:     engineCfg,
 		Workers:    *workers,
 		QueueDepth: *queue,
 	})

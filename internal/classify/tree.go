@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"strings"
+	"sync"
 )
 
 // TreeOptions bounds decision-tree growth.
@@ -46,39 +47,222 @@ type DecisionTree struct {
 	// importance[f] accumulates the total weighted impurity decrease
 	// contributed by splits on feature f.
 	importance []float64
-	// goesLeft and the scratch slices are per-Fit scratch for the
-	// stable partition step.
-	goesLeft   []bool
-	scratchIdx []int32
-	scratchVal []float64
-	scratchLab []int32
-	scratchWts []int32
+
+	// Node and class-histogram storage is slab-allocated on the tree
+	// and reused across refits of the same instance (each fit resets
+	// the arena cursors, invalidating the previous model — which Fit
+	// always did). Slabs are fixed-size so node pointers stay stable
+	// as the arena grows; this removes the two heap allocations every
+	// grown node used to cost, the dominant allocation source of a
+	// cross-validated sweep.
+	nodeSlabs           [][]treeNode
+	slabIdx, slabUsed   int
+	countsSlabs         [][]int
+	cSlabIdx, cSlabUsed int
 }
+
+const nodeSlabSize = 256
+
+// resetArena rewinds the node/counts slabs for a fresh fit, keeping
+// their memory.
+func (t *DecisionTree) resetArena() {
+	t.slabIdx, t.slabUsed = 0, 0
+	t.cSlabIdx, t.cSlabUsed = 0, 0
+}
+
+// newNode returns a zeroed node from the slab arena.
+func (t *DecisionTree) newNode() *treeNode {
+	for {
+		if t.slabIdx >= len(t.nodeSlabs) {
+			t.nodeSlabs = append(t.nodeSlabs, make([]treeNode, nodeSlabSize))
+		}
+		slab := t.nodeSlabs[t.slabIdx]
+		if t.slabUsed < len(slab) {
+			n := &slab[t.slabUsed]
+			t.slabUsed++
+			*n = treeNode{}
+			return n
+		}
+		t.slabIdx++
+		t.slabUsed = 0
+	}
+}
+
+// newCounts returns a zeroed length-classes histogram from the arena.
+func (t *DecisionTree) newCounts() []int {
+	need := t.classes
+	for {
+		if t.cSlabIdx >= len(t.countsSlabs) {
+			size := 4096
+			if need > size {
+				size = need
+			}
+			t.countsSlabs = append(t.countsSlabs, make([]int, size))
+		}
+		slab := t.countsSlabs[t.cSlabIdx]
+		if t.cSlabUsed+need <= len(slab) {
+			c := slab[t.cSlabUsed : t.cSlabUsed+need : t.cSlabUsed+need]
+			t.cSlabUsed += need
+			for i := range c {
+				c[i] = 0
+			}
+			return c
+		}
+		t.cSlabIdx++
+		t.cSlabUsed = 0
+	}
+}
+
+// labelID is the storage type of class labels in the sorted columns:
+// uint8 when the fit has at most 256 classes (every caller in this
+// repo — cluster labels, synthetic cohorts), int32 otherwise.
+// sampleID is likewise the storage type of local sample ids: uint16
+// when the training subset has at most 65536 rows, int32 otherwise.
+// The fit path is generic over both: the grower is compiled once per
+// (label, id) width, so the common small case moves a fraction of the
+// memory traffic with zero behaviour change.
+type labelID interface{ ~uint8 | ~int32 }
+
+type sampleID interface{ ~uint16 | ~int32 }
 
 // fitState is the whole training set in column-sorted form, shared by
 // every node of one Fit. For feature f, the segment [f·n, (f+1)·n) of
-// each flat array lists the samples ordered by that feature: idx holds
-// sample indices, vals/labs the corresponding feature values and class
-// labels in the same order. A node owns the subrange [lo, hi) of every
-// feature segment; the stable partition reorders each segment in place
-// so children are again contiguous subranges. Keeping everything in
-// three flat, pointer-free arrays makes the split scan a pure
-// sequential walk (no per-sample pointer chase into the row-major X)
-// and avoids any per-node slice allocation the GC would have to scan.
+// idx lists the sample ids ordered by that feature's value, and labs
+// the class labels in the same order; the values themselves live in
+// the column-major colX, indexed by sample id, and are gathered
+// through the sorted ids on demand. A node owns the subrange [lo, hi)
+// of every feature segment. Keeping everything in flat, pointer-free
+// arrays makes the split scan a mostly-sequential walk (the value
+// gather stays within one feature's column) and avoids any per-node
+// slice allocation the GC would have to scan.
+//
+// The id/label arrays come in two parities (idx/altIdx, …): a node at
+// depth d reads the parity-(d mod 2) arrays and stable-partitions its
+// samples directly into the other parity's same [lo, hi) positions,
+// so the children read contiguous subranges again with no copy-back
+// pass — the two buffers ping-pong down the recursion, and the
+// bandwidth-bound partition moves only the narrow ids and labels
+// (colX never moves). Sibling subtrees own disjoint ranges at every
+// parity, so the sharing is race- and clobber-free.
 //
 // wts, when non-nil, carries integer sample multiplicities parallel to
 // labs (the bootstrap-bag fast path): a sample of weight w behaves
 // exactly like w adjacent copies in the sorted columns — copies share
 // the feature value, so no split can fall between them and the grown
 // tree is identical to fitting the materialized multiset. nil means
-// unit weights (the Fit / FitSubset path pays nothing for the
-// generality beyond a predictable nil check).
-type fitState struct {
-	n    int
-	idx  []int32
-	vals []float64
-	labs []int32
+// unit weights (the Fit / FitSubset path runs a specialized scan with
+// no weight loads at all).
+//
+// fitStates are pooled: a fit borrows one, grows the buffers as
+// needed, and returns it, so repeated fits (every fold of every K of a
+// sweep's cross-validation) reuse one allocation instead of rebuilding
+// megabytes of column state per tree.
+
+type fitState[L labelID, I sampleID] struct {
+	n   int
+	idx []I
+	// colX is the column-major value matrix of the training subset:
+	// colX[f·n + localID]. It is written once per fit and never
+	// partitioned — the sorted id columns gather values from it on
+	// demand, which is what lets the partition move only the 2-byte
+	// ids and 1-byte labels instead of 8-byte values (the partition
+	// is memory-bandwidth-bound).
+	colX []float64
+	labs []L
 	wts  []int32
+
+	altIdx  []I
+	altLabs []L
+	altWts  []int32
+
+	// actArena backs every recursion level's active-feature list: a
+	// feature constant within a node is constant in every descendant,
+	// so once the split scan sees vf[0] == vf[m-1] the feature is
+	// dropped from the subtree's list and — crucially — its column is
+	// no longer partitioned below that node, cutting the partition's
+	// memory traffic as the recursion deepens. Each node appends its
+	// surviving features and truncates on return (high-water mark
+	// ≈ dim · depth).
+	actArena []int32
+
+	// per-fit scratch hoisted out of grow. goesLeft is 0/1 per local
+	// sample id (uint8 so the partition can use it arithmetically —
+	// the 50/50 data-dependent branch it replaces mispredicts half
+	// the time on real splits).
+	goesLeft   []uint8
+	mark       []int32
+	leftCounts []int
+}
+
+// cur returns the arrays a node at the given depth reads.
+func (st *fitState[L, I]) cur(depth int) ([]I, []L, []int32) {
+	if depth&1 == 0 {
+		return st.idx, st.labs, st.wts
+	}
+	return st.altIdx, st.altLabs, st.altWts
+}
+
+// next returns the arrays a node at the given depth partitions into.
+func (st *fitState[L, I]) next(depth int) ([]I, []L, []int32) {
+	if depth&1 == 0 {
+		return st.altIdx, st.altLabs, st.altWts
+	}
+	return st.idx, st.labs, st.wts
+}
+
+var (
+	fitStatePool816  = sync.Pool{New: func() any { return new(fitState[uint8, uint16]) }}
+	fitStatePool832  = sync.Pool{New: func() any { return new(fitState[uint8, int32]) }}
+	fitStatePool3216 = sync.Pool{New: func() any { return new(fitState[int32, uint16]) }}
+	fitStatePool3232 = sync.Pool{New: func() any { return new(fitState[int32, int32]) }}
+)
+
+// smallSubset reports whether uint16 local sample ids suffice.
+func smallSubset(n int) bool { return n <= 1<<16 }
+
+// borrowFitState returns a pooled fitState sized for n samples × dim
+// features (both parities), weighted or not, with the goesLeft/mark/
+// leftCounts scratch ready. mark is returned zeroed (its only
+// invariant); everything else is fully overwritten before being read.
+func borrowFitState[L labelID, I sampleID](pool *sync.Pool, n, dim, fullRows, classes int, weighted bool) *fitState[L, I] {
+	st := pool.Get().(*fitState[L, I])
+	st.n = n
+	need := n * dim
+	if cap(st.idx) < need {
+		st.idx = make([]I, need)
+		st.altIdx = make([]I, need)
+		st.labs = make([]L, need)
+		st.altLabs = make([]L, need)
+		st.colX = make([]float64, need)
+	}
+	st.idx, st.altIdx = st.idx[:need], st.altIdx[:need]
+	st.labs, st.altLabs = st.labs[:need], st.altLabs[:need]
+	st.colX = st.colX[:need]
+	if weighted {
+		if cap(st.wts) < need {
+			st.wts = make([]int32, need)
+			st.altWts = make([]int32, need)
+		}
+		st.wts, st.altWts = st.wts[:need], st.altWts[:need]
+	} else {
+		st.wts, st.altWts = nil, nil
+	}
+	if cap(st.goesLeft) < n {
+		st.goesLeft = make([]uint8, n)
+	}
+	st.goesLeft = st.goesLeft[:n]
+	if cap(st.mark) < fullRows {
+		st.mark = make([]int32, fullRows)
+	}
+	st.mark = st.mark[:fullRows]
+	for i := range st.mark {
+		st.mark[i] = 0
+	}
+	if cap(st.leftCounts) < classes {
+		st.leftCounts = make([]int, classes)
+	}
+	st.leftCounts = st.leftCounts[:classes]
+	return st
 }
 
 type treeNode struct {
@@ -240,24 +424,30 @@ func (t *DecisionTree) fitOrdered(ord *ColumnOrder, y []int, rows []int, dim, cl
 	t.classes = classes
 	t.features = dim
 	t.importance = make([]float64, dim)
-	n := len(rows)
-	t.goesLeft = make([]bool, n)
-	t.scratchIdx = make([]int32, n)
-	t.scratchVal = make([]float64, n)
-	t.scratchLab = make([]int32, n)
-
-	st := &fitState{
-		n:    n,
-		idx:  make([]int32, n*dim),
-		vals: make([]float64, n*dim),
-		labs: make([]int32, n*dim),
+	t.resetArena()
+	switch {
+	case classes <= 256 && smallSubset(len(rows)):
+		return fitOrderedT[uint8, uint16](t, &fitStatePool816, ord, y, rows, dim)
+	case classes <= 256:
+		return fitOrderedT[uint8, int32](t, &fitStatePool832, ord, y, rows, dim)
+	case smallSubset(len(rows)):
+		return fitOrderedT[int32, uint16](t, &fitStatePool3216, ord, y, rows, dim)
+	default:
+		return fitOrderedT[int32, int32](t, &fitStatePool3232, ord, y, rows, dim)
 	}
+}
+
+func fitOrderedT[L labelID, I sampleID](t *DecisionTree, pool *sync.Pool, ord *ColumnOrder, y []int, rows []int, dim int) error {
+	n := len(rows)
+	st := borrowFitState[L, I](pool, n, dim, ord.rows, t.classes, false)
+	defer pool.Put(st)
+
 	// mark[i] is the local index+1 of full row i, 0 when i is not in
 	// the training subset; the stable filter below preserves the full
 	// sort order within the subset. Duplicate rows are rejected: the
 	// filter keeps each full row once, so a multiset subset (e.g. a
 	// bootstrap sample) would silently train on phantom zero entries.
-	mark := make([]int32, ord.rows)
+	mark := st.mark
 	for local, r := range rows {
 		if mark[r] != 0 {
 			return fmt.Errorf("classify: duplicate training row %d (FitSubset needs a set, not a multiset)", r)
@@ -271,16 +461,19 @@ func (t *DecisionTree) fitOrdered(ord *ColumnOrder, y []int, rows []int, dim, cl
 		pos := 0
 		for p, i := range fullOrd {
 			if li := mark[i]; li != 0 {
-				st.idx[base+pos] = li - 1
-				st.vals[base+pos] = fullVals[p]
-				st.labs[base+pos] = int32(y[i])
+				st.idx[base+pos] = I(li - 1)
+				st.colX[base+int(li-1)] = fullVals[p]
+				st.labs[base+pos] = L(y[i])
 				pos++
 			}
 		}
 	}
-	t.root = t.grow(st, 0, n, 0)
-	// Release per-Fit scratch.
-	t.goesLeft, t.scratchIdx, t.scratchVal, t.scratchLab = nil, nil, nil, nil
+	act := st.actArena[:0]
+	for f := 0; f < dim; f++ {
+		act = append(act, int32(f))
+	}
+	st.actArena = act
+	t.root = growT(t, st, 0, n, 0, act)
 	return nil
 }
 
@@ -333,22 +526,25 @@ func (t *DecisionTree) fitBag(ord *ColumnOrder, y []int, rows []int, weights []i
 	t.classes = classes
 	t.features = len(feats)
 	t.importance = make([]float64, len(feats))
-	n := len(rows)
-	t.goesLeft = make([]bool, n)
-	t.scratchIdx = make([]int32, n)
-	t.scratchVal = make([]float64, n)
-	t.scratchLab = make([]int32, n)
-	t.scratchWts = make([]int32, n)
-
-	dim := len(feats)
-	st := &fitState{
-		n:    n,
-		idx:  make([]int32, n*dim),
-		vals: make([]float64, n*dim),
-		labs: make([]int32, n*dim),
-		wts:  make([]int32, n*dim),
+	t.resetArena()
+	switch {
+	case classes <= 256 && smallSubset(len(rows)):
+		return fitBagT[uint8, uint16](t, &fitStatePool816, ord, y, rows, weights, feats)
+	case classes <= 256:
+		return fitBagT[uint8, int32](t, &fitStatePool832, ord, y, rows, weights, feats)
+	case smallSubset(len(rows)):
+		return fitBagT[int32, uint16](t, &fitStatePool3216, ord, y, rows, weights, feats)
+	default:
+		return fitBagT[int32, int32](t, &fitStatePool3232, ord, y, rows, weights, feats)
 	}
-	mark := make([]int32, ord.rows)
+}
+
+func fitBagT[L labelID, I sampleID](t *DecisionTree, pool *sync.Pool, ord *ColumnOrder, y []int, rows []int, weights []int32, feats []int) error {
+	n := len(rows)
+	dim := len(feats)
+	st := borrowFitState[L, I](pool, n, dim, ord.rows, t.classes, true)
+	defer pool.Put(st)
+	mark := st.mark
 	for local, r := range rows {
 		if mark[r] != 0 {
 			return fmt.Errorf("classify: duplicate training row %d (bag multiplicity belongs in weights)", r)
@@ -362,16 +558,20 @@ func (t *DecisionTree) fitBag(ord *ColumnOrder, y []int, rows []int, weights []i
 		pos := 0
 		for p, i := range fullOrd {
 			if li := mark[i]; li != 0 {
-				st.idx[base+pos] = li - 1
-				st.vals[base+pos] = fullVals[p]
-				st.labs[base+pos] = int32(y[i])
+				st.idx[base+pos] = I(li - 1)
+				st.colX[base+int(li-1)] = fullVals[p]
+				st.labs[base+pos] = L(y[i])
 				st.wts[base+pos] = weights[li-1]
 				pos++
 			}
 		}
 	}
-	t.root = t.grow(st, 0, n, 0)
-	t.goesLeft, t.scratchIdx, t.scratchVal, t.scratchLab, t.scratchWts = nil, nil, nil, nil, nil
+	act := st.actArena[:0]
+	for f := 0; f < dim; f++ {
+		act = append(act, int32(f))
+	}
+	st.actArena = act
+	t.root = growT(t, st, 0, n, 0, act)
 	return nil
 }
 
@@ -399,31 +599,40 @@ func argmax(h []int) int {
 }
 
 // grow builds the subtree for the samples held in the [lo, hi)
-// subrange of every feature segment of st. All sample-count arithmetic
-// is in weighted units (weight 1 per sample when st.wts is nil), so a
+// subrange of every feature segment of st. act lists the features
+// still non-constant on this node's path (original feature ids); the
+// scan prunes it further and only the surviving columns are
+// partitioned for the children. All sample-count arithmetic is in
+// weighted units (weight 1 per sample when st.wts is nil), so a
 // weighted bag grows the same tree a materialized multiset would.
-func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
+func growT[L labelID, I sampleID](t *DecisionTree, st *fitState[L, I], lo, hi, depth int, act []int32) *treeNode {
 	m := hi - lo
-	counts := make([]int, t.classes)
+	curIdx, curLabs, curWts := st.cur(depth)
+	counts := t.newCounts()
+	// Only the active features' segments were partitioned down to this
+	// node, so the class histogram must read one of those (every
+	// segment carries the same labels in its own sort order; act is
+	// never empty — the root lists every feature, and a child's list
+	// contains at least the feature its parent split on).
+	labBase := int(act[0]) * st.n
 	W := m // total weighted samples in the node
-	if st.wts == nil {
-		for _, yc := range st.labs[lo:hi] {
+	if curWts == nil {
+		for _, yc := range curLabs[labBase+lo : labBase+hi] {
 			counts[yc]++
 		}
 	} else {
 		W = 0
-		wf := st.wts[lo:hi]
-		for p, yc := range st.labs[lo:hi] {
+		wf := curWts[labBase+lo : labBase+hi]
+		for p, yc := range curLabs[labBase+lo : labBase+hi] {
 			w := int(wf[p])
 			counts[yc] += w
 			W += w
 		}
 	}
-	node := &treeNode{
-		prediction: argmax(counts),
-		counts:     counts,
-		samples:    W,
-	}
+	node := t.newNode()
+	node.prediction = argmax(counts)
+	node.counts = counts
+	node.samples = W
 	imp := gini(counts, W)
 	if imp == 0 || depth >= t.Opts.MaxDepth || W < t.Opts.MinSamplesSplit {
 		return node
@@ -452,30 +661,59 @@ func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
 		sumP += int64(c) * int64(c)
 	}
 	minScore := float64(sumP)/n + t.Opts.MinImpurityDecrease*n
-	leftCounts := make([]int, t.classes)
+	leftCounts := st.leftCounts
+	minLeaf := t.Opts.MinSamplesLeaf
+	arenaMark := len(st.actArena)
 
-	for f := 0; f < t.features; f++ {
+	for _, f32 := range act {
+		f := int(f32)
 		base := f*st.n + lo
-		vf := st.vals[base : base+m]
-		lf := st.labs[base : base+m]
-		if vf[0] == vf[m-1] {
-			continue // feature constant within the node: no valid split
+		colf := curIdx[base : base+m]
+		lf := curLabs[base : base+m]
+		// vX is the feature's full value column, indexed by local
+		// sample id; colf walks it in sorted-value order.
+		vX := st.colX[f*st.n : f*st.n+st.n]
+		v := vX[int(colf[0])]
+		if v == vX[int(colf[m-1])] {
+			continue // feature constant within the node: drop from subtree
 		}
-		var wf []int32
-		if st.wts != nil {
-			wf = st.wts[base : base+m]
-		}
+		st.actArena = append(st.actArena, f32)
 		for c := range leftCounts {
 			leftCounts[c] = 0
 		}
 		sumL, sumR := int64(0), sumP
 		nLeft := 0 // weighted samples left of the boundary
+		if curWts == nil {
+			// Unit-weight fast path: w = 1 folds the incremental update
+			// to sumL += 2l+1, sumR -= 2r−1 with no weight loads.
+			for i := 0; i < m-1; i++ {
+				yc := lf[i]
+				l := int64(leftCounts[yc])
+				r := int64(counts[yc]) - l
+				sumL += 2*l + 1
+				sumR -= 2*r - 1
+				leftCounts[yc]++
+				nLeft++
+				next := vX[int(colf[i+1])]
+				if v != next { // can't split between equal values
+					nRight := W - nLeft
+					if nLeft >= minLeaf && nRight >= minLeaf {
+						score := float64(sumL)/float64(nLeft) + float64(sumR)/float64(nRight)
+						if score >= minScore && score > bestScore {
+							bestFeature = f
+							bestThreshold = (v + next) / 2
+							bestScore = score
+						}
+					}
+					v = next
+				}
+			}
+			continue
+		}
+		wf := curWts[base : base+m]
 		for i := 0; i < m-1; i++ {
 			yc := lf[i]
-			w := int64(1)
-			if wf != nil {
-				w = int64(wf[i])
-			}
+			w := int64(wf[i])
 			// Moving w samples of class yc across the boundary changes
 			// Σ_c left² by w·(2l+w) and the right sum by −w·(2r−w).
 			l := int64(leftCounts[yc])
@@ -484,86 +722,88 @@ func (t *DecisionTree) grow(st *fitState, lo, hi, depth int) *treeNode {
 			sumR -= w * (2*r - w)
 			leftCounts[yc] += int(w)
 			nLeft += int(w)
-			v, next := vf[i], vf[i+1]
-			if v == next {
-				continue // can't split between equal values
-			}
-			nRight := W - nLeft
-			if nLeft < t.Opts.MinSamplesLeaf || nRight < t.Opts.MinSamplesLeaf {
-				continue
-			}
-			score := float64(sumL)/float64(nLeft) + float64(sumR)/float64(nRight)
-			if score >= minScore && score > bestScore {
-				bestFeature = f
-				bestThreshold = (v + next) / 2
-				bestScore = score
+			next := vX[int(colf[i+1])]
+			if v != next { // can't split between equal values
+				nRight := W - nLeft
+				if nLeft >= minLeaf && nRight >= minLeaf {
+					score := float64(sumL)/float64(nLeft) + float64(sumR)/float64(nRight)
+					if score >= minScore && score > bestScore {
+						bestFeature = f
+						bestThreshold = (v + next) / 2
+						bestScore = score
+					}
+				}
+				v = next
 			}
 		}
 	}
+	childAct := st.actArena[arenaMark:len(st.actArena):len(st.actArena)]
 	if bestFeature < 0 {
+		st.actArena = st.actArena[:arenaMark]
 		return node
 	}
 
 	// Stable partition of every sorted column by the chosen split,
-	// reordering each column (indices, values, labels) in place so the
-	// children are again contiguous [lo, lo+nLeft) and [lo+nLeft, hi)
-	// subranges of the shared flat arrays. t.goesLeft and the scratch
-	// slices are shared: only this node's sample entries are read, and
-	// all of them are written first.
-	goesLeft := t.goesLeft
+	// writing each column (indices, values, labels) into the other
+	// parity's same [lo, hi) positions so the children are again
+	// contiguous [lo, lo+nLeft) and [lo+nLeft, hi) subranges — no
+	// copy-back pass. goesLeft is shared across the recursion: only
+	// this node's sample entries are read, and all are written first.
+	goesLeft := st.goesLeft
 	nLeftPos := 0 // child boundary is in sample positions, not weights
 	bfBase := bestFeature*st.n + lo
-	for p, i := range st.idx[bfBase : bfBase+m] {
-		l := st.vals[bfBase+p] <= bestThreshold
-		goesLeft[i] = l
-		if l {
-			nLeftPos++
+	vXb := st.colX[bestFeature*st.n : bestFeature*st.n+st.n]
+	for _, i := range curIdx[bfBase : bfBase+m] {
+		var g uint8
+		if vXb[int(i)] <= bestThreshold {
+			g = 1
 		}
+		goesLeft[int(i)] = g
+		nLeftPos += int(g)
 	}
 	if nLeftPos == 0 || nLeftPos == m {
+		st.actArena = st.actArena[:arenaMark]
 		return node // numerically degenerate split
 	}
-	sIdx, sVal, sLab := t.scratchIdx[:m], t.scratchVal[:m], t.scratchLab[:m]
-	var sWts []int32
-	if st.wts != nil {
-		sWts = t.scratchWts[:m]
-	}
-	for f := 0; f < t.features; f++ {
+	dstIdx, dstLabs, dstWts := st.next(depth)
+	for _, f32 := range childAct {
+		f := int(f32)
 		base := f*st.n + lo
-		col := st.idx[base : base+m]
-		vf := st.vals[base : base+m]
-		lf := st.labs[base : base+m]
-		var wfSeg []int32
-		if st.wts != nil {
-			wfSeg = st.wts[base : base+m]
-		}
+		col := curIdx[base : base+m]
+		lf := curLabs[base : base+m]
+		dIdx := dstIdx[base : base+m]
+		dLab := dstLabs[base : base+m]
+		// Branchless routing: g selects the left or right write cursor
+		// without a data-dependent jump. Values are not moved at all —
+		// children re-gather them from colX through the routed ids.
 		li, ri := 0, nLeftPos
-		for p, i := range col {
-			to := ri
-			if goesLeft[i] {
-				to = li
-				li++
-			} else {
-				ri++
+		if curWts != nil {
+			wf := curWts[base : base+m]
+			dWts := dstWts[base : base+m]
+			for p, i := range col {
+				g := int(goesLeft[int(i)])
+				to := ri + (li-ri)*g
+				dIdx[to], dLab[to], dWts[to] = i, lf[p], wf[p]
+				li += g
+				ri += 1 - g
 			}
-			sIdx[to], sVal[to], sLab[to] = i, vf[p], lf[p]
-			if wfSeg != nil {
-				sWts[to] = wfSeg[p]
-			}
+			continue
 		}
-		copy(col, sIdx)
-		copy(vf, sVal)
-		copy(lf, sLab)
-		if wfSeg != nil {
-			copy(wfSeg, sWts)
+		for p, i := range col {
+			g := int(goesLeft[int(i)])
+			to := ri + (li-ri)*g
+			dIdx[to], dLab[to] = i, lf[p]
+			li += g
+			ri += 1 - g
 		}
 	}
 	bestDecrease := (bestScore - float64(sumP)/n) / n
 	t.importance[bestFeature] += bestDecrease * n
 	node.feature = bestFeature
 	node.threshold = bestThreshold
-	node.left = t.grow(st, lo, lo+nLeftPos, depth+1)
-	node.right = t.grow(st, lo+nLeftPos, hi, depth+1)
+	node.left = growT(t, st, lo, lo+nLeftPos, depth+1, childAct)
+	node.right = growT(t, st, lo+nLeftPos, hi, depth+1, childAct)
+	st.actArena = st.actArena[:arenaMark]
 	return node
 }
 

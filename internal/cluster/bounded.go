@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+
+	"adahealth/internal/vec"
+)
+
+// boundedKernel implements the triangle-inequality-accelerated exact
+// assignment steps: Hamerly (one lower bound per point) and Elkan
+// (per-centroid lower bounds plus centroid-centroid distances). Both
+// maintain, per point, an upper bound u on the distance to its
+// assigned centroid; a centroid scan is skipped entirely whenever the
+// bounds prove no other centroid can be strictly closer. Bounds decay
+// between iterations by the centroid drift (u grows by the assigned
+// centroid's movement, lower bounds shrink by the per-centroid or
+// maximum movement), so most points settle after a few iterations and
+// never touch the O(K) scan again.
+//
+// Exactness: whenever a bound test fails, the kernel recomputes exact
+// distances with the same arithmetic and the same strict "<" /
+// index-order comparisons as the Lloyd kernel it shadows (dense
+// vec.SquaredEuclidean for dense data, the cached-norm identity for
+// CSR data), so Labels/SSE/Iterations are bit-for-bit identical to
+// Lloyd on the same input. The one caveat is exact distance ties: a
+// skipped centroid is proven "no strictly closer", so a point exactly
+// equidistant to its assigned centroid and a lower-indexed one may
+// keep its assignment where Lloyd's fresh scan would pick the lower
+// index. Ties at full float64 precision have measure zero on
+// continuous data; the property tests never hit one.
+//
+// The per-point step is independent given the centroids and the
+// point's own bounds, so the scan fans out over the same chunked
+// worker pool as the sparse kernel (contiguous row ranges, private
+// partial counts merged at a barrier), and the centroid-sum reduction
+// stays a serial row-order pass for bit-stable floating-point
+// accumulation (see the package comment).
+type boundedKernel struct {
+	elkan   bool
+	data    [][]float64
+	csr     *vec.CSRMatrix // nil = dense kernel arithmetic
+	k       int
+	workers int
+
+	upper []float64 // u[i] ≥ d(x_i, centroid[labels[i]])
+	// lower is n entries for Hamerly (bound on the second-closest
+	// distance) and n·k row-major entries for Elkan (per-centroid
+	// bounds l[i·k+c] ≤ d(x_i, c)).
+	lower  []float64
+	cNorm2 []float64 // per-iteration ‖c‖² cache (CSR identity)
+	// half[a·k+c] = d(a,c)/2 for Elkan's pairwise prune; s[c] =
+	// min_{c'≠c} d(c,c')/2 for the global skip test.
+	half []float64
+	s    []float64
+
+	// Drift bookkeeping: updateCentroids reports how far every centroid
+	// moved plus any empty-cluster repairs; the next scan folds the
+	// drift into the bounds lazily, per row, inside the workers.
+	pendingDrift []float64
+	maxDrift     float64
+	driftPending bool
+	repairFlag   []bool
+	hasRepairs   bool
+
+	partialCounts [][]int
+	started       bool
+}
+
+// newBoundedKernel builds a kernel over dense rows and an optional CSR
+// view (non-nil routes distance evaluation through the cached-norm
+// identity, matching the sparse Lloyd kernel bit-for-bit). Buffers
+// come from scratch when provided, so a K sweep reuses one allocation
+// across runs.
+func newBoundedKernel(elkan bool, data [][]float64, csr *vec.CSRMatrix, k, workers int, scratch *Scratch) *boundedKernel {
+	n := len(data)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	bk := &boundedKernel{
+		elkan:   elkan,
+		data:    data,
+		csr:     csr,
+		k:       k,
+		workers: workers,
+	}
+	lowerLen := n
+	if elkan {
+		lowerLen = n * k
+	}
+	if scratch != nil {
+		bk.upper = scratch.f64(&scratch.upper, n)
+		bk.lower = scratch.f64(&scratch.lower, lowerLen)
+		bk.cNorm2 = scratch.f64(&scratch.cNorm2, k)
+		bk.half = scratch.f64(&scratch.half, k*k)
+		bk.s = scratch.f64(&scratch.s, k)
+		bk.partialCounts = scratch.partials(workers, k)
+	} else {
+		bk.upper = make([]float64, n)
+		bk.lower = make([]float64, lowerLen)
+		bk.cNorm2 = make([]float64, k)
+		bk.half = make([]float64, k*k)
+		bk.s = make([]float64, k)
+		bk.partialCounts = make([][]int, workers)
+		for w := range bk.partialCounts {
+			bk.partialCounts[w] = make([]int, k)
+		}
+	}
+	return bk
+}
+
+// dist2 returns the squared distance from row i to centroid c, using
+// exactly the arithmetic of the Lloyd kernel this run shadows: the
+// cached-norm identity over the CSR view when present, else the dense
+// two-pass difference sum.
+func (bk *boundedKernel) dist2(i, c int, cent []float64) float64 {
+	if bk.csr != nil {
+		vals, cols := bk.csr.RowView(i)
+		dot := 0.0
+		for p, v := range vals {
+			dot += v * cent[cols[p]]
+		}
+		return bk.csr.RowNorm2(i) + bk.cNorm2[c] - 2*dot
+	}
+	return vec.SquaredEuclidean(bk.data[i], cent)
+}
+
+// boundDist converts a squared distance to the distance used in the
+// triangle-inequality bounds, clamping the tiny negatives the CSR
+// identity can produce under cancellation.
+func boundDist(d2 float64) float64 {
+	if d2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(d2)
+}
+
+// refreshCenters recomputes the per-iteration centroid caches: squared
+// norms (CSR identity), and the half centroid-centroid distances
+// behind Elkan's pairwise prune and both kernels' s test. O(K²·d),
+// negligible next to the O(n) scan it saves.
+func (bk *boundedKernel) refreshCenters(centroids [][]float64) {
+	if bk.csr != nil {
+		for c, cent := range centroids {
+			s := 0.0
+			for _, v := range cent {
+				s += v * v
+			}
+			bk.cNorm2[c] = s
+		}
+	}
+	k := bk.k
+	for c := range bk.s {
+		bk.s[c] = math.Inf(1)
+	}
+	for a := 0; a < k; a++ {
+		bk.half[a*k+a] = 0
+		for c := a + 1; c < k; c++ {
+			h := boundDist(vec.SquaredEuclidean(centroids[a], centroids[c])) / 2
+			bk.half[a*k+c] = h
+			bk.half[c*k+a] = h
+			if h < bk.s[a] {
+				bk.s[a] = h
+			}
+			if h < bk.s[c] {
+				bk.s[c] = h
+			}
+		}
+	}
+}
+
+// noteUpdate records the per-centroid drift of one updateCentroids
+// call plus the points whose labels it repaired; the next scan applies
+// both to the bounds before testing them.
+func (bk *boundedKernel) noteUpdate(drift []float64, repaired []int) {
+	bk.pendingDrift = drift
+	bk.maxDrift = 0
+	for _, d := range drift {
+		if d > bk.maxDrift {
+			bk.maxDrift = d
+		}
+	}
+	bk.driftPending = true
+	bk.hasRepairs = len(repaired) > 0
+	if bk.hasRepairs {
+		if bk.repairFlag == nil {
+			bk.repairFlag = make([]bool, len(bk.data))
+		}
+		for _, i := range repaired {
+			bk.repairFlag[i] = true
+		}
+	}
+}
+
+// assign performs one full bounded assignment step: parallel bounded
+// label scan with per-worker counts, then the serial row-order
+// reduction of the centroid sums (identical accumulation order to the
+// Lloyd kernels, so the centroids stay bit-for-bit stable for any
+// worker count).
+func (bk *boundedKernel) assign(centroids [][]float64, labels []int, sums [][]float64, counts []int) {
+	bk.scan(centroids, labels, bk.partialCounts)
+	for c := range counts {
+		counts[c] = 0
+		for w := range bk.partialCounts {
+			counts[c] += bk.partialCounts[w][c]
+		}
+		for j := range sums[c] {
+			sums[c][j] = 0
+		}
+	}
+	if bk.csr != nil {
+		n := bk.csr.NumRows()
+		for i := 0; i < n; i++ {
+			dst := sums[labels[i]]
+			vals, cols := bk.csr.RowView(i)
+			for p, v := range vals {
+				dst[cols[p]] += v
+			}
+		}
+	} else {
+		for i, x := range bk.data {
+			vec.AddTo(sums[labels[i]], x)
+		}
+	}
+}
+
+// assignLabels runs only the bounded label scan — the final assignment
+// pass against the converged centroids.
+func (bk *boundedKernel) assignLabels(centroids [][]float64, labels []int) {
+	bk.scan(centroids, labels, nil)
+}
+
+func (bk *boundedKernel) scan(centroids [][]float64, labels []int, partialCounts [][]int) {
+	bk.refreshCenters(centroids)
+	n := len(bk.data)
+	if bk.workers == 1 {
+		var pc []int
+		if partialCounts != nil {
+			pc = partialCounts[0]
+			for c := range pc {
+				pc[c] = 0
+			}
+		}
+		bk.scanRange(centroids, labels, pc, 0, n)
+	} else {
+		chunk := (n + bk.workers - 1) / bk.workers
+		var wg sync.WaitGroup
+		for w := 0; w < bk.workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			var pc []int
+			if partialCounts != nil {
+				pc = partialCounts[w]
+				for c := range pc {
+					pc[c] = 0
+				}
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int, pc []int) {
+				defer wg.Done()
+				bk.scanRange(centroids, labels, pc, lo, hi)
+			}(lo, hi, pc)
+		}
+		wg.Wait()
+	}
+	// Drift and repairs were folded into the bounds row by row above.
+	bk.driftPending = false
+	if bk.hasRepairs {
+		for i := range bk.repairFlag {
+			bk.repairFlag[i] = false
+		}
+		bk.hasRepairs = false
+	}
+	bk.started = true
+}
+
+// scanRange labels rows [lo, hi), folding any pending drift into the
+// bounds first and counting labels into pc when non-nil.
+func (bk *boundedKernel) scanRange(centroids [][]float64, labels []int, pc []int, lo, hi int) {
+	if !bk.started {
+		for i := lo; i < hi; i++ {
+			c := bk.initRow(i, centroids)
+			labels[i] = c
+			if pc != nil {
+				pc[c]++
+			}
+		}
+		return
+	}
+	if bk.elkan {
+		for i := lo; i < hi; i++ {
+			c := bk.elkanRow(i, labels[i], centroids)
+			labels[i] = c
+			if pc != nil {
+				pc[c]++
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		c := bk.hamerlyRow(i, labels[i], centroids)
+		labels[i] = c
+		if pc != nil {
+			pc[c]++
+		}
+	}
+}
+
+// initRow is the first-iteration full scan: the same strict-"<"
+// index-order argmin as the Lloyd kernels, additionally capturing the
+// bounds (closest distance, and second-closest / per-centroid
+// distances) the later iterations prune with.
+func (bk *boundedKernel) initRow(i int, centroids [][]float64) int {
+	best, bestD := -1, math.Inf(1)
+	second := math.Inf(1)
+	if bk.elkan {
+		lw := bk.lower[i*bk.k : i*bk.k+bk.k]
+		for c, cent := range centroids {
+			d2 := bk.dist2(i, c, cent)
+			lw[c] = boundDist(d2)
+			if d2 < bestD {
+				best, bestD = c, d2
+			}
+		}
+	} else {
+		for c, cent := range centroids {
+			d2 := bk.dist2(i, c, cent)
+			if d2 < bestD {
+				second = bestD
+				best, bestD = c, d2
+			} else if d2 < second {
+				second = d2
+			}
+		}
+		bk.lower[i] = boundDist(second)
+	}
+	bk.upper[i] = boundDist(bestD)
+	return best
+}
+
+// hamerlyRow performs one bounded Hamerly step for row i: drift-decay
+// the two bounds, test u ≤ max(l, s[a]), tighten u, and only on a
+// second failure fall back to the full scan (which also restores both
+// bounds to exact values).
+func (bk *boundedKernel) hamerlyRow(i, a int, centroids [][]float64) int {
+	u, l := bk.upper[i], bk.lower[i]
+	if bk.driftPending {
+		u += bk.pendingDrift[a]
+		l -= bk.maxDrift
+		if l < 0 {
+			l = 0
+		}
+		if bk.hasRepairs && bk.repairFlag[i] {
+			// The point was reseeded as centroid a (an exact copy of the
+			// point), so its distance is exactly 0; the second-closest
+			// set changed with the assignment, so the lower bound resets.
+			u, l = 0, 0
+		}
+	}
+	z := l
+	if bk.s[a] > z {
+		z = bk.s[a]
+	}
+	if u <= z {
+		bk.upper[i], bk.lower[i] = u, l
+		return a
+	}
+	// Tighten the upper bound to the exact distance and retest.
+	u = boundDist(bk.dist2(i, a, centroids[a]))
+	if u <= z {
+		bk.upper[i], bk.lower[i] = u, l
+		return a
+	}
+	return bk.initRow(i, centroids)
+}
+
+// elkanRow performs one bounded Elkan step for row i: drift-decay the
+// bounds, then walk the centroids in index order, pruning with the
+// per-centroid lower bounds and the half inter-centroid distances, and
+// comparing exact squared distances (strict "<") whenever a candidate
+// survives — the same comparison Lloyd's scan makes, so the argmin
+// matches bit-for-bit away from exact ties.
+func (bk *boundedKernel) elkanRow(i, a int, centroids [][]float64) int {
+	k := bk.k
+	lw := bk.lower[i*k : i*k+k]
+	u := bk.upper[i]
+	if bk.driftPending {
+		u += bk.pendingDrift[a]
+		for c := range lw {
+			l := lw[c] - bk.pendingDrift[c]
+			if l < 0 {
+				l = 0
+			}
+			lw[c] = l
+		}
+		if bk.hasRepairs && bk.repairFlag[i] {
+			// Reseeded as an exact copy of centroid a: distance exactly 0.
+			u = 0
+			lw[a] = 0
+		}
+	}
+	if u <= bk.s[a] {
+		bk.upper[i] = u
+		return a
+	}
+	var (
+		tight bool
+		u2    float64
+		halfA = bk.half[a*k : a*k+k]
+	)
+	for c := 0; c < k; c++ {
+		if c == a || u <= lw[c] || u <= halfA[c] {
+			continue
+		}
+		if !tight {
+			u2 = bk.dist2(i, a, centroids[a])
+			u = boundDist(u2)
+			lw[a] = u
+			tight = true
+			if u <= lw[c] || u <= halfA[c] {
+				continue
+			}
+		}
+		d2 := bk.dist2(i, c, centroids[c])
+		d := boundDist(d2)
+		lw[c] = d
+		if d2 < u2 {
+			a, u2, u = c, d2, d
+			halfA = bk.half[a*k : a*k+k]
+		}
+	}
+	bk.upper[i] = u
+	return a
+}

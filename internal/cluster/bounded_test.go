@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"adahealth/internal/vec"
+)
+
+// Property (the tentpole guarantee): the Hamerly and Elkan bounded
+// kernels produce bit-for-bit identical Labels, SSE, Iterations,
+// Sizes and Centroids to Lloyd, across seeds {1, 7, 42} × K {2, 8,
+// 64} × dense/sparse inputs × worker counts {1, 2, 8}. Dense inputs
+// compare against serial dense Lloyd; sparse inputs compare against
+// the (itself Lloyd-equivalent) sparse kernel, sharing the CSR
+// identity arithmetic.
+func TestBoundedKernelsMatchLloyd(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		for _, k := range []int{2, 8, 64} {
+			for _, density := range []float64{1.0, 0.15} {
+				n := 160 + rng.Intn(120)
+				d := 6 + rng.Intn(20)
+				data := randRows(rng, n, d, density)
+
+				ref := DenseLloyd
+				if density < sparseAutoThreshold {
+					ref = SparseLloyd
+				}
+				want, err := KMeans(data, Options{
+					K: k, Seed: seed, Algorithm: ref, MaxIter: 60,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, alg := range []Algorithm{Hamerly, Elkan} {
+					for _, workers := range []int{1, 2, 8} {
+						got, err := KMeans(data, Options{
+							K: k, Seed: seed, Algorithm: alg,
+							Parallelism: workers, MaxIter: 60,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Algorithm != alg.String() {
+							t.Fatalf("Algorithm = %q, want %q", got.Algorithm, alg)
+						}
+						requireIdentical(t, int(seed)*100+k, workers, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The guarantee extends to prebuilt CSR views (the sweep path): the
+// bounded kernels over a shared CSR view match the sparse kernel over
+// the same view bit for bit.
+func TestBoundedKernelsMatchLloydOverCSR(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+		data := randRows(rng, 200, 24, 0.12)
+		csr := vec.NewCSRFromDense(data)
+		for _, k := range []int{2, 8, 64} {
+			want, err := KMeansCSR(csr, data, Options{K: k, Seed: seed, Algorithm: SparseLloyd})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range []Algorithm{Hamerly, Elkan} {
+				got, err := KMeansCSR(csr, data, Options{K: k, Seed: seed, Algorithm: alg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, int(seed), int(alg), want, got)
+			}
+		}
+	}
+}
+
+// Empty-cluster repair moves a point's label outside the assignment
+// scan; the bounded kernels must reset that point's bounds and still
+// agree with Lloyd exactly.
+func TestBoundedKernelsSurviveEmptyClusterRepair(t *testing.T) {
+	data := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{50, 50}, {-50, 50},
+	}
+	init := [][]float64{{0, 0}, {1000, 1000}, {-1000, 1000}}
+	want, err := KMeans(data, Options{K: 3, Algorithm: DenseLloyd, InitialCentroids: init, MaxIter: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Hamerly, Elkan} {
+		got, err := KMeans(data, Options{K: 3, Algorithm: alg, InitialCentroids: init, MaxIter: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, 0, int(alg), want, got)
+	}
+}
+
+// A shared Scratch across runs of varying K (the warm-started sweep's
+// reuse pattern) must not change any result bit.
+func TestScratchReuseAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randRows(rng, 150, 12, 0.3)
+	scratch := &Scratch{}
+	for _, alg := range []Algorithm{Hamerly, Elkan, Lloyd, Filtering, AlgorithmMiniBatch} {
+		for _, k := range []int{2, 5, 9, 4} { // deliberately non-monotone
+			want, err := KMeans(data, Options{K: k, Seed: 9, Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := KMeans(data, Options{K: k, Seed: 9, Algorithm: alg, Scratch: scratch, Rand: rand.New(rand.NewSource(0))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, int(alg), k, want, got)
+		}
+	}
+}
+
+// Mini-batch K-means is approximate but must be deterministic under
+// Seed and structurally valid; on well-separated blobs it should land
+// near the Lloyd objective.
+func TestMiniBatchDeterministicAndReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([][]float64, 600)
+	for i := range data {
+		c := i % 4
+		data[i] = []float64{float64(c%2)*20 + rng.NormFloat64(), float64(c/2)*20 + rng.NormFloat64()}
+	}
+	a, err := KMeans(data, Options{K: 4, Seed: 5, Algorithm: AlgorithmMiniBatch, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(data, Options{K: 4, Seed: 5, Algorithm: AlgorithmMiniBatch, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, 0, 0, a, b)
+	if a.Algorithm != "minibatch" {
+		t.Errorf("Algorithm = %q, want minibatch", a.Algorithm)
+	}
+	total := 0
+	for _, s := range a.Sizes {
+		total += s
+	}
+	if total != len(data) {
+		t.Errorf("sizes sum %d, want %d", total, len(data))
+	}
+	lloyd, err := KMeans(data, Options{K: 4, Seed: 5, Algorithm: DenseLloyd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SSE > lloyd.SSE*2+1 {
+		t.Errorf("mini-batch SSE %.2f far above Lloyd %.2f on separable blobs", a.SSE, lloyd.SSE)
+	}
+}
+
+// Auto routing: sparse → elkan (over CSR), low-dim dense small K →
+// hamerly, low-dim dense large K → filtering, high-dim dense → elkan.
+func TestAlgorithmAutoRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		name string
+		data [][]float64
+		k    int
+		want string
+	}{
+		{"sparse-highdim", randRows(rng, 120, 40, 0.1), 8, "elkan"},
+		{"dense-lowdim-smallK", randRows(rng, 120, 3, 1.0), 8, "hamerly"},
+		{"dense-lowdim-largeK", randRows(rng, 120, 3, 1.0), 48, "filtering"},
+		{"dense-highdim", randRows(rng, 120, 24, 1.0), 8, "elkan"},
+	}
+	for _, tc := range cases {
+		res, err := KMeans(tc.data, Options{K: tc.k, Seed: 1, Algorithm: AlgorithmAuto})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Algorithm != tc.want {
+			t.Errorf("%s: routed to %q, want %q", tc.name, res.Algorithm, tc.want)
+		}
+	}
+}
+
+// The exact auto routes must agree with Lloyd wherever the chosen
+// kernel is bit-for-bit (hamerly/elkan; the filtering route is exact
+// but sums subtrees in a different order, so it is compared on labels
+// only elsewhere).
+func TestAlgorithmAutoMatchesLloydOnBoundedRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial, data := range [][][]float64{
+		randRows(rng, 150, 30, 0.1), // elkan over CSR
+		randRows(rng, 150, 4, 1.0),  // hamerly
+	} {
+		want, err := KMeans(data, Options{K: 6, Seed: 2, Algorithm: Lloyd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := KMeans(data, Options{K: 6, Seed: 2, Algorithm: AlgorithmAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, trial, 0, want, got)
+	}
+}
+
+func TestAlgorithmTextRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{Lloyd, Filtering, DenseLloyd, SparseLloyd, Hamerly, Elkan, AlgorithmMiniBatch, AlgorithmAuto} {
+		b, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Algorithm
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != a {
+			t.Errorf("round trip %s -> %s", a, back)
+		}
+	}
+	var a Algorithm
+	if err := json.Unmarshal([]byte(`"nope"`), &a); err == nil {
+		t.Error("accepted unknown algorithm name")
+	}
+	if _, err := ParseAlgorithm(""); err != nil {
+		t.Errorf("empty name should parse as default: %v", err)
+	}
+}

@@ -1,8 +1,43 @@
 // Package cluster implements the center-based clustering algorithms
 // used by ADA-HEALTH: K-means with k-means++ seeding, in the classic
 // Lloyd formulation, the kd-tree filtering formulation of Kanungo et
-// al. (the paper's reference [3]), and a sparse-aware parallel kernel
-// tuned for the VSM patient matrices, plus bisecting K-means.
+// al. (the paper's reference [3]), a sparse-aware parallel kernel
+// tuned for the VSM patient matrices, the Hamerly/Elkan
+// triangle-inequality bounded kernels, Sculley mini-batch K-means,
+// and bisecting K-means.
+//
+// # Algorithm matrix
+//
+// Every Algorithm except AlgorithmMiniBatch is exact — it converges
+// to the same fixed point Lloyd does on the same seeding:
+//
+//	algorithm    exactness                  data        strength
+//	---------    -------------------------  ----------  -----------------------------------
+//	lloyd        exact, ≡ Lloyd bit-for-bit any         auto-routes dense vs sparse scan
+//	dense-lloyd  exact (the reference)      dense       baseline
+//	sparse-lloyd exact, ≡ Lloyd bit-for-bit sparse/CSR  O(K·nnz) scan, parallel workers
+//	hamerly      exact, ≡ Lloyd bit-for-bit any         1 bound/point: low-dim, small K
+//	elkan        exact, ≡ Lloyd bit-for-bit any         K bounds/point: high-dim or big K
+//	filtering    exact (≢ bit-for-bit: kd-  dense       low-dim dense, large K
+//	             tree subtree sums reorder
+//	             the fp accumulation)
+//	minibatch    APPROXIMATE (Sculley),     any         per-iteration cost independent of n
+//	             deterministic under Seed
+//	auto         exact (routes below)       any
+//
+// AlgorithmAuto routing rules, in order: data sparse enough for the
+// CSR kernel to pay (SparseProfitable) → elkan over the CSR view;
+// dense with ≤ 16 dimensions → filtering when K ≥ 32, else hamerly;
+// dense high-dimensional → elkan. Mini-batch is never auto-selected:
+// trading exactness for scale is an explicit caller decision.
+//
+// "≡ Lloyd bit-for-bit" means identical Labels/SSE/Iterations/
+// Centroids, property-tested across seeds, worker counts and
+// dense/CSR inputs, with two documented caveats: the norm-identity
+// cancellation case below, and exact distance ties (a bounded kernel
+// proves "no strictly closer centroid" and keeps the incumbent,
+// where Lloyd's fresh scan picks the lowest index — measure zero on
+// continuous data).
 //
 // # Sparse kernel design
 //
@@ -75,6 +110,29 @@ const (
 	DenseLloyd
 	// SparseLloyd forces the sparse-aware parallel kernel.
 	SparseLloyd
+	// Hamerly is the one-lower-bound triangle-inequality kernel
+	// (Hamerly 2010): exact, bit-for-bit identical to Lloyd, and
+	// skips the whole centroid scan for points whose bounds prove the
+	// assignment unchanged. Best for low-dimensional dense data at
+	// moderate K.
+	Hamerly
+	// Elkan is the per-centroid-lower-bound triangle-inequality kernel
+	// (Elkan 2003): exact like Hamerly, with tighter pruning that pays
+	// at larger K and on high-dimensional (sparse) data, at O(n·K)
+	// bound memory.
+	Elkan
+	// AlgorithmMiniBatch is Sculley-style mini-batch K-means:
+	// approximate (NOT bit-for-bit comparable to Lloyd; excluded from
+	// the exactness property tests), deterministic under Seed, with
+	// per-iteration cost independent of the dataset size — the kernel
+	// for >100k-patient logs.
+	AlgorithmMiniBatch
+	// AlgorithmAuto picks an exact kernel from the data shape: sparse
+	// data routes to Elkan over the CSR view, low-dimensional dense
+	// data to Hamerly (or to the kd-tree Filtering kernel once K is
+	// large enough for cell pruning to win), high-dimensional dense
+	// data to Elkan. See the package comment for the routing matrix.
+	AlgorithmAuto
 )
 
 func (a Algorithm) String() string {
@@ -87,9 +145,95 @@ func (a Algorithm) String() string {
 		return "dense-lloyd"
 	case SparseLloyd:
 		return "sparse-lloyd"
+	case Hamerly:
+		return "hamerly"
+	case Elkan:
+		return "elkan"
+	case AlgorithmMiniBatch:
+		return "minibatch"
+	case AlgorithmAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// Valid reports whether a names a known algorithm.
+func (a Algorithm) Valid() bool {
+	return a >= Lloyd && a <= AlgorithmAuto
+}
+
+// ParseAlgorithm maps an algorithm name (as produced by String) back
+// to its value; the empty string selects the Lloyd default.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "lloyd":
+		return Lloyd, nil
+	case "filtering":
+		return Filtering, nil
+	case "dense-lloyd":
+		return DenseLloyd, nil
+	case "sparse-lloyd":
+		return SparseLloyd, nil
+	case "hamerly":
+		return Hamerly, nil
+	case "elkan":
+		return Elkan, nil
+	case "minibatch":
+		return AlgorithmMiniBatch, nil
+	case "auto":
+		return AlgorithmAuto, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown algorithm %q (want lloyd, filtering, dense-lloyd, sparse-lloyd, hamerly, elkan, minibatch or auto)", s)
+}
+
+// MarshalText encodes the algorithm as its name, so a JSON config
+// override carries "algorithm": "elkan" instead of an opaque integer.
+func (a Algorithm) MarshalText() ([]byte, error) {
+	if !a.Valid() {
+		return nil, fmt.Errorf("cluster: cannot marshal %s", a)
+	}
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText is the inverse of MarshalText.
+func (a *Algorithm) UnmarshalText(b []byte) error {
+	v, err := ParseAlgorithm(string(b))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// Auto-routing thresholds: below autoFilteringMaxDim dimensions the
+// kd-tree's bounding boxes are tight enough to prune, and from
+// autoFilteringMinK centroids the per-cell candidate pruning
+// amortizes the tree walk; everything else goes to a bounded kernel.
+const (
+	autoFilteringMaxDim = 16
+	autoFilteringMinK   = 32
+)
+
+// autoAlgorithm resolves AlgorithmAuto for a dataset shape: Elkan over
+// the CSR view for sparse data (the VSM regime — the caller resolves
+// sparsity by probing AutoCSR once, so csr != nil means "sparse enough
+// to pay"), the kd-tree filtering kernel for low-dimensional dense
+// data at large K (where it wins decisively — see
+// BenchmarkKMeansAblation blobs-d3/K=64), Hamerly for low-dimensional
+// dense data at small K, and Elkan for the dense high-dimensional
+// rest.
+func autoAlgorithm(d, k int, csr *vec.CSRMatrix) Algorithm {
+	if csr != nil {
+		return Elkan
+	}
+	if d <= autoFilteringMaxDim {
+		if k >= autoFilteringMinK {
+			return Filtering
+		}
+		return Hamerly
+	}
+	return Elkan
 }
 
 // InitMethod selects centroid seeding.
@@ -124,15 +268,30 @@ type Options struct {
 	Algorithm Algorithm
 	LeafSize  int // kd-tree leaf size for Filtering; default kdtree.DefaultLeafSize
 
-	// Parallelism bounds the worker goroutines of the sparse parallel
-	// assignment step: 0 uses all cores (runtime.GOMAXPROCS(0)), 1 is
-	// serial. The result is identical for every value (see the package
-	// comment).
+	// Parallelism bounds the worker goroutines of the sparse and
+	// bounded parallel assignment steps: 0 uses all cores
+	// (runtime.GOMAXPROCS(0)), 1 is serial. The result is identical
+	// for every value (see the package comment).
 	Parallelism int
 
-	// InitialCentroids, when non-nil, bypasses seeding (used by tests
-	// and by the kernel-equivalence properties).
+	// BatchSize is the AlgorithmMiniBatch sample size per iteration;
+	// <= 0 uses DefaultBatchSize. Ignored by the exact kernels.
+	BatchSize int
+
+	// InitialCentroids, when non-nil, bypasses seeding (used by tests,
+	// the kernel-equivalence properties, and the warm-started sweep).
 	InitialCentroids [][]float64
+
+	// Rand, when non-nil, is reseeded with Seed and used as the run's
+	// stochastic stream — a reuse hook so a sweep does not allocate a
+	// fresh generator per K. Results are identical to passing nil.
+	Rand *rand.Rand `json:"-"`
+
+	// Scratch, when non-nil, supplies the run's working memory
+	// (labels, counts, sums, bounds, kd-tree) and is grown in place —
+	// the reuse hook that lets a K sweep run allocation-free after the
+	// first K. A Scratch must not be shared by concurrent runs.
+	Scratch *Scratch `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -258,7 +417,12 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 		return nil, fmt.Errorf("cluster: CSR has %d cols, dense view has %d", csr.NumCols(), d)
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	} else {
+		rng.Seed(opts.Seed)
+	}
 	var centroids [][]float64
 	switch {
 	case opts.InitialCentroids != nil:
@@ -280,9 +444,23 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 		centroids = kmeansPPInit(data, opts.K, rng)
 	}
 
-	// Select the assignment kernel.
+	// Resolve the assignment kernel. Auto and the bounded kernels share
+	// one sparsity probe: AutoCSR scans the non-zeros once and returns
+	// a view only when the sparse arithmetic pays.
+	algo := opts.Algorithm
+	probed := false
+	if algo == AlgorithmAuto {
+		if csr == nil {
+			csr = AutoCSR(data)
+			probed = true
+		}
+		algo = autoAlgorithm(d, opts.K, csr)
+	}
+	if algo == AlgorithmMiniBatch {
+		return runMiniBatch(ctx, data, centroids, rng, opts)
+	}
 	useSparse := false
-	switch opts.Algorithm {
+	switch algo {
 	case SparseLloyd:
 		useSparse = true
 	case Lloyd:
@@ -299,12 +477,26 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 			}
 			useSparse = SparseProfitable(n, d, float64(nnz)/float64(n*d))
 		}
+	case Hamerly, Elkan:
+		// The bounded kernels score distances through the CSR identity
+		// whenever the sparse view exists or would pay (same routing as
+		// Lloyd), and densely otherwise.
+		if csr == nil && !probed {
+			csr = AutoCSR(data)
+		}
 	}
 
 	var tree *kdtree.Tree
-	if opts.Algorithm == Filtering {
+	var filterScratch *kdtree.FilterScratch
+	if algo == Filtering {
 		var err error
-		tree, err = kdtree.Build(data, opts.LeafSize)
+		if opts.Scratch != nil {
+			tree, err = opts.Scratch.treeFor(data, opts.LeafSize)
+			filterScratch = opts.Scratch.filterScratch()
+		} else {
+			tree, err = kdtree.Build(data, opts.LeafSize)
+			filterScratch = &kdtree.FilterScratch{}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("cluster: building kd-tree: %w", err)
 		}
@@ -316,29 +508,45 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 		}
 		sk = newSparseKernel(csr, opts.K, opts.Parallelism)
 	}
-
-	labels := make([]int, n)
-	counts := make([]int, opts.K)
-	sums := make([][]float64, opts.K)
-	for i := range sums {
-		sums[i] = make([]float64, d)
+	var bk *boundedKernel
+	if algo == Hamerly || algo == Elkan {
+		bk = newBoundedKernel(algo == Elkan, data, csr, opts.K, opts.Parallelism, opts.Scratch)
 	}
 
-	algo := opts.Algorithm.String()
-	switch {
-	case opts.Algorithm == Filtering:
-		// keep
-	case sk != nil:
-		algo = SparseLloyd.String()
-	default:
-		algo = Lloyd.String()
+	var (
+		labels []int
+		counts []int
+		sums   [][]float64
+		drift  []float64
+	)
+	if opts.Scratch != nil {
+		labels = opts.Scratch.ints(&opts.Scratch.labels, n)
+		counts = opts.Scratch.ints(&opts.Scratch.counts, opts.K)
+		sums = opts.Scratch.sumBuffers(opts.K, d)
+	} else {
+		labels = make([]int, n)
+		counts = make([]int, opts.K)
+		sums = make([][]float64, opts.K)
+		for i := range sums {
+			sums[i] = make([]float64, d)
+		}
 	}
+	if bk != nil {
+		drift = make([]float64, opts.K)
+	}
+	var repaired []int
 
-	res := &Result{K: opts.K, Algorithm: algo}
+	name := algo
+	if algo == Lloyd && sk != nil {
+		name = SparseLloyd
+	}
+	res := &Result{K: opts.K, Algorithm: name.String()}
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		// One Lloyd iteration is the cancellation granularity of the
-		// hot loop: milliseconds at paper scale, so a cancelled context
-		// is honoured promptly without a per-point check in the kernel.
+		// hot loop (including the bounded kernels' inner loops, which
+		// run within one iteration): milliseconds at paper scale, so a
+		// cancelled context is honoured promptly without a per-point
+		// check in the kernel.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -346,8 +554,10 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 
 		// Assignment step.
 		switch {
-		case opts.Algorithm == Filtering:
-			tree.FilterStep(centroids, labels, sums, counts)
+		case tree != nil:
+			tree.FilterStepScratch(centroids, labels, sums, counts, filterScratch)
+		case bk != nil:
+			bk.assign(centroids, labels, sums, counts)
 		case sk != nil:
 			sk.assign(centroids, labels, sums, counts)
 		default:
@@ -365,26 +575,43 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 			}
 		}
 
-		if moved := updateCentroids(data, centroids, labels, sums, counts); moved <= opts.Tolerance {
+		moved, rep := updateCentroids(data, centroids, labels, sums, counts, drift, repaired[:0])
+		repaired = rep
+		if bk != nil {
+			bk.noteUpdate(drift, repaired)
+		}
+		if moved <= opts.Tolerance {
 			res.Converged = true
 			break
 		}
 	}
 
 	// Final assignment against the converged centroids, plus SSE. The
-	// sparse kernel computes the argmin; the distance itself is always
-	// recomputed densely so the SSE matches serial dense Lloyd exactly.
+	// sparse and bounded kernels compute the argmin; the distance
+	// itself is always recomputed densely so the SSE matches serial
+	// dense Lloyd exactly.
 	res.Centroids = centroids
 	res.Labels = make([]int, n)
 	res.Sizes = make([]int, opts.K)
-	if sk != nil {
+	switch {
+	case bk != nil:
+		// The bounded scan refines the previous labels, so seed the
+		// result array with them before the final pass.
+		copy(res.Labels, labels)
+		bk.assignLabels(centroids, res.Labels)
+		for i, x := range data {
+			c := res.Labels[i]
+			res.Sizes[c]++
+			res.SSE += vec.SquaredEuclidean(x, centroids[c])
+		}
+	case sk != nil:
 		sk.assignLabels(centroids, res.Labels)
 		for i, x := range data {
 			c := res.Labels[i]
 			res.Sizes[c]++
 			res.SSE += vec.SquaredEuclidean(x, centroids[c])
 		}
-	} else {
+	default:
 		for i, x := range data {
 			c, dist := vec.ArgMinDistance(x, centroids)
 			res.Labels[i] = c
@@ -402,7 +629,13 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 // counts and sum contributions move to the repaired cluster) so that
 // a second empty cluster repaired in the same iteration cannot pick
 // the same farthest point.
-func updateCentroids(data, centroids [][]float64, labels []int, sums [][]float64, counts []int) float64 {
+//
+// drift, when non-nil, receives the per-centroid movement (the decay
+// the bounded kernels fold into their triangle-inequality bounds), and
+// repaired collects the indices of reseeded points (whose bounds must
+// be reset: their label changed outside the assignment scan). repaired
+// is appended to and returned so callers can reuse its backing array.
+func updateCentroids(data, centroids [][]float64, labels []int, sums [][]float64, counts []int, drift []float64, repaired []int) (float64, []int) {
 	moved := 0.0
 	for c := range centroids {
 		if counts[c] == 0 {
@@ -418,6 +651,10 @@ func updateCentroids(data, centroids [][]float64, labels []int, sums [][]float64
 					sums[old][j] -= v
 				}
 			}
+			if drift != nil {
+				drift[c] = delta
+			}
+			repaired = append(repaired, far)
 			if delta > moved {
 				moved = delta
 			}
@@ -427,11 +664,15 @@ func updateCentroids(data, centroids [][]float64, labels []int, sums [][]float64
 		for j := range centroids[c] {
 			centroids[c][j] = sums[c][j] / float64(counts[c])
 		}
-		if delta := vec.Euclidean(prev, centroids[c]); delta > moved {
+		delta := vec.Euclidean(prev, centroids[c])
+		if drift != nil {
+			drift[c] = delta
+		}
+		if delta > moved {
 			moved = delta
 		}
 	}
-	return moved
+	return moved, repaired
 }
 
 // farthestPoint returns the index of the point with the largest

@@ -1,0 +1,118 @@
+package cluster
+
+import "adahealth/internal/kdtree"
+
+// Scratch owns the reusable working memory of a K-means run: the
+// per-iteration labels/counts/sums, the bounded kernels' bound arrays,
+// the worker pool's partial counts, the kd-tree filtering scratch, and
+// the kd-tree itself (which depends only on the data, so a K sweep on
+// one matrix builds it once). A sweep evaluating many K values on one
+// dataset passes the same Scratch to every run via Options.Scratch and
+// cuts the per-K allocations to (almost) zero; buffers grow as needed
+// and are never shrunk.
+//
+// A Scratch must not be shared by concurrent runs — it is the working
+// state of exactly one run at a time. Results (Labels, Sizes,
+// Centroids) are always freshly allocated, so retaining a Result while
+// reusing its Scratch is safe.
+type Scratch struct {
+	labels   []int
+	counts   []int
+	sums     [][]float64
+	sumsBack []float64
+
+	upper, lower, cNorm2, half, s []float64
+	partial                       [][]int
+
+	filter *kdtree.FilterScratch
+	tree   *kdtree.Tree
+	// treeData/treeLeaf identify the dataset+leaf size the cached tree
+	// was built for (slice identity: same backing array, same length).
+	treeData []([]float64)
+	treeLeaf int
+
+	// batch scratch for the mini-batch kernel
+	batchIdx  []int
+	batchLab  []int
+	prevCents []float64
+}
+
+// ints returns a zeroed int buffer of length n from the given slot.
+func (s *Scratch) ints(slot *[]int, n int) []int {
+	if cap(*slot) < n {
+		*slot = make([]int, n)
+	}
+	buf := (*slot)[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// f64 returns a zeroed float64 buffer of length n from the given slot.
+func (s *Scratch) f64(slot *[]float64, n int) []float64 {
+	if cap(*slot) < n {
+		*slot = make([]float64, n)
+	}
+	buf := (*slot)[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// sumBuffers returns k zeroed length-d accumulator vectors backed by
+// one contiguous array.
+func (s *Scratch) sumBuffers(k, d int) [][]float64 {
+	back := s.f64(&s.sumsBack, k*d)
+	if cap(s.sums) < k {
+		s.sums = make([][]float64, k)
+	}
+	s.sums = s.sums[:k]
+	for i := range s.sums {
+		s.sums[i] = back[i*d : (i+1)*d : (i+1)*d]
+	}
+	return s.sums
+}
+
+// partials returns workers zeroed length-k count vectors.
+func (s *Scratch) partials(workers, k int) [][]int {
+	if cap(s.partial) < workers {
+		s.partial = make([][]int, workers)
+	}
+	s.partial = s.partial[:workers]
+	for w := range s.partial {
+		if cap(s.partial[w]) < k {
+			s.partial[w] = make([]int, k)
+		}
+		s.partial[w] = s.partial[w][:k]
+		for c := range s.partial[w] {
+			s.partial[w][c] = 0
+		}
+	}
+	return s.partial
+}
+
+// filterScratch returns the shared kd-tree filtering scratch.
+func (s *Scratch) filterScratch() *kdtree.FilterScratch {
+	if s.filter == nil {
+		s.filter = &kdtree.FilterScratch{}
+	}
+	return s.filter
+}
+
+// treeFor returns a kd-tree over data, rebuilding only when the data
+// or leaf size differs from the cached build (identity comparison: the
+// sweep hands the same row slice to every K).
+func (s *Scratch) treeFor(data [][]float64, leafSize int) (*kdtree.Tree, error) {
+	if s.tree != nil && s.treeLeaf == leafSize && len(s.treeData) == len(data) &&
+		len(data) > 0 && &s.treeData[0] == &data[0] {
+		return s.tree, nil
+	}
+	tree, err := kdtree.Build(data, leafSize)
+	if err != nil {
+		return nil, err
+	}
+	s.tree, s.treeData, s.treeLeaf = tree, data, leafSize
+	return tree, nil
+}

@@ -116,6 +116,21 @@ func (c Config) Validate() error {
 	if c.Seed < 0 {
 		return fmt.Errorf("core: negative Seed %d (seeds must be non-negative so derived per-component seeds stay in range)", c.Seed)
 	}
+	if !c.Sweep.Cluster.Algorithm.Valid() {
+		return fmt.Errorf("core: unknown sweep clustering algorithm %s", c.Sweep.Cluster.Algorithm)
+	}
+	if !c.Partial.Cluster.Algorithm.Valid() {
+		return fmt.Errorf("core: unknown partial-mining clustering algorithm %s", c.Partial.Cluster.Algorithm)
+	}
+	if c.Sweep.Cluster.BatchSize < 0 {
+		return fmt.Errorf("core: negative sweep mini-batch size %d (0 selects the default of %d)", c.Sweep.Cluster.BatchSize, cluster.DefaultBatchSize)
+	}
+	if c.Partial.Cluster.BatchSize < 0 {
+		return fmt.Errorf("core: negative partial-mining mini-batch size %d (0 selects the default of %d)", c.Partial.Cluster.BatchSize, cluster.DefaultBatchSize)
+	}
+	if !c.Sweep.WarmStart.Valid() {
+		return fmt.Errorf("core: unknown sweep warm-start mode %d (0 = on, 1 = off)", c.Sweep.WarmStart)
+	}
 	return nil
 }
 

@@ -219,12 +219,23 @@ func (e *Engine) runSweep(ctx context.Context, s *pipelineState) error {
 }
 
 func (e *Engine) runCluster(ctx context.Context, s *pipelineState) error {
-	opts := e.cfg.Sweep.Cluster
-	opts.K = s.rep.Sweep.BestK
-	opts.Seed = e.cfg.Seed + int64(s.rep.Sweep.BestK)*7919
-	best, err := cluster.KMeansContext(ctx, s.working.Rows, opts)
-	if err != nil {
-		return wrapStageErr(ctx, "final clustering", err)
+	// The sweep hands over the fitted model its BestK row was scored
+	// on; re-clustering would both duplicate the work and — under the
+	// default warm-started sweep, whose BestK model is the product of
+	// the whole ascending chain — select a different local optimum
+	// than the one the optimizer actually ranked best.
+	best := s.rep.Sweep.BestClustering
+	if best == nil {
+		opts := e.cfg.Sweep.Cluster
+		opts.K = s.rep.Sweep.BestK
+		// The shared derived-seed formula: re-run the selected K under
+		// exactly the seed the sweep evaluated it with.
+		opts.Seed = optimize.KSeed(e.cfg.Seed, s.rep.Sweep.BestK)
+		var err error
+		best, err = cluster.KMeansContext(ctx, s.working.Rows, opts)
+		if err != nil {
+			return wrapStageErr(ctx, "final clustering", err)
+		}
 	}
 	s.rep.BestClustering = best
 	s.rep.ClusterItems = knowledge.FromClusterResult(s.log.Name, best, s.working.Features, 5)

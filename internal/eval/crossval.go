@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"adahealth/internal/classify"
 )
@@ -35,28 +36,50 @@ func StratifiedKFold(y []int, k int, seed int64) ([][]int, error) {
 		return nil, fmt.Errorf("eval: %d samples cannot fill %d folds", len(y), k)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	byClass := map[int][]int{}
-	for i, c := range y {
-		byClass[c] = append(byClass[c], i)
-	}
-	classes := make([]int, 0, len(byClass))
-	for c := range byClass {
-		classes = append(classes, c)
-	}
-	// Deterministic class order.
-	for i := 1; i < len(classes); i++ {
-		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
-			classes[j], classes[j-1] = classes[j-1], classes[j]
+	// Bucket indices per class. Labels are small dense ints (cluster
+	// ids), so slice buckets beat a map; negative labels fall back to
+	// an overflow map to keep the old permissive behaviour. Classes
+	// are processed in ascending label order (negatives first), the
+	// same order the previous sorted-map implementation used, so the
+	// folds are bit-for-bit unchanged.
+	maxClass := -1
+	for _, c := range y {
+		if c > maxClass {
+			maxClass = c
 		}
 	}
+	var byClass [][]int
+	if maxClass >= 0 {
+		byClass = make([][]int, maxClass+1)
+	}
+	var negClasses []int
+	byNeg := map[int][]int{}
+	for i, c := range y {
+		if c >= 0 {
+			byClass[c] = append(byClass[c], i)
+			continue
+		}
+		if _, seen := byNeg[c]; !seen {
+			negClasses = append(negClasses, c)
+		}
+		byNeg[c] = append(byNeg[c], i)
+	}
+	sort.Ints(negClasses)
 	folds := make([][]int, k)
 	next := 0
-	for _, c := range classes {
-		idx := byClass[c]
+	assign := func(idx []int) {
 		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
 		for _, i := range idx {
 			folds[next%k] = append(folds[next%k], i)
 			next++
+		}
+	}
+	for _, c := range negClasses {
+		assign(byNeg[c])
+	}
+	for _, idx := range byClass {
+		if len(idx) > 0 {
+			assign(idx)
 		}
 	}
 	return folds, nil
@@ -77,6 +100,16 @@ type CVResult struct {
 // validation was used to evaluate the classification model").
 // Stratified splitting keeps rare clusters represented in every fold.
 func CrossValidate(factory classify.Factory, X [][]float64, y []int, k int, seed int64) (*CVResult, error) {
+	return CrossValidateWithOrder(factory, X, y, k, seed, nil)
+}
+
+// CrossValidateWithOrder is CrossValidate with a caller-shared
+// presorted column view of X (classify.NewColumnOrder), the reuse
+// hook for sweeps that cross-validate many label vectors over one
+// matrix: the presort depends only on X, so one build serves every K
+// and every fold. A nil ord is built internally on demand. ord must
+// have been built from this exact X.
+func CrossValidateWithOrder(factory classify.Factory, X [][]float64, y []int, k int, seed int64, ord *classify.ColumnOrder) (*CVResult, error) {
 	if len(X) != len(y) {
 		return nil, fmt.Errorf("eval: %d rows but %d labels", len(X), len(y))
 	}
@@ -94,11 +127,15 @@ func CrossValidate(factory classify.Factory, X [][]float64, y []int, k int, seed
 	res := &CVResult{Folds: k}
 
 	// Classifiers implementing classify.SubsetFitter (the decision
-	// tree) train against one shared presorted view of X instead of
-	// re-sorting a materialized 90% copy for every fold.
-	var ord *classify.ColumnOrder
+	// tree, the random forest) train against one shared presorted view
+	// of X instead of re-sorting a materialized 90% copy for every
+	// fold, and the single factory-built instance is refit per fold —
+	// FitSubset fully resets the model, so one instance serves all k
+	// folds without reallocating its fit state.
+	var subsetClf classify.SubsetFitter
 
 	inTest := make([]bool, len(X))
+	trainRows := make([]int, 0, len(X))
 	for f, test := range folds {
 		for i := range inTest {
 			inTest[i] = false
@@ -106,15 +143,21 @@ func CrossValidate(factory classify.Factory, X [][]float64, y []int, k int, seed
 		for _, i := range test {
 			inTest[i] = true
 		}
-		clf := factory()
+		var clf classify.Classifier
+		if subsetClf != nil {
+			clf = subsetClf.(classify.Classifier)
+		} else {
+			clf = factory()
+		}
 		if sf, ok := clf.(classify.SubsetFitter); ok {
+			subsetClf = sf
 			if ord == nil {
 				var err error
 				if ord, err = classify.NewColumnOrder(X); err != nil {
 					return nil, fmt.Errorf("eval: presorting: %w", err)
 				}
 			}
-			trainRows := make([]int, 0, len(X)-len(test))
+			trainRows = trainRows[:0]
 			for i := range X {
 				if !inTest[i] {
 					trainRows = append(trainRows, i)

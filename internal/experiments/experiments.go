@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 
+	"adahealth/internal/cluster"
 	"adahealth/internal/optimize"
 	"adahealth/internal/partial"
 	"adahealth/internal/synth"
@@ -216,14 +217,16 @@ func RunTableIOnMatrix(ctx context.Context, m *vsm.Matrix, cfg TableIConfig) (*T
 		}
 	}
 
-	// SweepMatrix routes every K evaluation through the sparse K-means
-	// kernel against the working subset's cached CSR view (the VSM
-	// matrix is sparse by construction).
+	// SweepMatrix warm-starts each K from the previous one and routes
+	// every evaluation through the auto-selected exact kernel (Elkan
+	// over the working subset's cached CSR view — the VSM matrix is
+	// sparse by construction).
 	sweep, err := optimize.SweepMatrix(ctx, working, optimize.SweepConfig{
 		Ks:          ks,
 		CVFolds:     cfg.CVFolds,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
+		Cluster:     cluster.Options{Algorithm: cluster.AlgorithmAuto},
 	})
 	if err != nil {
 		return nil, err

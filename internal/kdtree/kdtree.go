@@ -167,26 +167,49 @@ func (t *Tree) Nearest(q []float64) (int, float64) {
 	return best, bestD
 }
 
+// FilterScratch holds the reusable working memory of FilterStep: one
+// arena backing every recursion level's surviving-candidate slice
+// (each node appends its children's candidate set and truncates on
+// return, so the arena high-water mark is K·tree-height) and the cell
+// midpoint buffer. A zero FilterScratch is ready to use; reusing one
+// across iterations hoists what was ~2·K allocations per tree node
+// per iteration out of the hot loop.
+type FilterScratch struct {
+	cand []int
+	mid  []float64
+}
+
 // FilterStep performs one assignment pass of the Kanungo filtering
 // algorithm: every point is (implicitly) assigned to its closest
 // centroid; per-centroid sums and counts are accumulated and labels
 // filled by original point index. sums must be K pre-allocated vectors
-// of the tree dimension, counts length K; both are zeroed here.
+// of the tree dimension, counts length K; both are zeroed here. It
+// allocates fresh scratch per call; iterating callers should hold a
+// FilterScratch and use FilterStepScratch.
 func (t *Tree) FilterStep(centroids [][]float64, labels []int, sums [][]float64, counts []int) {
+	t.FilterStepScratch(centroids, labels, sums, counts, &FilterScratch{})
+}
+
+// FilterStepScratch is FilterStep with caller-owned scratch, the
+// per-iteration entry point of the clustering run.
+func (t *Tree) FilterStepScratch(centroids [][]float64, labels []int, sums [][]float64, counts []int, s *FilterScratch) {
 	for i := range sums {
 		for d := range sums[i] {
 			sums[i][d] = 0
 		}
 		counts[i] = 0
 	}
-	candidates := make([]int, len(centroids))
-	for i := range candidates {
-		candidates[i] = i
+	s.cand = s.cand[:0]
+	if cap(s.mid) < t.Dim {
+		s.mid = make([]float64, t.Dim)
 	}
-	t.filter(t.Root, centroids, candidates, labels, sums, counts)
+	for i := range centroids {
+		s.cand = append(s.cand, i)
+	}
+	t.filter(t.Root, centroids, s.cand, labels, sums, counts, s)
 }
 
-func (t *Tree) filter(n *Node, centroids [][]float64, cand []int, labels []int, sums [][]float64, counts []int) {
+func (t *Tree) filter(n *Node, centroids [][]float64, cand []int, labels []int, sums [][]float64, counts []int, s *FilterScratch) {
 	if len(cand) == 1 {
 		t.assignSubtree(n, cand[0], labels, sums, counts)
 		return
@@ -209,8 +232,10 @@ func (t *Tree) filter(n *Node, centroids [][]float64, cand []int, labels []int, 
 		return
 	}
 
-	// z*: candidate closest to the cell midpoint.
-	mid := make([]float64, t.Dim)
+	// z*: candidate closest to the cell midpoint. The midpoint buffer
+	// is shared across the recursion: it is only read before the
+	// recursive calls below.
+	mid := s.mid[:t.Dim]
 	for d := 0; d < t.Dim; d++ {
 		mid[d] = (n.BoxMin[d] + n.BoxMax[d]) / 2
 	}
@@ -221,19 +246,25 @@ func (t *Tree) filter(n *Node, centroids [][]float64, cand []int, labels []int, 
 		}
 	}
 
-	// Prune candidates dominated by z* over the whole cell.
-	kept := make([]int, 0, len(cand))
+	// Prune candidates dominated by z* over the whole cell, appending
+	// the survivors to the arena; the segment is released on return.
+	// A deeper append may move the arena's backing array, but this
+	// level's kept slice remains a valid view of the old array.
+	mark := len(s.cand)
 	for _, c := range cand {
 		if c == zstar || !isFarther(centroids[c], centroids[zstar], n.BoxMin, n.BoxMax) {
-			kept = append(kept, c)
+			s.cand = append(s.cand, c)
 		}
 	}
+	kept := s.cand[mark:len(s.cand):len(s.cand)]
 	if len(kept) == 1 {
+		s.cand = s.cand[:mark]
 		t.assignSubtree(n, kept[0], labels, sums, counts)
 		return
 	}
-	t.filter(n.Left, centroids, kept, labels, sums, counts)
-	t.filter(n.Right, centroids, kept, labels, sums, counts)
+	t.filter(n.Left, centroids, kept, labels, sums, counts, s)
+	t.filter(n.Right, centroids, kept, labels, sums, counts, s)
+	s.cand = s.cand[:mark]
 }
 
 // isFarther reports whether z is farther than zstar from every point

@@ -183,3 +183,46 @@ func TestBoxSquaredDistance(t *testing.T) {
 		t.Errorf("corner distance = %v, want 2", d)
 	}
 }
+
+// A FilterScratch reused across many iterations (the clustering run's
+// pattern, with centroids changing every call) must produce exactly
+// the labels/sums/counts of a fresh-scratch FilterStep.
+func TestFilterStepScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n, d, k := 400, 3, 12
+	pts := randomPoints(rng, n, d)
+	tr, err := Build(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := &FilterScratch{}
+	for iter := 0; iter < 10; iter++ {
+		cents := randomPoints(rng, k, d)
+		freshLabels, reuseLabels := make([]int, n), make([]int, n)
+		freshCounts, reuseCounts := make([]int, k), make([]int, k)
+		freshSums := make([][]float64, k)
+		reuseSums := make([][]float64, k)
+		for i := range freshSums {
+			freshSums[i] = make([]float64, d)
+			reuseSums[i] = make([]float64, d)
+		}
+		tr.FilterStep(cents, freshLabels, freshSums, freshCounts)
+		tr.FilterStepScratch(cents, reuseLabels, reuseSums, reuseCounts, scratch)
+		for i := range freshLabels {
+			if freshLabels[i] != reuseLabels[i] {
+				t.Fatalf("iter %d: label[%d] = %d, want %d", iter, i, reuseLabels[i], freshLabels[i])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if freshCounts[c] != reuseCounts[c] {
+				t.Fatalf("iter %d: counts[%d] = %d, want %d", iter, c, reuseCounts[c], freshCounts[c])
+			}
+			for j := 0; j < d; j++ {
+				if freshSums[c][j] != reuseSums[c][j] {
+					t.Fatalf("iter %d: sums[%d][%d] = %v, want %v",
+						iter, c, j, reuseSums[c][j], freshSums[c][j])
+				}
+			}
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"adahealth/internal/classify"
 	"adahealth/internal/cluster"
+	"adahealth/internal/eval"
 )
 
 // structured builds data with `k` well-separated groups so that the
@@ -188,5 +190,117 @@ func TestSweepWithFilteringAlgorithm(t *testing.T) {
 	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+// The legacy path (WarmStartOff) must reproduce the historical
+// independent-seeding semantics exactly: for every K, a k-means++
+// clustering under KSeed(seed, k) and a CV assessment under seed+k,
+// computed here by hand against the public cluster/eval APIs.
+func TestSweepLegacyMatchesIndependentEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := structured(rng, 3, 40, 5)
+	cfg := SweepConfig{Ks: []int{2, 4, 6}, CVFolds: 4, Seed: 11, WarmStart: WarmStartOff}
+	res, err := Sweep(context.Background(), data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range cfg.Ks {
+		cr, err := cluster.KMeans(data, cluster.Options{K: k, Seed: KSeed(cfg.Seed, k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[i].SSE != cr.SSE {
+			t.Errorf("K=%d: SSE %v, want independent-run %v", k, res.Rows[i].SSE, cr.SSE)
+		}
+		cv, err := eval.CrossValidate(func() classify.Classifier {
+			return classify.NewDecisionTree(classify.TreeOptions{})
+		}, data, cr.Labels, cfg.CVFolds, cfg.Seed+int64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[i].Accuracy != cv.Metrics.Accuracy {
+			t.Errorf("K=%d: accuracy %v, want independent-run %v", k, res.Rows[i].Accuracy, cv.Metrics.Accuracy)
+		}
+	}
+}
+
+// The warm-started sweep (the default) must evaluate every requested K
+// (in the caller's row order), keep SSE non-increasing over ascending
+// K (each K starts from the previous optimum plus a split, so its
+// converged SSE cannot exceed it), and stay deterministic across
+// Parallelism.
+func TestSweepWarmStartProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	data := structured(rng, 4, 40, 5)
+	cfg := SweepConfig{Ks: []int{8, 2, 4, 6}, CVFolds: 4, Seed: 3} // deliberately unsorted
+	res, err := Sweep(context.Background(), data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range cfg.Ks {
+		if res.Rows[i].K != k {
+			t.Fatalf("row %d is K=%d, want caller order %d", i, res.Rows[i].K, k)
+		}
+	}
+	byK := map[int]KResult{}
+	for _, r := range res.Rows {
+		byK[r.K] = r
+	}
+	for _, pair := range [][2]int{{2, 4}, {4, 6}, {6, 8}} {
+		if byK[pair[1]].SSE > byK[pair[0]].SSE+1e-9 {
+			t.Errorf("warm-started SSE rose from K=%d (%.4f) to K=%d (%.4f)",
+				pair[0], byK[pair[0]].SSE, pair[1], byK[pair[1]].SSE)
+		}
+	}
+	again, err := Sweep(context.Background(), data, SweepConfig{Ks: cfg.Ks, CVFolds: 4, Seed: 3, Parallelism: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != again.Rows[i] {
+			t.Fatalf("warm sweep row %d differs across parallelism: %+v vs %+v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+}
+
+func TestWarmSeed(t *testing.T) {
+	data := [][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 5}}
+	prev := [][]float64{{0.1, 0.1}, {9.9, 0.1}}
+	got := warmSeed(prev, data, nil, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d centroids, want 3", len(got))
+	}
+	for i := range prev {
+		for j := range prev[i] {
+			if got[i][j] != prev[i][j] {
+				t.Errorf("warm seed %d does not carry over prev centroid", i)
+			}
+		}
+	}
+	// The farthest point from {~(0,0), ~(10,0)} is (0,10) or (10,10);
+	// (0,10) has squared distance ~98.01 + more... both ~ equal; the
+	// first argmax wins: (0,10).
+	if got[2][0] != 0 || got[2][1] != 10 {
+		t.Errorf("split centroid = %v, want the farthest point (0,10)", got[2])
+	}
+	// Duplicate K: the previous centroids are reused verbatim.
+	same := warmSeed(prev, data, nil, 2)
+	if len(same) != 2 || &same[0][0] != &prev[0][0] {
+		t.Errorf("warmSeed with k == len(prev) should hand back prev")
+	}
+}
+
+func TestKSeedFormula(t *testing.T) {
+	if KSeed(1, 6) != 1+6*7919 {
+		t.Errorf("KSeed(1,6) = %d", KSeed(1, 6))
+	}
+}
+
+func TestSweepRejectsUnknownWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := structured(rng, 2, 10, 3)
+	if _, err := Sweep(context.Background(), data, SweepConfig{Ks: []int{2}, WarmStart: WarmStart(9)}); err == nil {
+		t.Error("accepted unknown WarmStart mode")
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -310,4 +311,72 @@ func TestDaemonInlineDecodedLog(t *testing.T) {
 	if n := svc.Engine().CachedLogs(); n != 0 {
 		t.Errorf("%d logs still cached after the only job finished", n)
 	}
+}
+
+// TestDaemonAlgorithmOverride: a per-job config override names the
+// K-means kernel by its string form ("elkan", "auto", ...) — the
+// cluster.Algorithm JSON text encoding — and an unknown name is a 400
+// at admission, not a mid-job failure.
+func TestDaemonAlgorithmOverride(t *testing.T) {
+	svc, err := New(Config{Engine: fastConfig(1), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{
+		"synthetic": %s,
+		"config": {"Seed": 1, "Sweep": {"Ks": [2, 3], "CVFolds": 2, "Cluster": {"Algorithm": "elkan"}}}
+	}`, mustJSON(t, synth.SmallConfig()))
+	resp, err := http.Post(srv.URL+"/v1/analyses", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("elkan override = %d, want 202", resp.StatusCode)
+	}
+	var state JobState
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, srv, "/v1/analyses/"+sub.ID, &state); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if state.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", state.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if state.Status != StatusDone {
+		t.Fatalf("elkan-override job finished %s (%s)", state.Status, state.Error)
+	}
+
+	bad := fmt.Sprintf(`{"synthetic": %s, "config": {"Sweep": {"Cluster": {"Algorithm": "nonsense"}}}}`,
+		mustJSON(t, synth.SmallConfig()))
+	resp, err = http.Post(srv.URL+"/v1/analyses", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm = %d, want 400", resp.StatusCode)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

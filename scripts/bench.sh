@@ -16,7 +16,13 @@ cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation|BenchmarkVSMWeighting|BenchmarkAnalyzeMany}"
 if [ "${SMOKE:-0}" = "1" ]; then
-    BENCH="${SMOKE_BENCH:-BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkAnalyzeMany}"
+    # The smoke set gates the CI ns/op regression check: the full
+    # Table I sweep (the repo's headline number), the partial-mining
+    # series, the vsm-shaped K-means ablation (all kernels, including
+    # the bounded ones), one bounded-kernel case on the blobs shape
+    # where triangle-inequality pruning dominates, and the batch
+    # pipeline.
+    BENCH="${SMOKE_BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkKMeansAblation/blobs-d3/K=64/elkan|BenchmarkAnalyzeMany}"
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
