@@ -60,6 +60,15 @@
 // per-stage wall-time/allocation traces (also persisted in the K-DB).
 // Set Config.Sequential for the legacy serial execution, which
 // produces a bit-for-bit identical Report.
+//
+// With Config.KDBDir set, the knowledge base is a durable storage
+// engine: per-dataset sharded collections, a group-committed
+// write-ahead log (a killed process recovers every acknowledged write
+// on reopen), and snapshot compaction. Accumulated knowledge closes
+// the paper's self-learning loop — the pipeline's recall stage
+// retrieves prior results of statistically similar datasets
+// (KDB.SimilarDatasets) and warm-starts the K sweep from them;
+// Report.Recall says what was reused.
 package adahealth
 
 import (
@@ -96,12 +105,27 @@ type (
 	// DataConfig controls the synthetic diabetic-log generator.
 	DataConfig = synth.Config
 
-	// KDB is the knowledge database (the paper's six collections).
+	// KDB is the knowledge database (the paper's six collections),
+	// backed by a sharded, WAL-durable document store when Config.
+	// KDBDir is set.
 	KDB = kdb.KDB
+	// KDBQuery is a declarative filter/sort/limit lookup over a K-DB
+	// collection.
+	KDBQuery = kdb.Query
+	// DatasetSimilarity is one hit of a descriptor-similarity lookup
+	// (KDB.SimilarDatasets — the recall stage's retrieval path).
+	DatasetSimilarity = kdb.DatasetSimilarity
 	// Feedback is one expert judgement stored in the K-DB.
 	Feedback = kdb.Feedback
 	// StageTrace is the recorded execution of one pipeline stage.
 	StageTrace = kdb.StageTrace
+
+	// RecallConfig tunes the knowledge-recall stage (Config.Recall):
+	// prior K-DB knowledge of similar datasets warm-starts the sweep.
+	RecallConfig = core.RecallConfig
+	// RecallOutcome reports what the recall stage retrieved and how it
+	// warm-started the analysis (Report.Recall).
+	RecallOutcome = core.RecallOutcome
 
 	// KnowledgeItem is one unit of extracted knowledge.
 	KnowledgeItem = knowledge.Item

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"adahealth/internal/classify"
@@ -343,6 +344,78 @@ func BenchmarkDocstore(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if got := c.Find(docstore.Eq("dataset", "d7")); len(got) != 500 {
+				b.Fatalf("got %d", len(got))
+			}
+		}
+	})
+	// WALInsert measures the durable write path: inserts group-
+	// committed to the write-ahead log (fsync disabled so the
+	// benchmark tracks the engine, not the device). One op is a batch
+	// of 256 documents, amortizing the committer wake-up latency a
+	// single insert would expose as scheduling noise.
+	b.Run("WALInsert", func(b *testing.B) {
+		s, err := docstore.OpenOptions(docstore.Options{Dir: b.TempDir(), NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		c := s.Collection("knowledge")
+		c.ShardBy("dataset")
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 256; j++ {
+				if _, err := c.Insert(docstore.Document{
+					"dataset": fmt.Sprintf("d%d", n%20), "kind": "pattern", "support": n,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+		}
+	})
+	// WALInsertParallel exercises the group commit: concurrent writers
+	// over different dataset stripes share fsync batches.
+	b.Run("WALInsertParallel", func(b *testing.B) {
+		s, err := docstore.OpenOptions(docstore.Options{Dir: b.TempDir(), NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		c := s.Collection("knowledge")
+		c.ShardBy("dataset")
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wid atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			ds := fmt.Sprintf("d%d", wid.Add(1))
+			i := 0
+			for pb.Next() {
+				if _, err := c.Insert(docstore.Document{"dataset": ds, "n": i}); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	// QuerySorted measures the typed query layer: a filtered,
+	// field-sorted, limited lookup with the documented ID tie-break.
+	b.Run("QuerySorted", func(b *testing.B) {
+		s, _ := docstore.Open("")
+		c := s.Collection("knowledge")
+		c.ShardBy("dataset")
+		c.CreateIndex("dataset")
+		for i := 0; i < 10000; i++ {
+			c.Insert(docstore.Document{
+				"dataset": fmt.Sprintf("d%d", i%20), "support": i % 97, "n": i,
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got := c.FindSorted(docstore.Eq("dataset", "d7"), "support", docstore.Desc, 10)
+			if len(got) != 10 {
 				b.Fatalf("got %d", len(got))
 			}
 		}

@@ -6,7 +6,7 @@
 //
 //	adahealth -synthetic                  # analyze a synthetic paper-scale log
 //	adahealth -data dir/                  # analyze CSVs written by datagen
-//	adahealth -kdb kdbdir/ -top 15        # persist the K-DB, show 15 items
+//	adahealth -kdb-dir kdbdir/ -top 15    # persist the K-DB (durable WAL), show 15 items
 //	adahealth -synthetic -timeout 90s     # bound the analysis wall-clock
 //	adahealth -synthetic -sequential      # legacy serial stage execution
 //	adahealth -synthetic -trace out.json  # dump the stage schedule as JSON
@@ -32,7 +32,8 @@ func main() {
 		dataDir    = flag.String("data", "", "directory with exams/patients/records CSVs")
 		synthetic  = flag.Bool("synthetic", false, "analyze a synthetic paper-scale dataset")
 		small      = flag.Bool("small", false, "with -synthetic: use the small test-scale dataset")
-		kdbDir     = flag.String("kdb", "", "knowledge-base directory (default: in-memory)")
+		kdbDir     = flag.String("kdb-dir", "", "knowledge-base persistence directory (WAL + snapshots, crash-recoverable; default: in-memory)")
+		kdbOld     = flag.String("kdb", "", "alias of -kdb-dir (kept for compatibility)")
 		seed       = flag.Int64("seed", 1, "seed for data generation and algorithms")
 		top        = flag.Int("top", 10, "number of ranked knowledge items to print")
 		timeout    = flag.Duration("timeout", 0, "abort the analysis after this duration (0 = no limit)")
@@ -74,8 +75,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	dir := *kdbDir
+	if dir == "" {
+		dir = *kdbOld
+	}
 	cfg := core.Config{
-		KDBDir:      *kdbDir,
+		KDBDir:      dir,
 		Seed:        *seed,
 		Sequential:  *sequential,
 		Parallelism: *jobs,
@@ -161,6 +166,26 @@ func printReport(rep *core.Report, top int) {
 		d.NumPatients, d.NumRecords, d.NumExamTypes, d.NumVisits, d.SpanDays)
 	fmt.Printf("VSM sparsity %.3f · frequency Gini %.3f · top-20%% coverage %.1f%%\n\n",
 		d.VSMSparsity, d.FrequencyGini, d.Top20Coverage*100)
+
+	if rec := rep.Recall; rec != nil {
+		if rec.Hit {
+			fmt.Printf("=== K-DB recall ===\nwarm-started from prior knowledge: prior Ks %v", rec.PriorKs)
+			if len(rec.NarrowedKs) > 0 {
+				fmt.Printf(", sweep narrowed to %v", rec.NarrowedKs)
+			}
+			if rec.SeededCentroids > 0 {
+				fmt.Printf(", %d centroids seeded from %s", rec.SeededCentroids, rec.SeedDataset)
+			}
+			fmt.Println()
+			for _, src := range rec.Sources {
+				fmt.Printf("  source %s (similarity %.3f, Ks %v)\n", src.Dataset, src.Similarity, src.Ks)
+			}
+			fmt.Println()
+		} else {
+			fmt.Println("=== K-DB recall ===\nno similar prior dataset; cold analysis")
+			fmt.Println()
+		}
+	}
 
 	fmt.Println("=== Adaptive partial mining ===")
 	for i, s := range rep.Partial.Steps {

@@ -7,11 +7,20 @@
 //
 // API (all JSON):
 //
-//	POST   /v1/analyses             submit a job; 202 + {"id": ...}, 429 when the queue is full
-//	GET    /v1/analyses/{id}        status, live stage progress, stage-trace dump when done
-//	GET    /v1/analyses/{id}/report the finished report (409 until done)
-//	DELETE /v1/analyses/{id}        cancel the job
-//	GET    /healthz                 liveness + queue/worker gauges
+//	POST   /v1/analyses              submit a job; 202 + {"id": ...}, 429 when the queue is full
+//	GET    /v1/analyses/{id}         status, live stage progress, stage-trace dump when done
+//	GET    /v1/analyses/{id}/report  the finished report (409 until done)
+//	GET    /v1/analyses/{id}/events  live progress as Server-Sent Events (closes after the terminal event)
+//	DELETE /v1/analyses/{id}         cancel the job
+//	GET    /v1/knowledge             K-DB knowledge items (?dataset=, ?metric=, ?limit=)
+//	GET    /v1/datasets/{id}/similar statistically similar datasets from the K-DB
+//	GET    /healthz                  liveness + queue/worker/K-DB gauges
+//
+// With -kdb-dir the knowledge base is durable: every mutation is
+// group-committed to a write-ahead log, so a killed daemon recovers
+// all collections on restart (WAL replay over the latest snapshots),
+// and accumulated knowledge warm-starts future analyses of similar
+// datasets (the recall stage).
 //
 // A submission names its data inline ({"log": {...}}) or asks the
 // daemon to generate a synthetic log ({"synthetic": {"NumPatients":
@@ -43,7 +52,8 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		kdbDir  = flag.String("kdb", "", "knowledge-base directory (default: in-memory)")
+		kdbDir  = flag.String("kdb-dir", "", "knowledge-base persistence directory (WAL + snapshots, crash-recoverable; default: in-memory)")
+		kdbOld  = flag.String("kdb", "", "alias of -kdb-dir (kept for compatibility)")
 		seed    = flag.Int64("seed", 1, "base analysis seed (jobs may override per submission)")
 		workers = flag.Int("workers", 0, "max concurrently running jobs (0 = service default)")
 		queue   = flag.Int("queue", 0, "admission queue depth before 429s (0 = service default)")
@@ -59,8 +69,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
 		os.Exit(2)
 	}
+	dir := *kdbDir
+	if dir == "" {
+		dir = *kdbOld
+	}
 	engineCfg := core.Config{
-		KDBDir:      *kdbDir,
+		KDBDir:      dir,
 		Seed:        *seed,
 		Parallelism: *jobs,
 	}
@@ -107,6 +121,12 @@ func main() {
 	}
 	if err := svc.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "adahealthd: drain budget exceeded; cancelled remaining jobs\n")
+		os.Exit(1)
+	}
+	// Compact and release the K-DB so the next start replays a short
+	// WAL (a kill -9 skips this and recovers via replay instead).
+	if err := svc.Engine().KDB().Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: closing K-DB: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("adahealthd: drained cleanly")

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"adahealth/internal/classify"
 	"adahealth/internal/cluster"
@@ -61,6 +62,12 @@ type Config struct {
 	// MaxPatternItems bounds how many pattern knowledge items are
 	// stored (the "manageable set"); default 50.
 	MaxPatternItems int
+	// Recall configures the knowledge-recall stage: prior K-DB
+	// knowledge of statistically similar datasets warm-starts the K
+	// sweep (Section IV-A's self-learning loop). The zero value is
+	// recall on with the documented defaults; a miss leaves the
+	// analysis bit-for-bit identical to Recall.Disabled.
+	Recall RecallConfig
 	// KDBDir is the knowledge-base directory ("" = in-memory).
 	KDBDir string
 	// Seed drives every stochastic component.
@@ -77,6 +84,18 @@ type Config struct {
 	// 0 uses all cores (runtime.GOMAXPROCS(0)), negative is rejected
 	// by Validate.
 	Parallelism int
+	// StageRetries re-runs a stage that fails with a transient error
+	// (see Transient) up to this many extra times before failing the
+	// analysis, with capped exponential backoff between attempts. The
+	// built-in stages mark their K-DB write failures transient (the
+	// environmental case: a saturated disk behind the WAL); compute
+	// failures stay deterministic and never retry, nor do
+	// cancellations. Attempt counts land in Report.Stages and the
+	// stage_traces collection. 0 (the default) disables retries.
+	StageRetries int
+	// StageRetryBackoff is the delay before the first retry, doubled
+	// per attempt and capped at 2s; 0 selects the 50ms default.
+	StageRetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +132,15 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: negative Parallelism %d (use 0 for all cores)", c.Parallelism)
 	}
+	if c.Recall.MinSimilarity < 0 || c.Recall.MinSimilarity > 1 {
+		return fmt.Errorf("core: Recall.MinSimilarity %v outside [0, 1] (0 selects the 0.9 default)", c.Recall.MinSimilarity)
+	}
+	if c.Recall.MaxSources < 0 {
+		return fmt.Errorf("core: negative Recall.MaxSources %d (0 selects the default of 3)", c.Recall.MaxSources)
+	}
+	if err := c.validateRetry(); err != nil {
+		return err
+	}
 	if c.Seed < 0 {
 		return fmt.Errorf("core: negative Seed %d (seeds must be non-negative so derived per-component seeds stay in range)", c.Seed)
 	}
@@ -136,9 +164,44 @@ func (c Config) Validate() error {
 
 // Engine is the ADA-HEALTH automated analysis engine.
 type Engine struct {
-	cfg Config
-	kdb *kdb.KDB
-	txc *txCache
+	cfg      Config
+	kdb      *kdb.KDB
+	txc      *txCache
+	inflight *inflightSet
+}
+
+// inflightSet tracks the dataset names of analyses currently
+// executing against the shared K-DB. The recall stage consults it so
+// that concurrent analyses (an AnalyzeMany batch, parallel service
+// jobs) never read each other's mid-flight writes — which would make
+// batch results depend on scheduling — while a serial repeat analysis
+// still recalls its own history. Shared across WithConfig derivations,
+// like the K-DB itself.
+type inflightSet struct {
+	mu    sync.Mutex
+	names map[string]int
+}
+
+func newInflightSet() *inflightSet { return &inflightSet{names: map[string]int{}} }
+
+func (s *inflightSet) add(name string) {
+	s.mu.Lock()
+	s.names[name]++
+	s.mu.Unlock()
+}
+
+func (s *inflightSet) remove(name string) {
+	s.mu.Lock()
+	if s.names[name]--; s.names[name] <= 0 {
+		delete(s.names, name)
+	}
+	s.mu.Unlock()
+}
+
+func (s *inflightSet) count(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.names[name]
 }
 
 // New builds an engine, opening (or creating) its knowledge base. The
@@ -154,7 +217,7 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: opening K-DB: %w", err)
 	}
-	return &Engine{cfg: cfg, kdb: k, txc: newTxCache()}, nil
+	return &Engine{cfg: cfg, kdb: k, txc: newTxCache(), inflight: newInflightSet()}, nil
 }
 
 // WithConfig returns a derived engine that analyzes under cfg but
@@ -168,7 +231,7 @@ func (e *Engine) WithConfig(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg.KDBDir = e.cfg.KDBDir
-	return &Engine{cfg: cfg.withDefaults(), kdb: e.kdb, txc: e.txc}, nil
+	return &Engine{cfg: cfg.withDefaults(), kdb: e.kdb, txc: e.txc, inflight: e.inflight}, nil
 }
 
 // Config returns the engine's resolved configuration (defaults filled
@@ -212,6 +275,11 @@ type Report struct {
 	// Demand is the monthly examination-volume series backing the
 	// resource-planning end-goal.
 	Demand []stats.DemandPoint
+
+	// Recall reports what the knowledge-recall stage retrieved from
+	// the K-DB and how it warm-started the sweep (nil when the stage
+	// is disabled).
+	Recall *RecallOutcome
 
 	// Stages holds the per-stage execution traces of this analysis,
 	// ordered by start time; overlapping [Start, End) intervals show
@@ -302,6 +370,12 @@ func (e *Engine) AnalyzeWith(ctx context.Context, log *dataset.Log, opts Analyze
 	if opts.FairShare > 0 {
 		be = e.derated(opts.FairShare)
 	}
+	// Mark the dataset in flight for the recall stage's concurrent-
+	// sibling exclusion (see inflightSet).
+	if log != nil {
+		e.inflight.add(log.Name)
+		defer e.inflight.remove(log.Name)
+	}
 	return be.analyze(ctx, log, opts.Pool, !opts.NoFlush, opts.Observer)
 }
 
@@ -349,6 +423,10 @@ func (e *Engine) derated(n int) *Engine {
 // a dataset, a batch re-analysis may train its interest model before
 // or after a sibling log's descriptor lands — serialize analyses of
 // feedback-bearing datasets if byte-stable recommendations matter.
+// The recall stage is deterministic by construction: every batch
+// member registers as in flight before the fan-out, so no member ever
+// recalls a sibling's (or, in a batch, its own) mid-flight knowledge
+// regardless of completion order.
 func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Report, error) {
 	if len(logs) == 0 {
 		return nil, nil
@@ -364,10 +442,19 @@ func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Repor
 	opts := AnalyzeOptions{Pool: pool, NoFlush: true, FairShare: len(logs)}
 	// Index every log serially before fanning out: a log submitted
 	// twice in one batch would otherwise have two goroutines racing to
-	// build its lazy lookup tables.
+	// build its lazy lookup tables. Registering every batch member as
+	// in flight up front (before any analysis can run its recall
+	// stage) is what makes batch recall deterministic: no member ever
+	// recalls a sibling, regardless of completion order.
 	for _, log := range logs {
 		log.EnsureIndexes()
+		e.inflight.add(log.Name)
 	}
+	defer func() {
+		for _, log := range logs {
+			e.inflight.remove(log.Name)
+		}
+	}()
 	reports := make([]*Report, len(logs))
 	errs := make([]error, len(logs))
 	var wg sync.WaitGroup
@@ -434,12 +521,12 @@ func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, 
 				return nil, ctx.Err()
 			}
 		}
-		sr, err = runSequential(ctx, stages, s, observe)
+		sr, err = runSequential(ctx, stages, s, e.retryPolicy(), observe)
 	} else {
 		if pool == nil {
 			pool = NewStagePool(e.parallelism())
 		}
-		sr, err = runDAG(ctx, stages, s, pool, observe)
+		sr, err = runDAG(ctx, stages, s, pool, e.retryPolicy(), observe)
 	}
 	if err != nil {
 		return nil, err

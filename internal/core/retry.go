@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// transientErr marks an error as transient: worth retrying at the
+// stage level. It unwraps to the underlying error, so errors.Is/As
+// matching is unaffected by the marker.
+type transientErr struct{ err error }
+
+func (t *transientErr) Error() string   { return t.err.Error() }
+func (t *transientErr) Unwrap() error   { return t.err }
+func (t *transientErr) Transient() bool { return true }
+
+// Transient wraps err as a transient failure: a stage returning it is
+// re-run under the scheduler's retry policy (Config.StageRetries)
+// instead of failing the analysis outright. Use it for failures that
+// plausibly heal on their own — a saturated disk flushing the K-DB, a
+// briefly unavailable backing service — never for deterministic
+// compute errors, which would retry to the same failure. Nil passes
+// through.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) is marked
+// transient — either via Transient or by implementing
+// interface{ Transient() bool }. Context cancellation and deadline
+// errors are never transient: the caller gave up.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// retryPolicy is the scheduler's resolved per-stage retry behaviour.
+type retryPolicy struct {
+	retries int           // extra attempts after the first failure
+	backoff time.Duration // first-retry delay, doubled per retry
+}
+
+// maxStageBackoff caps the exponential backoff between attempts.
+const maxStageBackoff = 2 * time.Second
+
+// retryPolicy resolves the engine's configuration (filling the 50 ms
+// default backoff when retries are enabled without one).
+func (e *Engine) retryPolicy() retryPolicy {
+	rp := retryPolicy{retries: e.cfg.StageRetries, backoff: e.cfg.StageRetryBackoff}
+	if rp.retries > 0 && rp.backoff <= 0 {
+		rp.backoff = 50 * time.Millisecond
+	}
+	return rp
+}
+
+// executeStage runs one stage under the retry policy: transient
+// failures re-run after capped exponential backoff, up to rp.retries
+// extra attempts; deterministic failures and context cancellation
+// surface immediately. It returns how many attempts ran (≥ 1) and the
+// final outcome.
+func executeStage(ctx context.Context, st Stage, s *pipelineState, rp retryPolicy) (attempts int, err error) {
+	backoff := rp.backoff
+	for attempts = 1; ; attempts++ {
+		err = st.Run(ctx, s)
+		if err == nil || attempts > rp.retries || !IsTransient(err) {
+			return attempts, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return attempts, cerr
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return attempts, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxStageBackoff {
+			backoff = maxStageBackoff
+		}
+	}
+}
+
+// validateRetry checks the retry knobs (called from Config.Validate).
+func (c Config) validateRetry() error {
+	if c.StageRetries < 0 {
+		return fmt.Errorf("core: negative StageRetries %d (0 disables stage retries)", c.StageRetries)
+	}
+	if c.StageRetryBackoff < 0 {
+		return fmt.Errorf("core: negative StageRetryBackoff %v (0 selects the 50ms default)", c.StageRetryBackoff)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adahealth/internal/dataset"
+)
+
+// flakyStage fails transiently until failures is exhausted.
+type flakyStage struct {
+	name     string
+	inputs   []string
+	outputs  []string
+	failures int32
+	calls    atomic.Int32
+	err      error // error to return while failing (wrapped or not)
+}
+
+func (f *flakyStage) Name() string      { return f.name }
+func (f *flakyStage) Inputs() []string  { return f.inputs }
+func (f *flakyStage) Outputs() []string { return f.outputs }
+func (f *flakyStage) Run(ctx context.Context, s *pipelineState) error {
+	if f.calls.Add(1) <= f.failures {
+		return f.err
+	}
+	return nil
+}
+
+func retryState() *pipelineState {
+	return &pipelineState{log: dataset.NewLog("retry-test"), rep: &Report{}}
+}
+
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("disk busy")
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient-wrapped error not transient")
+	}
+	if IsTransient(base) {
+		t.Error("plain error transient")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Error("Transient broke errors.Is")
+	}
+	wrapped := fmt.Errorf("stage: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Error("fmt-wrapped transient not detected")
+	}
+	if IsTransient(Transient(context.Canceled)) {
+		t.Error("cancellation treated as transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil transient")
+	}
+}
+
+func TestStageRetriesTransientFailures(t *testing.T) {
+	st := &flakyStage{name: "flaky", outputs: []string{"x"}, failures: 2,
+		err: Transient(errors.New("kdb briefly unavailable"))}
+	stages := []Stage{st}
+	rp := retryPolicy{retries: 3, backoff: time.Millisecond}
+
+	for _, mode := range []string{"sequential", "dag"} {
+		st.calls.Store(0)
+		var (
+			sr  *scheduleResult
+			err error
+		)
+		if mode == "sequential" {
+			sr, err = runSequential(context.Background(), stages, retryState(), rp, nil)
+		} else {
+			sr, err = runDAG(context.Background(), stages, retryState(), make(chan struct{}, 1), rp, nil)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if got := st.calls.Load(); got != 3 {
+			t.Errorf("%s: stage ran %d times, want 3", mode, got)
+		}
+		if len(sr.traces) != 1 || sr.traces[0].Attempts != 3 {
+			t.Errorf("%s: trace attempts = %+v, want 3", mode, sr.traces)
+		}
+	}
+}
+
+func TestStageRetryExhaustionFails(t *testing.T) {
+	st := &flakyStage{name: "flaky", outputs: []string{"x"}, failures: 10,
+		err: Transient(errors.New("still down"))}
+	rp := retryPolicy{retries: 2, backoff: time.Millisecond}
+	sr, err := runSequential(context.Background(), []Stage{st}, retryState(), rp, nil)
+	if err == nil {
+		t.Fatal("exhausted retries succeeded")
+	}
+	if got := st.calls.Load(); got != 3 {
+		t.Errorf("stage ran %d times, want 3 (1 + 2 retries)", got)
+	}
+	if len(sr.traces) != 1 || sr.traces[0].Attempts != 3 {
+		t.Errorf("trace attempts = %+v", sr.traces)
+	}
+}
+
+func TestDeterministicFailureNeverRetries(t *testing.T) {
+	st := &flakyStage{name: "broken", outputs: []string{"x"}, failures: 10,
+		err: errors.New("bad data")}
+	rp := retryPolicy{retries: 5, backoff: time.Millisecond}
+	if _, err := runSequential(context.Background(), []Stage{st}, retryState(), rp, nil); err == nil {
+		t.Fatal("deterministic failure succeeded")
+	}
+	if got := st.calls.Load(); got != 1 {
+		t.Errorf("deterministic failure ran %d times, want 1", got)
+	}
+}
+
+func TestRetriesDisabledByDefault(t *testing.T) {
+	st := &flakyStage{name: "flaky", outputs: []string{"x"}, failures: 1,
+		err: Transient(errors.New("blip"))}
+	if _, err := runSequential(context.Background(), []Stage{st}, retryState(), retryPolicy{}, nil); err == nil {
+		t.Fatal("transient failure succeeded without retries enabled")
+	}
+	if got := st.calls.Load(); got != 1 {
+		t.Errorf("stage ran %d times, want 1", got)
+	}
+}
+
+func TestRetryBackoffHonoursCancellation(t *testing.T) {
+	st := &flakyStage{name: "flaky", outputs: []string{"x"}, failures: 100,
+		err: Transient(errors.New("down"))}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	rp := retryPolicy{retries: 1000, backoff: 30 * time.Second}
+	start := time.Now()
+	_, err := runSequential(ctx, []Stage{st}, retryState(), rp, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestRetryConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.StageRetries = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative StageRetries accepted")
+	}
+	cfg = testConfig()
+	cfg.StageRetryBackoff = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative StageRetryBackoff accepted")
+	}
+	cfg = testConfig()
+	cfg.StageRetries = 3
+	cfg.StageRetryBackoff = 10 * time.Millisecond
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid retry config rejected: %v", err)
+	}
+}

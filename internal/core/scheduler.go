@@ -75,7 +75,7 @@ func heapAllocBytes() uint64 {
 // runSequential executes stages one by one in declaration order — the
 // legacy pre-DAG behaviour, kept behind Config.Sequential as the
 // reference implementation the DAG is equivalence-tested against.
-func runSequential(ctx context.Context, stages []Stage, s *pipelineState, observe StageObserver) (*scheduleResult, error) {
+func runSequential(ctx context.Context, stages []Stage, s *pipelineState, rp retryPolicy, observe StageObserver) (*scheduleResult, error) {
 	res := &scheduleResult{maxConcurrent: 1}
 	for _, st := range stages {
 		if err := ctx.Err(); err != nil {
@@ -84,7 +84,7 @@ func runSequential(ctx context.Context, stages []Stage, s *pipelineState, observ
 		start := time.Now()
 		observe.observe(s.log.Name, st.Name(), StageStart, start, nil)
 		a0 := heapAllocBytes()
-		err := st.Run(ctx, s)
+		attempts, err := executeStage(ctx, st, s, rp)
 		end := time.Now()
 		observe.observe(s.log.Name, st.Name(), StageFinish, end, err)
 		res.traces = append(res.traces, kdb.StageTrace{
@@ -95,6 +95,7 @@ func runSequential(ctx context.Context, stages []Stage, s *pipelineState, observ
 			WallNanos:  end.Sub(start).Nanoseconds(),
 			AllocBytes: heapAllocBytes() - a0,
 			Sequential: true,
+			Attempts:   attempts,
 		})
 		if err != nil {
 			return res, stageErr(ctx, st, err)
@@ -110,7 +111,7 @@ func runSequential(ctx context.Context, stages []Stage, s *pipelineState, observ
 // stages are abandoned and in-flight ones are cancelled; the first
 // error (by completion time) is returned, except that a cancelled
 // parent context always surfaces as ctx.Err().
-func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan struct{}, observe StageObserver) (*scheduleResult, error) {
+func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan struct{}, rp retryPolicy, observe StageObserver) (*scheduleResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -160,7 +161,7 @@ func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan str
 			start := time.Now()
 			observe.observe(s.log.Name, st.Name(), StageStart, start, nil)
 			a0 := heapAllocBytes()
-			err := st.Run(ctx, s)
+			attempts, err := executeStage(ctx, st, s, rp)
 			end := time.Now()
 			observe.observe(s.log.Name, st.Name(), StageFinish, end, err)
 			results <- outcome{
@@ -173,6 +174,7 @@ func runDAG(ctx context.Context, stages []Stage, s *pipelineState, pool chan str
 					End:        end,
 					WallNanos:  end.Sub(start).Nanoseconds(),
 					AllocBytes: heapAllocBytes() - a0,
+					Attempts:   attempts,
 				},
 			}
 		}()

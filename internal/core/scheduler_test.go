@@ -92,7 +92,7 @@ func TestRunDAGOverlapsIndependentStages(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	sr, err := runDAG(ctx, stages, testState(), make(chan struct{}, 2), nil)
+	sr, err := runDAG(ctx, stages, testState(), make(chan struct{}, 2), retryPolicy{}, nil)
 	if err != nil {
 		t.Fatalf("runDAG: %v (serial scheduling would deadlock into this)", err)
 	}
@@ -137,7 +137,7 @@ func TestRunDAGRespectsDependencies(t *testing.T) {
 		testStage("mid", []string{"x"}, []string{"y"}, record("mid")),
 		testStage("sink", []string{"y"}, []string{"z"}, record("sink")),
 	}
-	sr, err := runDAG(context.Background(), stages, testState(), make(chan struct{}, 4), nil)
+	sr, err := runDAG(context.Background(), stages, testState(), make(chan struct{}, 4), retryPolicy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestRunDAGPoolBoundsConcurrency(t *testing.T) {
 				return nil
 			}))
 	}
-	sr, err := runDAG(context.Background(), stages, testState(), make(chan struct{}, 1), nil)
+	sr, err := runDAG(context.Background(), stages, testState(), make(chan struct{}, 1), retryPolicy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestRunDAGErrorSkipsDownstream(t *testing.T) {
 		testStage("down", []string{"x"}, []string{"y"},
 			func(context.Context, *pipelineState) error { ran = true; return nil }),
 	}
-	_, err := runDAG(context.Background(), stages, testState(), make(chan struct{}, 2), nil)
+	_, err := runDAG(context.Background(), stages, testState(), make(chan struct{}, 2), retryPolicy{}, nil)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
 	}
@@ -194,7 +194,7 @@ func TestRunDAGCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := runDAG(ctx, []Stage{testStage("a", nil, []string{"x"}, nil)},
-		testState(), make(chan struct{}, 1), nil)
+		testState(), make(chan struct{}, 1), retryPolicy{}, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -212,7 +212,7 @@ func TestRunSequentialOrderAndTraces(t *testing.T) {
 		testStage("one", nil, []string{"x"}, record("one")),
 		testStage("two", []string{"x"}, []string{"y"}, record("two")),
 	}
-	sr, err := runSequential(context.Background(), stages, testState(), nil)
+	sr, err := runSequential(context.Background(), stages, testState(), retryPolicy{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,6 +51,7 @@ type Stage interface {
 // State keys wiring the built-in pipeline DAG.
 const (
 	keyDescriptor = "descriptor"      // statistical characterization (stored in K-DB)
+	keyRecall     = "recall"          // prior-knowledge hints recalled from the K-DB
 	keyMatrix     = "matrix"          // VSM-transformed patient matrix
 	keyWorking    = "working"         // partial-mining projection of the matrix
 	keySweep      = "sweep"           // Table I K-optimization result
@@ -73,6 +74,14 @@ type pipelineState struct {
 
 	matrix  *vsm.Matrix // produced by transform
 	working *vsm.Matrix // produced by partialmine
+
+	// descriptorDocID is the K-DB document ID of this analysis's own
+	// just-stored descriptor (produced by characterize), which the
+	// recall stage excludes so an analysis never recalls itself.
+	descriptorDocID string
+	// recallHints is the recall stage's retrieved prior knowledge
+	// (nil on a miss or when recall is disabled — the cold path).
+	recallHints *recallHints
 }
 
 // funcStage is the Stage implementation used by the built-in pipeline:
@@ -111,6 +120,15 @@ func (e *Engine) pipelineStages() []Stage {
 			run:     e.runCharacterize,
 		},
 		&funcStage{
+			// recall retrieves prior knowledge of statistically
+			// similar datasets from the K-DB; it overlaps transform
+			// and partialmine, and the sweep consumes its hints.
+			name:    "recall",
+			inputs:  []string{keyDescriptor},
+			outputs: []string{keyRecall},
+			run:     e.runRecall,
+		},
+		&funcStage{
 			name:    "transform",
 			outputs: []string{keyMatrix},
 			run:     e.runTransform,
@@ -123,7 +141,7 @@ func (e *Engine) pipelineStages() []Stage {
 		},
 		&funcStage{
 			name:    "sweep",
-			inputs:  []string{keyWorking},
+			inputs:  []string{keyWorking, keyRecall},
 			outputs: []string{keySweep},
 			run:     e.runSweep,
 		},
@@ -171,9 +189,14 @@ func (e *Engine) pipelineStages() []Stage {
 
 func (e *Engine) runCharacterize(ctx context.Context, s *pipelineState) error {
 	s.rep.Descriptor = stats.Characterize(s.log)
-	if _, err := e.kdb.StoreDescriptor(s.rep.Descriptor); err != nil {
-		return err
+	id, err := e.kdb.StoreDescriptor(s.rep.Descriptor)
+	if err != nil {
+		// K-DB writes fail for environmental reasons (a saturated or
+		// briefly full disk behind the WAL), the canonical transient
+		// case the stage retry policy exists for.
+		return Transient(err)
 	}
+	s.descriptorDocID = id
 	return nil
 }
 
@@ -193,7 +216,7 @@ func (e *Engine) runTransform(ctx context.Context, s *pipelineState) error {
 		Features:    matrix.Features,
 	}
 	if _, err := e.kdb.StoreTransformed(s.rep.Transformed); err != nil {
-		return err
+		return Transient(err) // environmental: the K-DB write path
 	}
 	return nil
 }
@@ -210,7 +233,17 @@ func (e *Engine) runPartial(ctx context.Context, s *pipelineState) error {
 }
 
 func (e *Engine) runSweep(ctx context.Context, s *pipelineState) error {
-	sweep, err := optimize.SweepMatrix(ctx, s.working, e.cfg.Sweep)
+	// A recall hit specializes a copy of the sweep configuration:
+	// prior Ks narrow the grid, and the best source's centroids —
+	// remapped onto the working matrix's feature space — seed the
+	// warm chain. Without hints (a miss, or recall disabled) the
+	// configuration passes through untouched: the cold path is
+	// bit-for-bit the pre-recall pipeline.
+	cfg := e.cfg.Sweep
+	if s.recallHints != nil {
+		cfg = applyRecallHints(cfg, s.recallHints, s.working.Features, s.rep.Recall)
+	}
+	sweep, err := optimize.SweepMatrix(ctx, s.working, cfg)
 	if err != nil {
 		return wrapStageErr(ctx, "optimizing", err)
 	}
@@ -293,7 +326,7 @@ func (e *Engine) runDemand(ctx context.Context, s *pipelineState) error {
 
 func (e *Engine) runStoreKnowledge(ctx context.Context, s *pipelineState) error {
 	if err := e.kdb.StoreKnowledgeItems(s.allItems()); err != nil {
-		return err
+		return Transient(err) // environmental: the K-DB write path
 	}
 	return nil
 }

@@ -1,22 +1,31 @@
 // Package docstore is an embedded, concurrency-safe JSON document
 // store: named collections of schemaless documents with generated IDs,
-// filter queries, secondary equality indexes and snapshot persistence.
+// filter queries, secondary equality indexes, and — when disk-backed —
+// real durability via a write-ahead log with group commit plus
+// periodic snapshot compaction.
 //
 // It substitutes for the "cluster of MongoDBs" on which the paper's
 // preliminary K-DB is built: the K-DB needs exactly this data model —
 // six collections of JSON documents — and nothing distributed, so an
 // embedded store exercises the same access paths.
+//
+// # Storage engine
+//
+// Each collection is striped into a fixed set of shards keyed by a
+// configurable shard field (ShardBy; the K-DB stripes by dataset), so
+// concurrent readers and writers touching different datasets take
+// different locks. A disk-backed store appends every mutation to an
+// append-only WAL before acknowledging it; concurrent writers share
+// one fsync through group commit. Reopening a store loads the latest
+// per-collection snapshot and replays the WAL tail over it — a torn
+// final record (crash mid-write) is detected by CRC framing and
+// truncated, recovering the state of the last durable commit.
+// Flush compacts when the WAL has outgrown its budget: snapshots are
+// rewritten and the log is reset; replay is idempotent, so a crash
+// between the two steps loses nothing.
 package docstore
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
-	"sync"
-)
+import "encoding/json"
 
 // Document is one schemaless record. The reserved field "_id" holds
 // the document identity (assigned on insert when absent).
@@ -108,316 +117,6 @@ func toFloat(v any) (float64, bool) {
 	default:
 		return 0, false
 	}
-}
-
-// Store is a set of named collections, optionally persisted to a
-// directory as one JSON file per collection.
-type Store struct {
-	mu          sync.RWMutex
-	dir         string // "" = memory only
-	collections map[string]*Collection
-}
-
-// Open creates or loads a store. An empty dir gives a purely in-memory
-// store; otherwise any existing snapshot files under dir are loaded.
-func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, collections: map[string]*Collection{}}
-	if dir == "" {
-		return s, nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("docstore: creating %s: %w", dir, err)
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("docstore: reading %s: %w", dir, err)
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		coll := strings.TrimSuffix(name, ".json")
-		if err := s.loadCollection(coll); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
-}
-
-func (s *Store) loadCollection(name string) error {
-	raw, err := os.ReadFile(filepath.Join(s.dir, name+".json"))
-	if err != nil {
-		return fmt.Errorf("docstore: loading collection %s: %w", name, err)
-	}
-	var snap struct {
-		Seq  int64      `json:"seq"`
-		Docs []Document `json:"docs"`
-	}
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		return fmt.Errorf("docstore: decoding collection %s: %w", name, err)
-	}
-	c := newCollection(name)
-	c.seq = snap.Seq
-	for _, d := range snap.Docs {
-		id := d.ID()
-		if id == "" {
-			return fmt.Errorf("docstore: collection %s holds a document without _id", name)
-		}
-		c.docs[id] = d
-		c.order = append(c.order, id)
-	}
-	s.collections[name] = c
-	return nil
-}
-
-// Collection returns the named collection, creating it if needed.
-func (s *Store) Collection(name string) *Collection {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.collections[name]
-	if !ok {
-		c = newCollection(name)
-		s.collections[name] = c
-	}
-	return c
-}
-
-// CollectionNames lists existing collections in sorted order.
-func (s *Store) CollectionNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.collections))
-	for n := range s.collections {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// Flush writes a snapshot of every collection to the store directory.
-// It is a no-op for in-memory stores.
-func (s *Store) Flush() error {
-	if s.dir == "" {
-		return nil
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for name, c := range s.collections {
-		if err := c.flush(s.dir); err != nil {
-			return fmt.Errorf("docstore: flushing %s: %w", name, err)
-		}
-	}
-	return nil
-}
-
-// Collection is one named set of documents. All methods are safe for
-// concurrent use.
-type Collection struct {
-	mu      sync.RWMutex
-	name    string
-	seq     int64
-	docs    map[string]Document
-	order   []string                    // insertion order of live IDs
-	indexes map[string]map[any][]string // field → value → ids
-}
-
-func newCollection(name string) *Collection {
-	return &Collection{
-		name:    name,
-		docs:    map[string]Document{},
-		indexes: map[string]map[any][]string{},
-	}
-}
-
-// Name returns the collection name.
-func (c *Collection) Name() string { return c.name }
-
-// Insert stores a copy of doc and returns its ID, generating one when
-// the document has none. Inserting an existing ID fails.
-func (c *Collection) Insert(doc Document) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cp := copyDoc(doc)
-	id := cp.ID()
-	if id == "" {
-		c.seq++
-		id = fmt.Sprintf("%s-%08d", c.name, c.seq)
-		cp["_id"] = id
-	}
-	if _, exists := c.docs[id]; exists {
-		return "", fmt.Errorf("docstore: duplicate _id %q in collection %s", id, c.name)
-	}
-	c.docs[id] = cp
-	c.order = append(c.order, id)
-	c.indexDoc(cp)
-	return id, nil
-}
-
-// Get returns a copy of the document with the given ID.
-func (c *Collection) Get(id string) (Document, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	d, ok := c.docs[id]
-	if !ok {
-		return nil, false
-	}
-	return copyDoc(d), true
-}
-
-// Update replaces the document with the given ID (the _id field of the
-// replacement is forced to id).
-func (c *Collection) Update(id string, doc Document) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	old, ok := c.docs[id]
-	if !ok {
-		return fmt.Errorf("docstore: update of missing _id %q in %s", id, c.name)
-	}
-	c.unindexDoc(old)
-	cp := copyDoc(doc)
-	cp["_id"] = id
-	c.docs[id] = cp
-	c.indexDoc(cp)
-	return nil
-}
-
-// Delete removes the document with the given ID.
-func (c *Collection) Delete(id string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	old, ok := c.docs[id]
-	if !ok {
-		return fmt.Errorf("docstore: delete of missing _id %q in %s", id, c.name)
-	}
-	c.unindexDoc(old)
-	delete(c.docs, id)
-	for i, oid := range c.order {
-		if oid == id {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
-	}
-	return nil
-}
-
-// Count reports the number of documents.
-func (c *Collection) Count() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
-}
-
-// Find returns copies of all documents matching the filter (nil
-// matches everything), in insertion order.
-func (c *Collection) Find(f Filter) []Document {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var out []Document
-	for _, id := range c.order {
-		d := c.docs[id]
-		if f == nil || f(d) {
-			out = append(out, copyDoc(d))
-		}
-	}
-	return out
-}
-
-// FindOne returns the first matching document in insertion order.
-func (c *Collection) FindOne(f Filter) (Document, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, id := range c.order {
-		d := c.docs[id]
-		if f == nil || f(d) {
-			return copyDoc(d), true
-		}
-	}
-	return nil, false
-}
-
-// CreateIndex builds (or rebuilds) an equality index on field;
-// FindEq then answers from the index.
-func (c *Collection) CreateIndex(field string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	idx := map[any][]string{}
-	for _, id := range c.order {
-		if v, ok := c.docs[id][field]; ok {
-			key := normalize(v)
-			idx[key] = append(idx[key], id)
-		}
-	}
-	c.indexes[field] = idx
-}
-
-// FindEq returns documents whose field equals value, using the index
-// when one exists and falling back to a scan otherwise.
-func (c *Collection) FindEq(field string, value any) []Document {
-	c.mu.RLock()
-	idx, ok := c.indexes[field]
-	if !ok {
-		c.mu.RUnlock()
-		return c.Find(Eq(field, value))
-	}
-	ids := idx[normalize(value)]
-	out := make([]Document, 0, len(ids))
-	for _, id := range ids {
-		if d, live := c.docs[id]; live {
-			out = append(out, copyDoc(d))
-		}
-	}
-	c.mu.RUnlock()
-	return out
-}
-
-func (c *Collection) indexDoc(d Document) {
-	for field, idx := range c.indexes {
-		if v, ok := d[field]; ok {
-			key := normalize(v)
-			idx[key] = append(idx[key], d.ID())
-		}
-	}
-}
-
-func (c *Collection) unindexDoc(d Document) {
-	for field, idx := range c.indexes {
-		v, ok := d[field]
-		if !ok {
-			continue
-		}
-		key := normalize(v)
-		ids := idx[key]
-		for i, id := range ids {
-			if id == d.ID() {
-				idx[key] = append(ids[:i], ids[i+1:]...)
-				break
-			}
-		}
-	}
-}
-
-// flush writes the collection snapshot (caller holds the store lock).
-func (c *Collection) flush(dir string) error {
-	c.mu.RLock()
-	snap := struct {
-		Seq  int64      `json:"seq"`
-		Docs []Document `json:"docs"`
-	}{Seq: c.seq, Docs: make([]Document, 0, len(c.order))}
-	for _, id := range c.order {
-		snap.Docs = append(snap.Docs, c.docs[id])
-	}
-	c.mu.RUnlock()
-
-	raw, err := json.Marshal(snap)
-	if err != nil {
-		return err
-	}
-	tmp := filepath.Join(dir, c.name+".json.tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(dir, c.name+".json"))
 }
 
 // copyDoc deep-copies JSON-shaped values so callers cannot alias the

@@ -10,13 +10,24 @@
 //  6. feedback          — user interaction feedback
 //
 // The store is the embedded document store of package docstore (the
-// MongoDB substitution; see DESIGN.md).
+// MongoDB substitution; see DESIGN.md): every collection is striped
+// per dataset (lock striping keeps concurrent analyses of different
+// datasets off each other's locks), and a disk-backed K-DB is durable
+// — mutations hit a group-committed write-ahead log and survive a
+// daemon kill, with snapshot compaction bounding reopen time.
+//
+// Beyond the typed accessors, Query offers declarative
+// filter/sort/limit lookups over any collection, and SimilarDatasets
+// ranks stored descriptors by statistical similarity — the retrieval
+// path of the paper's self-learning loop (the recall stage warm-starts
+// new analyses from it).
 package kdb
 
 import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"adahealth/internal/dataset"
@@ -52,6 +63,15 @@ type Feedback struct {
 // KDB wraps the document store with the six-collection schema.
 type KDB struct {
 	store *docstore.Store
+
+	// descMu guards descCache: decoded descriptors keyed by document
+	// ID. Descriptor documents are append-only (never updated), so the
+	// cache never goes stale; it keeps SimilarDatasets — which runs on
+	// every analysis — from JSON-round-tripping the whole descriptor
+	// history each time. Entries whose documents failed to decode are
+	// cached with an empty DatasetName and skipped.
+	descMu    sync.Mutex
+	descCache map[string]stats.Descriptor
 }
 
 // Open creates or loads a K-DB. dir == "" keeps it in memory.
@@ -60,15 +80,30 @@ func Open(dir string) (*KDB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kdb: %w", err)
 	}
-	k := &KDB{store: s}
+	k := &KDB{store: s, descCache: map[string]stats.Descriptor{}}
+	// Stripe every collection by its dataset field: concurrent
+	// analyses of different datasets then write disjoint shards, and a
+	// dataset-scoped FindEq touches a single stripe.
+	s.Collection(CollRaw).ShardBy("name")
+	for _, name := range []string{
+		CollTransformed, CollDescriptors, CollClusterKI,
+		CollPatternKI, CollFeedback, CollStageTraces,
+	} {
+		s.Collection(name).ShardBy("dataset")
+	}
 	// Equality indexes on the access paths the pipeline uses.
 	s.Collection(CollClusterKI).CreateIndex("dataset")
 	s.Collection(CollPatternKI).CreateIndex("dataset")
+	s.Collection(CollDescriptors).CreateIndex("dataset")
 	s.Collection(CollFeedback).CreateIndex("dataset")
 	s.Collection(CollFeedback).CreateIndex("item_id")
 	s.Collection(CollStageTraces).CreateIndex("dataset")
 	return k, nil
 }
+
+// Close compacts and releases a disk-backed K-DB (no-op in memory).
+// The K-DB must not be used afterwards.
+func (k *KDB) Close() error { return k.store.Close() }
 
 // StageTrace is the recorded execution of one pipeline stage: what
 // ran, when, for how long, and roughly how much it allocated. The
@@ -95,6 +130,10 @@ type StageTrace struct {
 	// Sequential records whether the legacy sequential path produced
 	// this trace (Config.Sequential), so timings are comparable.
 	Sequential bool `json:"sequential"`
+	// Attempts counts how many times the stage ran: 1 normally, more
+	// when the scheduler's transient-retry policy re-ran it (the
+	// trace's interval then spans every attempt including backoff).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Wall returns the stage's wall-clock duration.
@@ -223,7 +262,14 @@ func (k *KDB) StoreDescriptor(d stats.Descriptor) (string, error) {
 		return "", fmt.Errorf("kdb: encoding descriptor: %w", err)
 	}
 	doc["dataset"] = d.DatasetName
-	return k.store.Collection(CollDescriptors).Insert(doc)
+	id, err := k.store.Collection(CollDescriptors).Insert(doc)
+	if err != nil {
+		return "", err
+	}
+	k.descMu.Lock()
+	k.descCache[id] = d
+	k.descMu.Unlock()
+	return id, nil
 }
 
 // Descriptors returns all stored descriptors.

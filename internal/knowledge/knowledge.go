@@ -64,6 +64,15 @@ type Item struct {
 	// items of a pattern) used for ranking and display.
 	Tags     []string `json:"tags"`
 	Interest Interest `json:"interest"`
+
+	// Centroids and Features carry the fitted model payload of a
+	// cluster-set item: the converged centroid matrix and the feature
+	// (exam-code) name of each column. They are what makes knowledge
+	// actionable for future analyses — the K-DB recall stage remaps
+	// them onto a similar dataset's feature space to warm-start its K
+	// sweep. Empty on every other item kind.
+	Centroids [][]float64 `json:"centroids,omitempty"`
+	Features  []string    `json:"features,omitempty"`
 }
 
 // FromClusterResult builds knowledge items from a fitted cluster
@@ -87,7 +96,9 @@ func FromClusterResult(datasetName string, res *cluster.Result, featureNames []s
 			"k":   float64(res.K),
 			"sse": res.SSE,
 		},
-		Interest: InterestUnknown,
+		Interest:  InterestUnknown,
+		Centroids: res.Centroids,
+		Features:  featureNames,
 	})
 	for c := 0; c < res.K; c++ {
 		top := topFeatures(res.Centroids[c], featureNames, topN)

@@ -115,6 +115,16 @@ type SweepConfig struct {
 	// each K from the previous one (see the package comment).
 	WarmStart WarmStart
 
+	// SeedCentroids, when non-nil, seed the warm-started chain's first
+	// (smallest) K instead of k-means++: the K-DB recall stage passes
+	// prior converged centroids of a statistically similar dataset
+	// here, remapped onto this sweep's feature space. Fewer than K rows
+	// are completed by farthest-point splits, more are truncated. Nil
+	// (the default, and always in WarmStartOff mode) leaves the sweep
+	// bit-for-bit identical to a cold run. Rows must match the data's
+	// dimensionality.
+	SeedCentroids [][]float64
+
 	// csr, when non-nil, is a shared sparse view of the data rows (set
 	// by SweepMatrix, or built internally when the data is sparse
 	// enough): every K evaluation then routes through the sparse-aware
@@ -122,9 +132,16 @@ type SweepConfig struct {
 	csr *vec.CSRMatrix
 }
 
+// DefaultKs returns a fresh copy of the default K grid (Table I's
+// {6, 7, 8, 9, 10, 12, 15, 20}) — the grid an empty SweepConfig.Ks
+// selects, exported so callers that specialize the grid (the recall
+// stage's narrowing) compose with the default the same way the sweep
+// itself does.
+func DefaultKs() []int { return []int{6, 7, 8, 9, 10, 12, 15, 20} }
+
 func (c SweepConfig) withDefaults() SweepConfig {
 	if len(c.Ks) == 0 {
-		c.Ks = []int{6, 7, 8, 9, 10, 12, 15, 20}
+		c.Ks = DefaultKs()
 	}
 	if c.CVFolds <= 0 {
 		c.CVFolds = 10
@@ -148,7 +165,11 @@ type KResult struct {
 	// precision and average recall ("best overall classification
 	// results", Section IV-B).
 	Combined float64 `json:"combined"`
-	Err      string  `json:"error,omitempty"`
+	// Iterations is the Lloyd-iteration count of this K's clustering —
+	// the recall stage's warm-start evidence (a seeded chain converges
+	// in fewer iterations than a cold one).
+	Iterations int    `json:"iterations,omitempty"`
+	Err        string `json:"error,omitempty"`
 }
 
 // SweepResult is the full optimization outcome.
@@ -309,7 +330,7 @@ func (w *sweepWorker) clusterK(ctx context.Context, data [][]float64, k int, ini
 // assess scores one fitted clustering: SSE, overall similarity, and
 // the decision-tree robustness assessment under CVFolds-fold CV.
 func (w *sweepWorker) assess(ctx context.Context, data [][]float64, k int, cr *cluster.Result) KResult {
-	out := KResult{K: k, SSE: cr.SSE}
+	out := KResult{K: k, SSE: cr.SSE, Iterations: cr.Iterations}
 
 	os, err := eval.OverallSimilarity(data, cr.Labels, cr.K)
 	if err != nil {
@@ -418,9 +439,12 @@ func sweepWarm(ctx context.Context, data [][]float64, cfg SweepConfig, ord *clas
 	}
 
 	// The clustering chain owns its own worker state (serial by
-	// construction: K+1 needs K's centroids).
+	// construction: K+1 needs K's centroids). SeedCentroids, when the
+	// recall stage supplied prior knowledge, stand in as the "previous
+	// K" for the smallest K of the chain; otherwise it seeds k-means++
+	// exactly as a cold sweep does.
 	cw := newSweepWorker(cfg, ord)
-	var prev [][]float64
+	prev := cfg.SeedCentroids
 	var chainErr error
 	for _, i := range order {
 		k := cfg.Ks[i]

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
+	"adahealth/internal/kdb"
+	"adahealth/internal/knowledge"
 	"adahealth/internal/synth"
 )
 
@@ -50,20 +53,27 @@ type errorResponse struct {
 
 // NewHandler returns the daemon's HTTP API over svc:
 //
-//	POST   /v1/analyses             submit (202 + job id; 429 when the queue is full)
-//	GET    /v1/analyses/{id}        status + live stage progress
-//	GET    /v1/analyses/{id}/report finished report (409 until done)
-//	DELETE /v1/analyses/{id}        cancel (202)
-//	GET    /healthz                 liveness + queue/worker gauges
+//	POST   /v1/analyses              submit (202 + job id; 429 when the queue is full)
+//	GET    /v1/analyses/{id}         status + live stage progress
+//	GET    /v1/analyses/{id}/report  finished report (409 until done)
+//	GET    /v1/analyses/{id}/events  live progress stream (Server-Sent Events)
+//	DELETE /v1/analyses/{id}         cancel (202)
+//	GET    /v1/knowledge             K-DB knowledge items (?dataset=, ?metric=, ?limit=)
+//	GET    /v1/datasets/{id}/similar statistically similar datasets (?limit=)
+//	GET    /healthz                  liveness + queue/worker/K-DB gauges
 //
-// Every response is JSON. The handler is safe for concurrent use.
+// Every response is JSON except the SSE stream. The handler is safe
+// for concurrent use.
 func NewHandler(svc *Service) http.Handler {
 	h := &httpAPI{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyses", h.submit)
 	mux.HandleFunc("GET /v1/analyses/{id}", h.status)
 	mux.HandleFunc("GET /v1/analyses/{id}/report", h.report)
+	mux.HandleFunc("GET /v1/analyses/{id}/events", h.events)
 	mux.HandleFunc("DELETE /v1/analyses/{id}", h.cancel)
+	mux.HandleFunc("GET /v1/knowledge", h.knowledge)
+	mux.HandleFunc("GET /v1/datasets/{id}/similar", h.similar)
 	mux.HandleFunc("GET /healthz", h.health)
 	return mux
 }
@@ -198,6 +208,150 @@ func (h *httpAPI) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID(), Status: job.Status()})
 }
 
+// events streams a job's progress as Server-Sent Events: every event
+// emitted so far replays first, live events follow, and the stream
+// closes after the terminal event — so `curl -N .../events` follows an
+// analysis to completion and then returns (the ROADMAP's poll-only gap
+// closed). Each SSE message is one StageEvent as `data: {json}`.
+func (h *httpAPI) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	ch, cancel := job.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // terminal event delivered; end the stream
+			}
+			if _, err := fmt.Fprint(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil { // Encode appends \n
+				return
+			}
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return // client went away
+		}
+	}
+}
+
+// knowledgeResponse is the body of GET /v1/knowledge.
+type knowledgeResponse struct {
+	Dataset string           `json:"dataset,omitempty"`
+	Metric  string           `json:"metric,omitempty"`
+	Count   int              `json:"count"`
+	Items   []knowledge.Item `json:"items"`
+}
+
+// knowledge serves K-DB knowledge items: all items of ?dataset= (every
+// dataset when omitted), optionally ranked by ?metric= (support,
+// confidence, lift, size, ...; items lacking the metric are excluded)
+// and truncated to ?limit= (default 50).
+func (h *httpAPI) knowledge(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, err := intParam(q.Get("limit"), 50)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	kb := h.svc.Engine().KDB()
+	var items []knowledge.Item
+	if metric := q.Get("metric"); metric != "" {
+		items, err = kb.TopKnowledge(q.Get("dataset"), metric, limit)
+	} else {
+		items, err = kb.KnowledgeItems(q.Get("dataset"))
+		if limit > 0 && len(items) > limit {
+			items = items[:limit]
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if items == nil {
+		items = []knowledge.Item{}
+	}
+	writeJSON(w, http.StatusOK, knowledgeResponse{
+		Dataset: q.Get("dataset"),
+		Metric:  q.Get("metric"),
+		Count:   len(items),
+		Items:   items,
+	})
+}
+
+// similarResponse is the body of GET /v1/datasets/{id}/similar.
+type similarResponse struct {
+	Dataset string                  `json:"dataset"`
+	Similar []kdb.DatasetSimilarity `json:"similar"`
+}
+
+// similar ranks the K-DB's other datasets by descriptor similarity to
+// {id} — the recall stage's retrieval path exposed for navigation
+// ("which of our historical cohorts does this one resemble?").
+func (h *httpAPI) similar(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	limit, err := intParam(r.URL.Query().Get("limit"), 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	kb := h.svc.Engine().KDB()
+	desc, _, ok := kb.LatestDescriptor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no descriptor stored for dataset %q", name))
+		return
+	}
+	hits, err := kb.SimilarDatasets(desc, "", 0)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The dataset always matches itself; the endpoint answers "which
+	// other datasets", so drop it.
+	out := make([]kdb.DatasetSimilarity, 0, len(hits))
+	for _, hit := range hits {
+		if hit.Dataset == name {
+			continue
+		}
+		out = append(out, hit)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, similarResponse{Dataset: name, Similar: out})
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad limit %q", s)
+	}
+	return n, nil
+}
+
 func (h *httpAPI) health(w http.ResponseWriter, r *http.Request) {
 	stats := h.svc.Stats()
 	code := http.StatusOK
@@ -208,8 +362,14 @@ func (h *httpAPI) health(w http.ResponseWriter, r *http.Request) {
 	if stats.Closed {
 		state = "draining"
 	}
+	kb := h.svc.Engine().KDB()
 	writeJSON(w, code, struct {
 		Status string `json:"status"`
 		Stats
-	}{Status: state, Stats: stats})
+		// KDBCounts is the per-collection document count and
+		// KDBWALBytes the un-compacted write-ahead-log size — the
+		// persistence layer's health gauges.
+		KDBCounts   map[string]int `json:"kdb_counts"`
+		KDBWALBytes int64          `json:"kdb_wal_bytes"`
+	}{Status: state, Stats: stats, KDBCounts: kb.Counts(), KDBWALBytes: kb.Store().WALSize()})
 }

@@ -87,6 +87,7 @@ type Job struct {
 	finishedAt   time.Time
 
 	events chan StageEvent
+	subs   []chan StageEvent // Subscribe streams (SSE consumers)
 	done   chan struct{}
 
 	// onFinish runs exactly once, after the job reaches its terminal
@@ -164,6 +165,41 @@ func (j *Job) Cancel() { j.cancel() }
 // receiving loses events rather than stalling the pipeline.
 func (j *Job) Events() <-chan StageEvent { return j.events }
 
+// Subscribe returns an independent event stream plus its cancel
+// function: every event emitted so far is replayed immediately, live
+// events follow in order, and the channel is closed after the terminal
+// event — so any number of consumers (the SSE endpoint serves one per
+// request) can each drain a complete stream without competing for the
+// primary Events channel. Delivery is best-effort like Events: a
+// consumer that stops receiving loses events rather than stalling the
+// pipeline. Cancel releases the subscription early (idempotent; the
+// channel is then closed).
+func (j *Job) Subscribe() (<-chan StageEvent, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan StageEvent, len(j.progress)+eventBuffer)
+	for _, ev := range j.progress {
+		ch <- ev // fits: the channel is sized for the replay
+	}
+	if j.eventsClosed {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	cancel := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, sub := range j.subs {
+			if sub == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}
+
 // Progress returns a snapshot of every event emitted so far (including
 // any a slow Events consumer missed) — the daemon's status endpoint
 // reads this.
@@ -219,6 +255,12 @@ func (j *Job) emit(ev StageEvent) {
 	select {
 	case j.events <- ev:
 	default:
+	}
+	for _, sub := range j.subs {
+		select {
+		case sub <- ev:
+		default:
+		}
 	}
 }
 
@@ -280,6 +322,10 @@ func (j *Job) finish(rep *core.Report, err error) {
 	if !j.eventsClosed {
 		j.eventsClosed = true
 		close(j.events)
+		for _, sub := range j.subs {
+			close(sub)
+		}
+		j.subs = nil
 	}
 	j.mu.Unlock()
 

@@ -14,15 +14,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation|BenchmarkVSMWeighting|BenchmarkAnalyzeMany}"
+BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation|BenchmarkVSMWeighting|BenchmarkAnalyzeMany|BenchmarkDocstore}"
 if [ "${SMOKE:-0}" = "1" ]; then
     # The smoke set gates the CI ns/op regression check: the full
     # Table I sweep (the repo's headline number), the partial-mining
     # series, the vsm-shaped K-means ablation (all kernels, including
     # the bounded ones), one bounded-kernel case on the blobs shape
-    # where triangle-inequality pruning dominates, and the batch
-    # pipeline.
-    BENCH="${SMOKE_BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkKMeansAblation/blobs-d3/K=64/elkan|BenchmarkAnalyzeMany}"
+    # where triangle-inequality pruning dominates, the batch pipeline,
+    # and the K-DB storage engine's write (WAL group commit) and
+    # sorted-query paths.
+    BENCH="${SMOKE_BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkKMeansAblation/blobs-d3/K=64/elkan|BenchmarkAnalyzeMany|BenchmarkDocstore/WALInsert\$|BenchmarkDocstore/QuerySorted}"
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%F).json}"
