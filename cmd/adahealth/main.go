@@ -42,6 +42,7 @@ func main() {
 		trace      = flag.String("trace", "", "write the stage schedule (Report.Stages) to this file as JSON")
 		algorithm  = flag.String("algorithm", "", "K-means assignment kernel for the sweep and partial mining: lloyd, dense-lloyd, sparse-lloyd, filtering, hamerly, elkan, minibatch or auto (default: lloyd auto-routing)")
 		warmStart  = flag.Bool("warmstart", true, "warm-start the K sweep: seed each K from the previous K's centroids (false = legacy independent seeding)")
+		stageTO    = flag.Duration("stage-timeout", 0, "per-stage attempt deadline; a stage exceeding it fails the analysis with a typed error (0 = none)")
 	)
 	flag.Parse()
 
@@ -80,10 +81,11 @@ func main() {
 		dir = *kdbOld
 	}
 	cfg := core.Config{
-		KDBDir:      dir,
-		Seed:        *seed,
-		Sequential:  *sequential,
-		Parallelism: *jobs,
+		KDBDir:       dir,
+		Seed:         *seed,
+		Sequential:   *sequential,
+		Parallelism:  *jobs,
+		StageTimeout: *stageTO,
 	}
 	cfg.Sweep.Cluster.Algorithm = alg
 	cfg.Partial.Cluster.Algorithm = alg

@@ -61,6 +61,7 @@ func main() {
 		algo    = flag.String("algorithm", "", "base K-means kernel: lloyd, filtering, hamerly, elkan, minibatch or auto (jobs may override per submission)")
 		warm    = flag.Bool("warmstart", true, "warm-start K sweeps: seed each K from the previous K's centroids (false = legacy independent seeding)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+		stageTO = flag.Duration("stage-timeout", 0, "per-stage attempt deadline; a stage exceeding it fails its job, not the daemon (0 = none)")
 	)
 	flag.Parse()
 
@@ -74,9 +75,10 @@ func main() {
 		dir = *kdbOld
 	}
 	engineCfg := core.Config{
-		KDBDir:      dir,
-		Seed:        *seed,
-		Parallelism: *jobs,
+		KDBDir:       dir,
+		Seed:         *seed,
+		Parallelism:  *jobs,
+		StageTimeout: *stageTO,
 	}
 	engineCfg.Sweep.Cluster.Algorithm = alg
 	engineCfg.Partial.Cluster.Algorithm = alg

@@ -93,9 +93,16 @@ type Config struct {
 	// cancellations. Attempt counts land in Report.Stages and the
 	// stage_traces collection. 0 (the default) disables retries.
 	StageRetries int
-	// StageRetryBackoff is the delay before the first retry, doubled
-	// per attempt and capped at 2s; 0 selects the 50ms default.
+	// StageRetryBackoff caps the delay before the first retry, doubled
+	// per attempt and capped at 2s; the actual sleep is drawn uniformly
+	// from (0, cap] (full jitter), so retrying stages across a batch do
+	// not synchronize. 0 selects the 50ms default.
 	StageRetryBackoff time.Duration
+	// StageTimeout bounds each stage attempt's wall time: an attempt
+	// exceeding it fails the analysis with a *StageTimeoutError
+	// (errors.Is-matchable against context.DeadlineExceeded). 0 (the
+	// default) disables per-stage deadlines.
+	StageTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +227,18 @@ func New(cfg Config) (*Engine, error) {
 	return &Engine{cfg: cfg, kdb: k, txc: newTxCache(), inflight: newInflightSet()}, nil
 }
 
+// NewWithKDB builds an engine over an already-open K-DB, which the
+// caller keeps owning (Close it after the engine is done). It is the
+// seam fault-injection tests use to run the pipeline against a K-DB
+// opened over a faulty filesystem (kdb.OpenStore with
+// docstore.Options.FS); Config.KDBDir is ignored.
+func NewWithKDB(cfg Config, k *kdb.KDB) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg.withDefaults(), kdb: k, txc: newTxCache(), inflight: newInflightSet()}, nil
+}
+
 // WithConfig returns a derived engine that analyzes under cfg but
 // shares this engine's knowledge base and transaction cache. It is how
 // a long-running service runs per-job configuration overrides (seed,
@@ -289,6 +308,23 @@ type Report struct {
 	// StageConcurrency is the maximum number of stages the scheduler
 	// observed running at the same instant (1 under Config.Sequential).
 	StageConcurrency int
+
+	// Degraded is non-nil when the analysis completed without its full
+	// K-DB contract — see Degradation. Nil on a fully healthy run.
+	Degraded *Degradation `json:"degraded,omitempty"`
+}
+
+// Degradation reports that an analysis completed gracefully degraded:
+// K-DB writes were dropped or the recall read fell back because the
+// knowledge store was read-only, offline, or broken. The analytical
+// results themselves are complete and correct — only the
+// self-learning side effects (stored knowledge, feedback, traces,
+// flushes) were shed.
+type Degradation struct {
+	// DroppedKDBWrites counts the K-DB writes the pipeline shed.
+	DroppedKDBWrites int `json:"dropped_kdb_writes"`
+	// Reasons lists what degraded and why (sorted, deduplicated).
+	Reasons []string `json:"reasons"`
 }
 
 // Analyze runs the full pipeline on a log. It is AnalyzeContext with
@@ -534,14 +570,19 @@ func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, 
 	s.rep.Stages = sr.traces
 	s.rep.StageConcurrency = sr.maxConcurrent
 
+	// Telemetry and durability are soft from here on: the analysis
+	// already produced its results, and every acknowledged K-DB write
+	// is on the WAL — a failing trace store or flush degrades the run
+	// (recorded in Report.Degraded) instead of discarding it.
 	if err := e.kdb.StoreStageTraces(sr.traces); err != nil {
-		return nil, err
+		s.noteDrop("store stage traces", err)
 	}
 	if flush {
 		if err := e.kdb.Flush(); err != nil {
-			return nil, fmt.Errorf("core: flushing K-DB: %w", err)
+			s.noteDegraded("flush", err)
 		}
 	}
+	s.rep.Degraded = s.degradation()
 	return s.rep, nil
 }
 

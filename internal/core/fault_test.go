@@ -1,0 +1,301 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adahealth/internal/docstore"
+	"adahealth/internal/faultfs"
+	"adahealth/internal/kdb"
+)
+
+// panicStage panics on every run.
+type panicStage struct {
+	name    string
+	outputs []string
+	calls   atomic.Int32
+}
+
+func (p *panicStage) Name() string      { return p.name }
+func (p *panicStage) Inputs() []string  { return nil }
+func (p *panicStage) Outputs() []string { return p.outputs }
+func (p *panicStage) Run(ctx context.Context, s *pipelineState) error {
+	p.calls.Add(1)
+	panic("stage exploded")
+}
+
+// slowStage sleeps for d (honouring ctx) before succeeding.
+type slowStage struct {
+	name    string
+	outputs []string
+	d       time.Duration
+	calls   atomic.Int32
+}
+
+func (sl *slowStage) Name() string      { return sl.name }
+func (sl *slowStage) Inputs() []string  { return nil }
+func (sl *slowStage) Outputs() []string { return sl.outputs }
+func (sl *slowStage) Run(ctx context.Context, s *pipelineState) error {
+	sl.calls.Add(1)
+	select {
+	case <-time.After(sl.d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TestStagePanicIsolated: a panicking stage must surface as a
+// *PanicError carrying the stage name and a stack trace — failing the
+// analysis, not the process — on both scheduler paths, and must never
+// be retried (the panic is deterministic until someone fixes the code).
+func TestStagePanicIsolated(t *testing.T) {
+	for _, mode := range []string{"sequential", "dag"} {
+		t.Run(mode, func(t *testing.T) {
+			st := &panicStage{name: "boom", outputs: []string{"x"}}
+			rp := retryPolicy{retries: 3, backoff: time.Millisecond}
+			var err error
+			if mode == "sequential" {
+				_, err = runSequential(context.Background(), []Stage{st}, retryState(), rp, nil)
+			} else {
+				_, err = runDAG(context.Background(), []Stage{st}, retryState(), make(chan struct{}, 1), rp, nil)
+			}
+			if err == nil {
+				t.Fatal("panicking stage reported success")
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error = %v (%T), want *PanicError", err, err)
+			}
+			if pe.Stage != "boom" || pe.Value != "stage exploded" {
+				t.Errorf("panic error = %+v, want stage boom value %q", pe, "stage exploded")
+			}
+			if !strings.Contains(string(pe.Stack), "panicStage") {
+				t.Error("panic stack does not reach the panicking stage")
+			}
+			if got := st.calls.Load(); got != 1 {
+				t.Errorf("panicking stage ran %d times, want 1 (no retry)", got)
+			}
+		})
+	}
+}
+
+// TestStagePanicDoesNotWedgeDAG: with more than one stage in flight,
+// a panic in one must still drain the scheduler and return (no
+// deadlocked WaitGroup, no leaked goroutine holding the semaphore).
+func TestStagePanicDoesNotWedgeDAG(t *testing.T) {
+	stages := []Stage{
+		&slowStage{name: "ok", outputs: []string{"a"}, d: 5 * time.Millisecond},
+		&panicStage{name: "boom", outputs: []string{"b"}},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := runDAG(context.Background(), stages, retryState(), make(chan struct{}, 2), retryPolicy{}, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error = %v, want *PanicError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DAG scheduler wedged after stage panic")
+	}
+}
+
+// TestStageTimeout: an attempt exceeding the per-stage budget fails
+// with *StageTimeoutError (matching context.DeadlineExceeded) and is
+// not retried; a stage finishing inside the budget is untouched.
+func TestStageTimeout(t *testing.T) {
+	st := &slowStage{name: "glacial", outputs: []string{"x"}, d: 10 * time.Second}
+	rp := retryPolicy{retries: 3, backoff: time.Millisecond, timeout: 20 * time.Millisecond}
+	start := time.Now()
+	_, err := runSequential(context.Background(), []Stage{st}, retryState(), rp, nil)
+	if err == nil {
+		t.Fatal("stage past its deadline reported success")
+	}
+	var te *StageTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error = %v (%T), want *StageTimeoutError", err, err)
+	}
+	if te.Stage != "glacial" || te.Timeout != 20*time.Millisecond {
+		t.Errorf("timeout error = %+v", te)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("timeout error does not match context.DeadlineExceeded")
+	}
+	if got := st.calls.Load(); got != 1 {
+		t.Errorf("timed-out stage ran %d times, want 1 (no retry)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~20ms", elapsed)
+	}
+
+	fast := &slowStage{name: "brisk", outputs: []string{"x"}, d: time.Millisecond}
+	if _, err := runSequential(context.Background(), []Stage{fast}, retryState(),
+		retryPolicy{timeout: 5 * time.Second}, nil); err != nil {
+		t.Fatalf("stage inside its budget failed: %v", err)
+	}
+}
+
+// TestStageTimeoutCallerCancelWins: when the caller's context is
+// cancelled the error must stay the plain context error, not be
+// misreported as a per-attempt deadline.
+func TestStageTimeoutCallerCancelWins(t *testing.T) {
+	st := &slowStage{name: "glacial", outputs: []string{"x"}, d: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := runSequential(ctx, []Stage{st}, retryState(),
+		retryPolicy{timeout: time.Minute}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	var te *StageTimeoutError
+	if errors.As(err, &te) {
+		t.Error("caller cancellation misreported as a stage timeout")
+	}
+}
+
+// TestJitterBackoffBounds: full jitter draws stay in (0, d].
+func TestJitterBackoffBounds(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, 50 * time.Millisecond, maxStageBackoff} {
+		for i := 0; i < 200; i++ {
+			got := jitterBackoff(d)
+			if got <= 0 || got > d {
+				t.Fatalf("jitterBackoff(%v) = %v, want in (0, %v]", d, got, d)
+			}
+		}
+	}
+	if got := jitterBackoff(0); got != 0 {
+		t.Errorf("jitterBackoff(0) = %v", got)
+	}
+}
+
+// TestValidateStageTimeout: Config.Validate rejects a negative
+// per-stage deadline.
+func TestValidateStageTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.StageTimeout = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative StageTimeout validated")
+	}
+}
+
+// TestAnalyzeDegradedKDBOffline is the pipeline's graceful-degradation
+// acceptance test: with the K-DB knocked offline by a broken WAL, an
+// analysis still completes — recall falls back to the cold path,
+// dropped writes are counted in Report.Degraded — and its analytical
+// results are bit-for-bit the recall-disabled run over a healthy
+// in-memory engine.
+func TestAnalyzeDegradedKDBOffline(t *testing.T) {
+	ffs := faultfs.New(nil, 1)
+	k, err := kdb.OpenStore(docstore.Options{Dir: t.TempDir(), FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	e, err := NewWithKDB(testConfig(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every WAL append fails from here: the first pipeline write breaks
+	// the store, the breaker trips offline, and the rest of the
+	// analysis runs against a refusing K-DB.
+	ffs.Inject(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.log", Err: faultfs.ENOSPC()})
+
+	log := seededLog(t, 3)
+	rep, err := e.Analyze(log)
+	if err != nil {
+		t.Fatalf("analysis over offline K-DB failed: %v", err)
+	}
+	if got := k.Health().Mode; got != kdb.ModeOffline {
+		t.Fatalf("K-DB mode after broken WAL = %s, want offline", got)
+	}
+	if rep.Degraded == nil || rep.Degraded.DroppedKDBWrites == 0 || len(rep.Degraded.Reasons) == 0 {
+		t.Fatalf("report degradation = %+v, want dropped writes and reasons", rep.Degraded)
+	}
+	if rep.Recall == nil || rep.Recall.Fallback == "" || rep.Recall.Hit {
+		t.Fatalf("recall outcome = %+v, want cold-path fallback", rep.Recall)
+	}
+	if len(rep.Recommendations) != 0 {
+		t.Errorf("offline K-DB produced %d recommendations", len(rep.Recommendations))
+	}
+
+	// Cold baseline: recall disabled, healthy in-memory K-DB.
+	coldCfg := testConfig()
+	coldCfg.Recall.Disabled = true
+	cold, err := New(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep, err := cold.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := comparable(rep), comparable(coldRep)
+	a.Recall, b.Recall = nil, nil
+	a.Degraded, b.Degraded = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Error("degraded analysis diverged from the cold path (want bit-for-bit)")
+	}
+}
+
+// TestAnalyzeDegradedSnapshotFault: snapshot-only faults leave the WAL
+// intact — the analysis succeeds, acked writes survive reopen, and
+// only the flush is reported degraded.
+func TestAnalyzeDegradedSnapshotFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(nil, 1)
+	// A tiny WAL budget so the per-analysis flush compacts (and hits
+	// the injected snapshot fault).
+	k, err := kdb.OpenStore(docstore.Options{Dir: dir, FS: ffs, MaxWALBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewWithKDB(testConfig(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(faultfs.Rule{Op: faultfs.OpWrite, Path: ".json.tmp", Err: faultfs.ENOSPC()})
+
+	log := seededLog(t, 4)
+	rep, err := e.Analyze(log)
+	if err != nil {
+		t.Fatalf("analysis under snapshot fault failed: %v", err)
+	}
+	if rep.Degraded == nil {
+		t.Fatal("snapshot fault not reported in Degraded")
+	}
+	if rep.Degraded.DroppedKDBWrites != 0 {
+		t.Errorf("snapshot fault dropped %d writes, want 0 (WAL intact)", rep.Degraded.DroppedKDBWrites)
+	}
+	if rep.Recall == nil || rep.Recall.Fallback != "" {
+		t.Errorf("recall outcome = %+v, want healthy miss", rep.Recall)
+	}
+	k.Close()
+
+	// Reopen without faults: every acked write replays from the WAL.
+	k2, err := kdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	items, err := k2.KnowledgeItems(log.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) == 0 {
+		t.Error("knowledge items lost despite acked WAL writes")
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sort"
 
 	"adahealth/internal/kdb"
@@ -66,6 +65,11 @@ type RecallOutcome struct {
 	// SeededCentroids is how many centroid rows were remapped onto
 	// this dataset's feature space.
 	SeededCentroids int `json:"seeded_centroids,omitempty"`
+	// Fallback is set when recall could not read the K-DB (offline or
+	// broken) and degraded to the cold path — the analysis then runs
+	// bit-for-bit as if the K-DB held no prior knowledge. Empty on a
+	// healthy run (hit or honest miss).
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // recallHints is the recall stage's hand-off to the sweep stage:
@@ -99,7 +103,13 @@ func (e *Engine) runRecall(ctx context.Context, s *pipelineState) error {
 	// must not occupy the slots of usable sources ranked below them.
 	hits, err := e.kdb.SimilarDatasets(s.rep.Descriptor, s.descriptorDocID, 0)
 	if err != nil {
-		return fmt.Errorf("recall: %w", err)
+		// Soft: a K-DB that cannot be read degrades recall to the cold
+		// path — bit-for-bit the pipeline with no prior knowledge —
+		// instead of failing the analysis. Recall is an accelerator;
+		// losing it must never lose the run.
+		s.rep.Recall = &RecallOutcome{Fallback: err.Error()}
+		s.noteDegraded("recall", err)
+		return nil
 	}
 	outcome := &RecallOutcome{}
 	s.rep.Recall = outcome
@@ -188,9 +198,9 @@ func (e *Engine) recordRecallFeedback(s *pipelineState, outcome *RecallOutcome, 
 		Interest: interest,
 	}
 	if err := e.kdb.RecordFeedback(fb); err != nil {
-		// Environmental (the K-DB write path): let the stage retry
-		// policy have it.
-		return Transient(fmt.Errorf("recall: recording feedback: %w", err))
+		// Soft: the hit/miss bookkeeping is telemetry for the
+		// self-learning loop, never worth failing the analysis over.
+		s.noteDrop("recall feedback", err)
 	}
 	return nil
 }

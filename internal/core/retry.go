@@ -4,8 +4,44 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"time"
 )
+
+// PanicError is a recovered stage panic: the scheduler isolates it to
+// the panicking stage's own analysis — the job fails with this error,
+// stack attached, and the process (a daemon serving other jobs) keeps
+// running.
+type PanicError struct {
+	// Stage is the panicking stage's name.
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("stage %s panicked: %v", p.Stage, p.Value)
+}
+
+// StageTimeoutError fails a stage attempt that exceeded
+// Config.StageTimeout. It unwraps to context.DeadlineExceeded, so
+// errors.Is-matching works, and is never retried (the next attempt
+// would run out of the same budget).
+type StageTimeoutError struct {
+	// Stage is the stage that ran out of time.
+	Stage string
+	// Timeout is the per-attempt budget it exceeded.
+	Timeout time.Duration
+}
+
+func (e *StageTimeoutError) Error() string {
+	return fmt.Sprintf("stage %s exceeded its %v deadline", e.Stage, e.Timeout)
+}
+
+func (e *StageTimeoutError) Unwrap() error { return context.DeadlineExceeded }
 
 // transientErr marks an error as transient: worth retrying at the
 // stage level. It unwraps to the underlying error, so errors.Is/As
@@ -45,7 +81,8 @@ func IsTransient(err error) bool {
 // retryPolicy is the scheduler's resolved per-stage retry behaviour.
 type retryPolicy struct {
 	retries int           // extra attempts after the first failure
-	backoff time.Duration // first-retry delay, doubled per retry
+	backoff time.Duration // first-retry delay cap, doubled per retry
+	timeout time.Duration // per-attempt deadline (0 = none)
 }
 
 // maxStageBackoff caps the exponential backoff between attempts.
@@ -54,22 +91,40 @@ const maxStageBackoff = 2 * time.Second
 // retryPolicy resolves the engine's configuration (filling the 50 ms
 // default backoff when retries are enabled without one).
 func (e *Engine) retryPolicy() retryPolicy {
-	rp := retryPolicy{retries: e.cfg.StageRetries, backoff: e.cfg.StageRetryBackoff}
+	rp := retryPolicy{
+		retries: e.cfg.StageRetries,
+		backoff: e.cfg.StageRetryBackoff,
+		timeout: e.cfg.StageTimeout,
+	}
 	if rp.retries > 0 && rp.backoff <= 0 {
 		rp.backoff = 50 * time.Millisecond
 	}
 	return rp
 }
 
+// jitterBackoff applies full jitter: a uniform draw from (0, d]. A
+// batch of stages whose first attempts failed together then spreads
+// its retries over the whole window instead of re-converging on the
+// disk at the same instant (which is how they failed the first time).
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(1 + rand.Int63n(int64(d)))
+}
+
 // executeStage runs one stage under the retry policy: transient
-// failures re-run after capped exponential backoff, up to rp.retries
-// extra attempts; deterministic failures and context cancellation
-// surface immediately. It returns how many attempts ran (≥ 1) and the
+// failures re-run after capped, fully-jittered exponential backoff, up
+// to rp.retries extra attempts; deterministic failures and context
+// cancellation surface immediately. A panicking attempt is recovered
+// into a *PanicError — failing this analysis, never the process — and
+// an attempt exceeding rp.timeout fails with a *StageTimeoutError
+// (neither is retried). It returns how many attempts ran (≥ 1) and the
 // final outcome.
 func executeStage(ctx context.Context, st Stage, s *pipelineState, rp retryPolicy) (attempts int, err error) {
 	backoff := rp.backoff
 	for attempts = 1; ; attempts++ {
-		err = st.Run(ctx, s)
+		err = runStageAttempt(ctx, st, s, rp.timeout)
 		if err == nil || attempts > rp.retries || !IsTransient(err) {
 			return attempts, err
 		}
@@ -77,7 +132,7 @@ func executeStage(ctx context.Context, st Stage, s *pipelineState, rp retryPolic
 			return attempts, cerr
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff)):
 		case <-ctx.Done():
 			return attempts, ctx.Err()
 		}
@@ -87,6 +142,29 @@ func executeStage(ctx context.Context, st Stage, s *pipelineState, rp retryPolic
 	}
 }
 
+// runStageAttempt runs one attempt with panic isolation and the
+// optional per-attempt deadline.
+func runStageAttempt(ctx context.Context, st Stage, s *pipelineState, timeout time.Duration) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Stage: st.Name(), Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if timeout <= 0 {
+		return st.Run(ctx, s)
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	err = st.Run(actx, s)
+	// Distinguish "this attempt ran out of its budget" (the stage ctx
+	// expired while the parent is alive) from the caller giving up.
+	if err != nil && ctx.Err() == nil && actx.Err() != nil &&
+		errors.Is(err, context.DeadlineExceeded) {
+		return &StageTimeoutError{Stage: st.Name(), Timeout: timeout}
+	}
+	return err
+}
+
 // validateRetry checks the retry knobs (called from Config.Validate).
 func (c Config) validateRetry() error {
 	if c.StageRetries < 0 {
@@ -94,6 +172,9 @@ func (c Config) validateRetry() error {
 	}
 	if c.StageRetryBackoff < 0 {
 		return fmt.Errorf("core: negative StageRetryBackoff %v (0 selects the 50ms default)", c.StageRetryBackoff)
+	}
+	if c.StageTimeout < 0 {
+		return fmt.Errorf("core: negative StageTimeout %v (0 disables per-stage deadlines)", c.StageTimeout)
 	}
 	return nil
 }

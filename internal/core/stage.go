@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"adahealth/internal/cluster"
 	"adahealth/internal/dataset"
@@ -82,6 +85,51 @@ type pipelineState struct {
 	// recallHints is the recall stage's retrieved prior knowledge
 	// (nil on a miss or when recall is disabled — the cold path).
 	recallHints *recallHints
+
+	// degradeMu guards the degradation notes below. Unlike the keyed
+	// DAG state, these are appended by whichever stages hit a soft
+	// K-DB failure, possibly concurrently.
+	degradeMu      sync.Mutex
+	droppedWrites  int
+	degradeReasons []string
+}
+
+// noteDrop records a K-DB write the pipeline shed instead of failing
+// the analysis — graceful degradation under a tripped or broken store.
+func (s *pipelineState) noteDrop(what string, err error) {
+	s.degradeMu.Lock()
+	s.droppedWrites++
+	s.degradeReasons = append(s.degradeReasons, fmt.Sprintf("%s: %v", what, err))
+	s.degradeMu.Unlock()
+}
+
+// noteDegraded records a degradation that is not a dropped write (a
+// recall read falling back, a shed flush).
+func (s *pipelineState) noteDegraded(what string, err error) {
+	s.degradeMu.Lock()
+	s.degradeReasons = append(s.degradeReasons, fmt.Sprintf("%s: %v", what, err))
+	s.degradeMu.Unlock()
+}
+
+// degradation finalizes Report.Degraded: nil on a fully healthy run;
+// otherwise the drop count plus sorted, deduplicated reasons (stages
+// note them in scheduling order, which is nondeterministic under the
+// DAG).
+func (s *pipelineState) degradation() *Degradation {
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	if s.droppedWrites == 0 && len(s.degradeReasons) == 0 {
+		return nil
+	}
+	sorted := append([]string(nil), s.degradeReasons...)
+	sort.Strings(sorted)
+	reasons := sorted[:0]
+	for i, r := range sorted {
+		if i == 0 || r != sorted[i-1] {
+			reasons = append(reasons, r)
+		}
+	}
+	return &Degradation{DroppedKDBWrites: s.droppedWrites, Reasons: reasons}
 }
 
 // funcStage is the Stage implementation used by the built-in pipeline:
@@ -191,10 +239,12 @@ func (e *Engine) runCharacterize(ctx context.Context, s *pipelineState) error {
 	s.rep.Descriptor = stats.Characterize(s.log)
 	id, err := e.kdb.StoreDescriptor(s.rep.Descriptor)
 	if err != nil {
-		// K-DB writes fail for environmental reasons (a saturated or
-		// briefly full disk behind the WAL), the canonical transient
-		// case the stage retry policy exists for.
-		return Transient(err)
+		// Soft: a refused or failed descriptor write degrades the
+		// self-learning loop (this run leaves no trace for future
+		// recalls), never the analysis. descriptorDocID stays empty —
+		// nothing was stored, so recall has nothing to exclude.
+		s.noteDrop("store descriptor", err)
+		return nil
 	}
 	s.descriptorDocID = id
 	return nil
@@ -216,7 +266,7 @@ func (e *Engine) runTransform(ctx context.Context, s *pipelineState) error {
 		Features:    matrix.Features,
 	}
 	if _, err := e.kdb.StoreTransformed(s.rep.Transformed); err != nil {
-		return Transient(err) // environmental: the K-DB write path
+		s.noteDrop("store transformed summary", err) // soft: degrade, don't fail
 	}
 	return nil
 }
@@ -326,7 +376,9 @@ func (e *Engine) runDemand(ctx context.Context, s *pipelineState) error {
 
 func (e *Engine) runStoreKnowledge(ctx context.Context, s *pipelineState) error {
 	if err := e.kdb.StoreKnowledgeItems(s.allItems()); err != nil {
-		return Transient(err) // environmental: the K-DB write path
+		// Soft: the extracted knowledge is still in the Report; only
+		// its persistence for future analyses was shed.
+		s.noteDrop("store knowledge items", err)
 	}
 	return nil
 }
@@ -334,6 +386,13 @@ func (e *Engine) runStoreKnowledge(ctx context.Context, s *pipelineState) error 
 func (e *Engine) runEndGoals(ctx context.Context, s *pipelineState) error {
 	recs, err := endgoal.NewRecommender(e.kdb).Recommend(s.rep.Descriptor)
 	if err != nil {
+		// A refusing K-DB (offline or read-only) degrades to no
+		// recommendations; any other recommender failure is a real
+		// pipeline error.
+		if errors.Is(err, kdb.ErrOffline) || errors.Is(err, kdb.ErrReadOnly) {
+			s.noteDegraded("endgoals", err)
+			return nil
+		}
 		return fmt.Errorf("recommending end-goals: %w", err)
 	}
 	s.rep.Recommendations = recs

@@ -23,6 +23,27 @@
 // Flush compacts when the WAL has outgrown its budget: snapshots are
 // rewritten and the log is reset; replay is idempotent, so a crash
 // between the two steps loses nothing.
+//
+// # Failure semantics
+//
+// A failed WAL write or fsync poisons the store: the enqueuer whose
+// batch hit the fault gets the error, every later mutation fails fast
+// with ErrStoreBroken (wrapped around the root cause), and no write is
+// ever acknowledged after an unacknowledged one — the in-memory state
+// is ahead of the durable log, so acknowledging past the hole would
+// promise durability the disk never provided. A poisoned store stays
+// poisoned until reopened; reopening replays exactly the acked prefix.
+//
+// Snapshot compaction failing is NOT poisoning: the snapshot is
+// written to a temporary file and renamed into place only after a
+// successful fsync, so a failed compaction (full disk, torn tmp
+// write, failed rename) leaves the previous snapshot and the intact
+// WAL authoritative. The store keeps accepting writes and the next
+// Flush retries compaction.
+//
+// Every disk operation goes through an injectable filesystem
+// (Options.FS, package faultfs), so these contracts are tested under
+// deterministic fault schedules rather than asserted.
 package docstore
 
 import "encoding/json"

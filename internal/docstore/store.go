@@ -2,17 +2,28 @@ package docstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+
+	"adahealth/internal/faultfs"
 )
 
 // DefaultMaxWALBytes is the log-size budget beyond which Flush
 // compacts (rewrites snapshots and resets the WAL).
 const DefaultMaxWALBytes = 4 << 20
+
+// ErrStoreBroken marks a store whose WAL hit a commit failure: the
+// in-memory state is ahead of the durable log, so no later write is
+// acknowledged after the unacknowledged one (every write and Flush
+// fails wrapping this error, and compaction is refused). Reads still
+// serve the in-memory state, which may include the failed mutations;
+// callers that need durable-only reads must reopen the store, which
+// recovers exactly the committed prefix.
+var ErrStoreBroken = errors.New("docstore: store broken by WAL commit failure")
 
 // Options configures OpenOptions.
 type Options struct {
@@ -25,12 +36,17 @@ type Options struct {
 	// MaxWALBytes overrides the compaction budget (<= 0 selects
 	// DefaultMaxWALBytes).
 	MaxWALBytes int64
+	// FS overrides the filesystem every disk operation goes through
+	// (nil = the real OS). Fault-injection tests pass a
+	// faultfs.Injector here.
+	FS faultfs.FS
 }
 
 // Store is a set of named collections, optionally persisted to a
 // directory as per-collection snapshot files plus a shared WAL.
 type Store struct {
 	dir         string // "" = memory only
+	fs          faultfs.FS
 	maxWALBytes int64
 
 	// writeGate serializes mutations against compaction: every write
@@ -54,8 +70,12 @@ func Open(dir string) (*Store, error) { return OpenOptions(Options{Dir: dir}) }
 func OpenOptions(o Options) (*Store, error) {
 	s := &Store{
 		dir:         o.Dir,
+		fs:          o.FS,
 		maxWALBytes: o.MaxWALBytes,
 		collections: map[string]*Collection{},
+	}
+	if s.fs == nil {
+		s.fs = faultfs.OS()
 	}
 	if s.maxWALBytes <= 0 {
 		s.maxWALBytes = DefaultMaxWALBytes
@@ -63,10 +83,10 @@ func OpenOptions(o Options) (*Store, error) {
 	if o.Dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("docstore: creating %s: %w", o.Dir, err)
 	}
-	entries, err := os.ReadDir(o.Dir)
+	entries, err := s.fs.ReadDir(o.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("docstore: reading %s: %w", o.Dir, err)
 	}
@@ -81,7 +101,7 @@ func OpenOptions(o Options) (*Store, error) {
 	}
 	// Replay the WAL tail over the snapshots. Recovery is
 	// single-threaded, so records apply without taking shard locks.
-	w, err := openWAL(filepath.Join(o.Dir, "wal.log"), !o.NoSync, s.applyRecord)
+	w, err := openWAL(s.fs, filepath.Join(o.Dir, "wal.log"), !o.NoSync, s.applyRecord)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +179,17 @@ func (s *Store) WALSize() int64 {
 	return s.wal.size.Load()
 }
 
+// Broken returns the latched WAL commit failure poisoning this store
+// (always wrapping ErrStoreBroken), or nil while the store is healthy.
+// A broken store refuses every later write and must be reopened to
+// recover to the last durable commit.
+func (s *Store) Broken() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.failed()
+}
+
 // Flush makes all acknowledged mutations durable and compacts the
 // store when the WAL has outgrown its budget. Acknowledged writes are
 // already on the log (fsynced unless NoSync), so for a disk-backed
@@ -211,7 +242,7 @@ func (s *Store) Compact() error {
 	// (fsynced) log no longer holds the commits since — losing
 	// acknowledged writes. One directory fsync orders them.
 	if s.wal.sync {
-		if err := syncDir(s.dir); err != nil {
+		if err := syncDir(s.fs, s.dir); err != nil {
 			return fmt.Errorf("docstore: syncing snapshot directory: %w", err)
 		}
 	}
@@ -222,8 +253,8 @@ func (s *Store) Compact() error {
 }
 
 // syncDir fsyncs a directory so renamed snapshot files are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -281,26 +312,33 @@ func (s *Store) writeSnapshot(c *Collection) error {
 		return err
 	}
 	tmp := filepath.Join(s.dir, c.name+".json.tmp")
-	f, err := os.Create(tmp)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(raw); err != nil {
 		f.Close()
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, c.name+".json"))
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, c.name+".json")); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func (s *Store) loadSnapshot(name string) error {
-	raw, err := os.ReadFile(filepath.Join(s.dir, name+".json"))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, name+".json"))
 	if err != nil {
 		return fmt.Errorf("docstore: loading collection %s: %w", name, err)
 	}

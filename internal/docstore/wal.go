@@ -9,6 +9,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"adahealth/internal/faultfs"
 )
 
 // walOp is the mutation kind of one WAL record.
@@ -63,7 +65,7 @@ type wal struct {
 	sync bool // fsync each commit (true unless Options.NoSync)
 
 	mu   sync.Mutex
-	f    *os.File
+	f    faultfs.File
 	buf  []byte
 	cur  *walBatch
 	done bool
@@ -72,7 +74,8 @@ type wal struct {
 	// of the log, so every further write — and, crucially, compaction,
 	// which would otherwise snapshot the unlogged state into
 	// durability — is refused with this error. The store must be
-	// reopened to recover to the last durable commit.
+	// reopened to recover to the last durable commit. failErr always
+	// wraps ErrStoreBroken.
 	failErr error
 
 	wake chan struct{}
@@ -84,8 +87,8 @@ type wal struct {
 // openWAL opens (creating if needed) the log at path, replays its
 // committed prefix through apply, truncates any torn tail, and starts
 // the group committer.
-func openWAL(path string, syncWrites bool, apply func(walRecord) error) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openWAL(fsys faultfs.FS, path string, syncWrites bool, apply func(walRecord) error) (*wal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("docstore: opening WAL %s: %w", path, err)
 	}
@@ -119,7 +122,7 @@ func openWAL(path string, syncWrites bool, apply func(walRecord) error) (*wal, e
 // replayWAL feeds every intact frame to apply and returns the byte
 // offset just past the last intact frame. Torn or corrupt frames end
 // the replay without error: they are the uncommitted tail.
-func replayWAL(f *os.File, apply func(walRecord) error) (int64, error) {
+func replayWAL(f faultfs.File, apply func(walRecord) error) (int64, error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, fmt.Errorf("docstore: stating WAL: %w", err)
@@ -163,10 +166,10 @@ func replayWAL(f *os.File, apply func(walRecord) error) (int64, error) {
 }
 
 // newByteReader buffers sequential reads during replay.
-func newByteReader(f *os.File) io.Reader { return &walReader{f: f} }
+func newByteReader(f faultfs.File) io.Reader { return &walReader{f: f} }
 
 type walReader struct {
-	f   *os.File
+	f   faultfs.File
 	buf []byte
 	pos int
 }
@@ -206,7 +209,7 @@ func (w *wal) enqueue(rec walRecord) (*walBatch, error) {
 	if w.failErr != nil {
 		err := w.failErr
 		w.mu.Unlock()
-		return nil, fmt.Errorf("docstore: WAL failed earlier, store is read-only: %w", err)
+		return nil, fmt.Errorf("docstore: WAL failed earlier: %w", err)
 	}
 	w.buf = append(w.buf, header[:]...)
 	w.buf = append(w.buf, payload...)
@@ -244,19 +247,32 @@ func (w *wal) commitPending() {
 	}
 	data, batch := w.buf, w.cur
 	w.buf, w.cur = nil, nil
+	// A batch enqueued while the failing commit was in flight must not
+	// be written: its frames would land past the hole left by the
+	// unacknowledged batch, and replay (which stops at the hole) would
+	// never see them — yet the writers would be told their mutations
+	// are durable. Fail the batch with the latched error instead.
+	if w.failErr != nil {
+		batch.err = w.failErr
+		w.mu.Unlock()
+		close(batch.done)
+		return
+	}
 	w.mu.Unlock()
 
 	_, err := w.f.Write(data)
 	if err == nil && w.sync {
 		err = w.f.Sync()
 	}
-	w.size.Add(int64(len(data)))
 	if err != nil {
+		err = fmt.Errorf("%w: %w", ErrStoreBroken, err)
 		w.mu.Lock()
 		if w.failErr == nil {
 			w.failErr = err
 		}
 		w.mu.Unlock()
+	} else {
+		w.size.Add(int64(len(data)))
 	}
 	batch.err = err
 	close(batch.done)
@@ -307,6 +323,9 @@ func (w *wal) flushNow() error {
 	defer w.mu.Unlock()
 	if w.done {
 		return nil
+	}
+	if w.failErr != nil {
+		return w.failErr
 	}
 	return w.f.Sync()
 }

@@ -1,0 +1,223 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func tmpFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "f.dat")
+}
+
+// TestPassthrough verifies the injector without rules behaves like the
+// real filesystem end to end: create, write, sync, reopen, read.
+func TestPassthrough(t *testing.T) {
+	ffs := New(nil, 1)
+	path := tmpFile(t)
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	if ffs.Fired() != 0 {
+		t.Fatalf("fired = %d without rules", ffs.Fired())
+	}
+}
+
+// TestWriteFaultAfterN lets N writes through, then fails every later
+// write until Clear heals the filesystem.
+func TestWriteFaultAfterN(t *testing.T) {
+	ffs := New(nil, 1)
+	ffs.Inject(Rule{Op: OpWrite, After: 2})
+	f, err := ffs.Create(tmpFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write err = %v, want ErrInjected", err)
+	}
+	ffs.Clear()
+	if _, err := f.Write([]byte("healed")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+}
+
+// TestTornWrite fails a write after a prefix and verifies exactly that
+// prefix reached the disk.
+func TestTornWrite(t *testing.T) {
+	ffs := New(nil, 1)
+	ffs.Inject(Rule{Op: OpWrite, TornBytes: 3, Count: 1})
+	path := tmpFile(t)
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write n = %d, want 3", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("on disk after torn write: %q", got)
+	}
+}
+
+// TestPathFilterAndENOSPC scopes a disk-full fault to one file by path
+// substring.
+func TestPathFilterAndENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil, 1)
+	ffs.Inject(Rule{Op: OpWrite, Path: "wal", Err: ENOSPC()})
+
+	w, err := ffs.Create(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s, err := ffs.Create(filepath.Join(dir, "snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := w.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("wal write err = %v, want ENOSPC", err)
+	}
+	if _, err := s.Write([]byte("x")); err != nil {
+		t.Fatalf("snapshot write hit a wal-scoped rule: %v", err)
+	}
+}
+
+// TestProbDeterministicBySeed draws the same fault schedule for the
+// same seed and a different one for a different seed.
+func TestProbDeterministicBySeed(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		ffs := New(nil, seed)
+		ffs.Inject(Rule{Op: OpWrite, Prob: 0.5})
+		f, err := ffs.Create(tmpFile(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.Write([]byte("x"))
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDelayOnly slows an op without failing it.
+func TestDelayOnly(t *testing.T) {
+	ffs := New(nil, 1)
+	ffs.Inject(Rule{Op: OpSync, Delay: 30 * time.Millisecond, Count: 1})
+	f, err := ffs.Create(tmpFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("delayed sync err = %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("sync returned in %v, want >= ~30ms delay", d)
+	}
+	if ffs.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", ffs.Fired())
+	}
+}
+
+// TestCountExhaustion fires exactly Count times then lets ops through.
+func TestCountExhaustion(t *testing.T) {
+	ffs := New(nil, 1)
+	ffs.Inject(Rule{Op: OpSync, Count: 2})
+	f, err := ffs.Create(tmpFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if err := f.Sync(); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("sync failures = %d, want 2", fails)
+	}
+}
+
+// TestOpenAndRenameFaults covers the open and rename fault points used
+// by snapshot compaction.
+func TestOpenAndRenameFaults(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil, 1)
+	ffs.Inject(Rule{Op: OpOpen, Path: "locked", Count: 1})
+	if _, err := ffs.Create(filepath.Join(dir, "locked.json")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open err = %v", err)
+	}
+
+	src := filepath.Join(dir, "a.tmp")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(Rule{Op: OpRename, Count: 1})
+	if err := ffs.Rename(src, filepath.Join(dir, "a.json")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if err := ffs.Rename(src, filepath.Join(dir, "a.json")); err != nil {
+		t.Fatalf("second rename: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package kdb
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"adahealth/internal/docstore"
+)
+
+// Mode is the K-DB circuit breaker's position.
+type Mode string
+
+const (
+	// ModeHealthy: writes, flushes and reads all proceed.
+	ModeHealthy Mode = "healthy"
+	// ModeReadOnly: repeated flush/compaction failures tripped the
+	// breaker; writes are refused (and counted as dropped) so the WAL
+	// stops growing past a disk that cannot compact, while reads keep
+	// serving. After a cooldown the next flush runs as a half-open
+	// probe; success closes the breaker.
+	ModeReadOnly Mode = "read-only"
+	// ModeOffline: the underlying store is broken
+	// (docstore.ErrStoreBroken) — its memory is ahead of the durable
+	// log, so both writes and reads are refused; the K-DB must be
+	// reopened to recover. Offline is terminal for this handle.
+	ModeOffline Mode = "offline"
+)
+
+var (
+	// ErrReadOnly rejects a write while the breaker holds the store
+	// read-only.
+	ErrReadOnly = errors.New("kdb: store is read-only (circuit breaker open)")
+	// ErrOffline rejects an operation while the store is offline
+	// (broken); reads fail too, because the in-memory state may be
+	// ahead of what a recovery would restore.
+	ErrOffline = errors.New("kdb: store is offline (broken)")
+)
+
+// Health is a snapshot of the breaker for health endpoints and gauges.
+type Health struct {
+	// Mode is the breaker position.
+	Mode Mode `json:"mode"`
+	// Reason explains a non-healthy mode (last failure message).
+	Reason string `json:"reason,omitempty"`
+	// ConsecutiveFlushFailures counts flush failures since the last
+	// success (resets on success).
+	ConsecutiveFlushFailures int `json:"consecutive_flush_failures,omitempty"`
+	// Trips counts read-only trips over the handle's lifetime.
+	Trips int `json:"trips,omitempty"`
+	// DroppedWrites counts writes refused while tripped.
+	DroppedWrites int64 `json:"dropped_writes,omitempty"`
+}
+
+// breakerThreshold is how many consecutive flush failures trip the
+// breaker into read-only.
+const breakerThreshold = 3
+
+// breakerCooldown is how long a read-only breaker waits before letting
+// one flush through as a half-open probe.
+const breakerCooldown = 2 * time.Second
+
+// breaker guards the K-DB against a failing disk. Two trip paths:
+// a broken store (WAL commit failure) goes straight to offline, while
+// repeated flush/compaction failures (snapshot faults, full disk) trip
+// read-only with a half-open recovery probe.
+type breaker struct {
+	mu        sync.Mutex
+	mode      Mode
+	reason    string
+	consec    int
+	trips     int
+	dropped   int64
+	retryAt   time.Time
+	threshold int           // test override; 0 = breakerThreshold
+	cooldown  time.Duration // test override; 0 = breakerCooldown
+	now       func() time.Time
+}
+
+func newBreaker() *breaker { return &breaker{mode: ModeHealthy, now: time.Now} }
+
+func (b *breaker) limits() (int, time.Duration) {
+	th, cd := b.threshold, b.cooldown
+	if th <= 0 {
+		th = breakerThreshold
+	}
+	if cd <= 0 {
+		cd = breakerCooldown
+	}
+	return th, cd
+}
+
+// beforeWrite gates a mutation; a refusal counts as a dropped write.
+func (b *breaker) beforeWrite() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.mode {
+	case ModeOffline:
+		b.dropped++
+		return ErrOffline
+	case ModeReadOnly:
+		b.dropped++
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// afterWrite observes a mutation's outcome: a broken store goes
+// offline immediately (no threshold — brokenness is not transient).
+func (b *breaker) afterWrite(err error) {
+	if err == nil || !errors.Is(err, docstore.ErrStoreBroken) {
+		return
+	}
+	b.tripOffline(err)
+}
+
+// beforeRead gates a read: only an offline store refuses reads.
+func (b *breaker) beforeRead() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mode == ModeOffline {
+		return ErrOffline
+	}
+	return nil
+}
+
+// beforeFlush gates a flush. Read-only mode lets one flush through as
+// a half-open probe once the cooldown elapsed.
+func (b *breaker) beforeFlush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.mode {
+	case ModeOffline:
+		return ErrOffline
+	case ModeReadOnly:
+		if b.now().Before(b.retryAt) {
+			return ErrReadOnly
+		}
+		// Half-open: let this flush probe the disk; push the next
+		// probe out so concurrent flushes don't stampede.
+		_, cd := b.limits()
+		b.retryAt = b.now().Add(cd)
+		return nil
+	}
+	return nil
+}
+
+// afterFlush observes a flush's outcome: success closes the breaker,
+// a broken store goes offline, other failures count toward the
+// read-only threshold.
+func (b *breaker) afterFlush(err error) {
+	if err != nil && errors.Is(err, docstore.ErrStoreBroken) {
+		b.tripOffline(err)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mode == ModeOffline {
+		return
+	}
+	if err == nil {
+		b.consec = 0
+		if b.mode == ModeReadOnly {
+			b.mode = ModeHealthy
+			b.reason = ""
+		}
+		return
+	}
+	b.consec++
+	b.reason = err.Error()
+	th, cd := b.limits()
+	if b.mode == ModeHealthy && b.consec >= th {
+		b.mode = ModeReadOnly
+		b.trips++
+		b.retryAt = b.now().Add(cd)
+	}
+}
+
+func (b *breaker) tripOffline(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mode == ModeOffline {
+		return
+	}
+	b.mode = ModeOffline
+	b.reason = err.Error()
+}
+
+func (b *breaker) health() Health {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Health{
+		Mode:                     b.mode,
+		Reason:                   b.reason,
+		ConsecutiveFlushFailures: b.consec,
+		Trips:                    b.trips,
+		DroppedWrites:            b.dropped,
+	}
+}
+
+// Health reports the K-DB's breaker state — the health gauge the
+// service's /healthz endpoint surfaces.
+func (k *KDB) Health() Health { return k.br.health() }

@@ -21,6 +21,23 @@
 // ranks stored descriptors by statistical similarity — the retrieval
 // path of the paper's self-learning loop (the recall stage warm-starts
 // new analyses from it).
+//
+// # Failure semantics
+//
+// A circuit breaker (see Health) classifies disk trouble into two
+// degraded modes. When the underlying store breaks — a WAL commit
+// failure, surfaced as docstore.ErrStoreBroken — the K-DB goes
+// offline: every write AND read is refused with ErrOffline, because
+// the in-memory state may be ahead of what reopening would recover.
+// Offline is terminal for the handle; recovery is reopening the K-DB,
+// which restores exactly the durable prefix. When flushes or
+// compactions fail repeatedly (snapshot faults, full disk) without
+// breaking the store, the breaker trips read-only: writes are refused
+// with ErrReadOnly and counted as dropped, reads keep serving, and
+// after a cooldown one Flush runs as a half-open probe whose success
+// closes the breaker. The analysis pipeline treats both refusals as
+// soft (recall falls back to its cold path, knowledge writes are
+// recorded as dropped in the report) — see internal/core.
 package kdb
 
 import (
@@ -63,6 +80,7 @@ type Feedback struct {
 // KDB wraps the document store with the six-collection schema.
 type KDB struct {
 	store *docstore.Store
+	br    *breaker
 
 	// descMu guards descCache: decoded descriptors keyed by document
 	// ID. Descriptor documents are append-only (never updated), so the
@@ -76,11 +94,18 @@ type KDB struct {
 
 // Open creates or loads a K-DB. dir == "" keeps it in memory.
 func Open(dir string) (*KDB, error) {
-	s, err := docstore.Open(dir)
+	return OpenStore(docstore.Options{Dir: dir})
+}
+
+// OpenStore is Open with explicit store options — the seam
+// fault-injection tests use to run a K-DB over a faulty filesystem
+// (docstore.Options.FS).
+func OpenStore(opts docstore.Options) (*KDB, error) {
+	s, err := docstore.OpenOptions(opts)
 	if err != nil {
 		return nil, fmt.Errorf("kdb: %w", err)
 	}
-	k := &KDB{store: s, descCache: map[string]stats.Descriptor{}}
+	k := &KDB{store: s, br: newBreaker(), descCache: map[string]stats.Descriptor{}}
 	// Stripe every collection by its dataset field: concurrent
 	// analyses of different datasets then write disjoint shards, and a
 	// dataset-scoped FindEq touches a single stripe.
@@ -141,6 +166,15 @@ func (t StageTrace) Wall() time.Duration { return time.Duration(t.WallNanos) }
 
 // StoreStageTraces appends the traces of one analysis run.
 func (k *KDB) StoreStageTraces(traces []StageTrace) error {
+	if err := k.br.beforeWrite(); err != nil {
+		return err
+	}
+	err := k.storeStageTraces(traces)
+	k.br.afterWrite(err)
+	return err
+}
+
+func (k *KDB) storeStageTraces(traces []StageTrace) error {
 	coll := k.store.Collection(CollStageTraces)
 	for _, tr := range traces {
 		doc, err := toDoc(tr)
@@ -157,6 +191,9 @@ func (k *KDB) StoreStageTraces(traces []StageTrace) error {
 // StageTraces returns stored traces, filtered by dataset when
 // datasetName is non-empty, ordered by start time.
 func (k *KDB) StageTraces(datasetName string) ([]StageTrace, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	coll := k.store.Collection(CollStageTraces)
 	var docs []docstore.Document
 	if datasetName == "" {
@@ -176,8 +213,18 @@ func (k *KDB) StageTraces(datasetName string) ([]StageTrace, error) {
 	return out, nil
 }
 
-// Flush persists the store when it is disk-backed.
-func (k *KDB) Flush() error { return k.store.Flush() }
+// Flush persists the store when it is disk-backed. Flush is the
+// breaker's half-open probe point: while read-only it is refused with
+// ErrReadOnly until the cooldown elapses, then one flush runs and its
+// success closes the breaker.
+func (k *KDB) Flush() error {
+	if err := k.br.beforeFlush(); err != nil {
+		return err
+	}
+	err := k.store.Flush()
+	k.br.afterFlush(err)
+	return err
+}
 
 // Store exposes the underlying document store (read-mostly uses such
 // as diagnostics and tests).
@@ -207,6 +254,15 @@ func fromDoc(d docstore.Document, out any) error {
 // StoreDataset records an original dataset (collection 1). The full
 // log is embedded in the document; the returned ID identifies it.
 func (k *KDB) StoreDataset(l *dataset.Log) (string, error) {
+	if err := k.br.beforeWrite(); err != nil {
+		return "", err
+	}
+	id, err := k.storeDataset(l)
+	k.br.afterWrite(err)
+	return id, err
+}
+
+func (k *KDB) storeDataset(l *dataset.Log) (string, error) {
 	doc, err := toDoc(l)
 	if err != nil {
 		return "", fmt.Errorf("kdb: encoding dataset: %w", err)
@@ -221,6 +277,9 @@ func (k *KDB) StoreDataset(l *dataset.Log) (string, error) {
 
 // Dataset loads a stored dataset by document ID.
 func (k *KDB) Dataset(id string) (*dataset.Log, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	doc, ok := k.store.Collection(CollRaw).Get(id)
 	if !ok {
 		return nil, fmt.Errorf("kdb: no dataset with id %q", id)
@@ -248,6 +307,15 @@ type TransformedSummary struct {
 
 // StoreTransformed records a transformation summary (collection 2).
 func (k *KDB) StoreTransformed(ts TransformedSummary) (string, error) {
+	if err := k.br.beforeWrite(); err != nil {
+		return "", err
+	}
+	id, err := k.storeTransformed(ts)
+	k.br.afterWrite(err)
+	return id, err
+}
+
+func (k *KDB) storeTransformed(ts TransformedSummary) (string, error) {
 	doc, err := toDoc(ts)
 	if err != nil {
 		return "", fmt.Errorf("kdb: encoding transformed summary: %w", err)
@@ -257,6 +325,15 @@ func (k *KDB) StoreTransformed(ts TransformedSummary) (string, error) {
 
 // StoreDescriptor records a statistical descriptor (collection 3).
 func (k *KDB) StoreDescriptor(d stats.Descriptor) (string, error) {
+	if err := k.br.beforeWrite(); err != nil {
+		return "", err
+	}
+	id, err := k.storeDescriptor(d)
+	k.br.afterWrite(err)
+	return id, err
+}
+
+func (k *KDB) storeDescriptor(d stats.Descriptor) (string, error) {
 	doc, err := toDoc(d)
 	if err != nil {
 		return "", fmt.Errorf("kdb: encoding descriptor: %w", err)
@@ -274,6 +351,9 @@ func (k *KDB) StoreDescriptor(d stats.Descriptor) (string, error) {
 
 // Descriptors returns all stored descriptors.
 func (k *KDB) Descriptors() ([]stats.Descriptor, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	docs := k.store.Collection(CollDescriptors).Find(nil)
 	out := make([]stats.Descriptor, 0, len(docs))
 	for _, doc := range docs {
@@ -289,6 +369,15 @@ func (k *KDB) Descriptors() ([]stats.Descriptor, error) {
 // StoreKnowledgeItems routes items to collection 4 or 5 by kind.
 // Items with IDs already present are updated rather than duplicated.
 func (k *KDB) StoreKnowledgeItems(items []knowledge.Item) error {
+	if err := k.br.beforeWrite(); err != nil {
+		return err
+	}
+	err := k.storeKnowledgeItems(items)
+	k.br.afterWrite(err)
+	return err
+}
+
+func (k *KDB) storeKnowledgeItems(items []knowledge.Item) error {
 	for _, it := range items {
 		coll := k.collectionFor(it.Kind)
 		doc, err := toDoc(it)
@@ -322,6 +411,9 @@ func (k *KDB) collectionFor(kind knowledge.Kind) *docstore.Collection {
 // KnowledgeItems returns all items of the dataset from both knowledge
 // collections (dataset == "" returns everything).
 func (k *KDB) KnowledgeItems(datasetName string) ([]knowledge.Item, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	var out []knowledge.Item
 	for _, coll := range []*docstore.Collection{
 		k.store.Collection(CollClusterKI),
@@ -346,6 +438,15 @@ func (k *KDB) KnowledgeItems(datasetName string) ([]knowledge.Item, error) {
 
 // SetInterest updates the stored interest label of a knowledge item.
 func (k *KDB) SetInterest(itemID string, kind knowledge.Kind, interest knowledge.Interest) error {
+	if err := k.br.beforeWrite(); err != nil {
+		return err
+	}
+	err := k.setInterest(itemID, kind, interest)
+	k.br.afterWrite(err)
+	return err
+}
+
+func (k *KDB) setInterest(itemID string, kind knowledge.Kind, interest knowledge.Interest) error {
 	coll := k.collectionFor(kind)
 	doc, ok := coll.Get(itemID)
 	if !ok {
@@ -357,6 +458,15 @@ func (k *KDB) SetInterest(itemID string, kind knowledge.Kind, interest knowledge
 
 // RecordFeedback appends one user interaction (collection 6).
 func (k *KDB) RecordFeedback(fb Feedback) error {
+	if err := k.br.beforeWrite(); err != nil {
+		return err
+	}
+	err := k.recordFeedback(fb)
+	k.br.afterWrite(err)
+	return err
+}
+
+func (k *KDB) recordFeedback(fb Feedback) error {
 	if fb.Interest == "" {
 		return fmt.Errorf("kdb: feedback without interest degree")
 	}
@@ -373,6 +483,9 @@ func (k *KDB) RecordFeedback(fb Feedback) error {
 // FeedbackFor returns feedback entries, filtered by dataset when
 // datasetName is non-empty.
 func (k *KDB) FeedbackFor(datasetName string) ([]Feedback, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	coll := k.store.Collection(CollFeedback)
 	var docs []docstore.Document
 	if datasetName == "" {

@@ -65,6 +65,9 @@ func (k *KDB) Query(q Query) ([]docstore.Document, error) {
 	if q.Collection == "" {
 		return nil, fmt.Errorf("kdb: query without collection")
 	}
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	coll := k.store.Collection(q.Collection)
 	order := docstore.Asc
 	if q.Descending {
@@ -168,6 +171,9 @@ func DescriptorSimilarity(a, b stats.Descriptor) float64 {
 // LatestDescriptor returns the most recently stored descriptor of a
 // dataset and its document ID (false when the dataset has none).
 func (k *KDB) LatestDescriptor(datasetName string) (stats.Descriptor, string, bool) {
+	if k.br.beforeRead() != nil {
+		return stats.Descriptor{}, "", false
+	}
 	docs := k.store.Collection(CollDescriptors).FindEq("dataset", datasetName)
 	if len(docs) == 0 {
 		return stats.Descriptor{}, "", false
@@ -189,6 +195,9 @@ func (k *KDB) LatestDescriptor(datasetName string) (stats.Descriptor, string, bo
 // warm-startable. Results order by descending similarity, ties by
 // dataset name.
 func (k *KDB) SimilarDatasets(target stats.Descriptor, excludeDocID string, limit int) ([]DatasetSimilarity, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
 	// Score from the decoded-descriptor cache: descriptor documents
 	// are append-only, so each decodes at most once per process
 	// lifetime (the Scan sees raw documents without copying; only

@@ -151,7 +151,7 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err)
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDegraded):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -352,24 +352,24 @@ func intParam(s string, def int) (int, error) {
 	return n, nil
 }
 
+// health serves GET /healthz: ok, degraded (still 200 — the process
+// serves, load balancers must not kill a pod that is merely shedding
+// durability), or failing (503, stop routing here). Reasons name each
+// degrading condition; the queue/worker/K-DB gauges ride along.
 func (h *httpAPI) health(w http.ResponseWriter, r *http.Request) {
-	stats := h.svc.Stats()
+	health := h.svc.Health()
 	code := http.StatusOK
-	if stats.Closed {
+	if health.Status == HealthFailing {
 		code = http.StatusServiceUnavailable
-	}
-	state := "ok"
-	if stats.Closed {
-		state = "draining"
 	}
 	kb := h.svc.Engine().KDB()
 	writeJSON(w, code, struct {
-		Status string `json:"status"`
+		Health
 		Stats
 		// KDBCounts is the per-collection document count and
 		// KDBWALBytes the un-compacted write-ahead-log size — the
 		// persistence layer's health gauges.
 		KDBCounts   map[string]int `json:"kdb_counts"`
 		KDBWALBytes int64          `json:"kdb_wal_bytes"`
-	}{Status: state, Stats: stats, KDBCounts: kb.Counts(), KDBWALBytes: kb.Store().WALSize()})
+	}{Health: health, Stats: h.svc.Stats(), KDBCounts: kb.Counts(), KDBWALBytes: kb.Store().WALSize()})
 }

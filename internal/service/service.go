@@ -18,11 +18,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
+	"adahealth/internal/kdb"
 )
 
 var (
@@ -33,6 +35,14 @@ var (
 	// ErrClosed rejects submissions to a service that is shutting
 	// down.
 	ErrClosed = errors.New("service: closed")
+	// ErrDegraded is Submit's load-shedding reject: the K-DB is
+	// unhealthy (read-only or offline) AND the admission queue is at
+	// least half full. A degraded service keeps serving the work it
+	// already accepted and keeps admitting while it has headroom, but
+	// stops piling new load on top of a struggling store. The HTTP
+	// layer maps it to 503; SubmitWait is exempt (blocking callers
+	// asked for backpressure, not rejection).
+	ErrDegraded = errors.New("service: degraded — K-DB unhealthy and queue saturated")
 )
 
 // Config configures a Service.
@@ -98,6 +108,12 @@ type Service struct {
 	// with NoFlush and the service flushes after each completion, so
 	// concurrent snapshot writes cannot tear.
 	flushMu sync.Mutex
+	// lastFlushErr is the most recent service-level flush outcome
+	// (guarded by mu, cleared on the next successful flush). A failing
+	// flush never fails the job whose completion triggered it — the
+	// job's WAL writes were already acked — but it degrades Health
+	// until a flush succeeds again.
+	lastFlushErr error
 
 	wg sync.WaitGroup
 
@@ -159,6 +175,9 @@ func (s *Service) Submit(ctx context.Context, log *dataset.Log, opts ...Option) 
 	// backpressure), even while the queue is still saturated.
 	if s.isClosed() {
 		return nil, ErrClosed
+	}
+	if err := s.shedDegraded(); err != nil {
+		return nil, err
 	}
 	select {
 	case s.queueSlots <- struct{}{}:
@@ -329,6 +348,69 @@ func (s *Service) Stats() Stats {
 	}
 }
 
+// shedDegraded implements Submit's load-shedding policy: reject with
+// ErrDegraded only when the K-DB is unhealthy AND the admission queue
+// is at least half full. Either condition alone keeps admitting —
+// degradation with headroom still serves (analyses complete on the
+// cold path), and a saturated-but-healthy queue is ordinary
+// ErrQueueFull backpressure.
+func (s *Service) shedDegraded() error {
+	if s.engine.KDB().Health().Mode == kdb.ModeHealthy {
+		return nil
+	}
+	if len(s.queueSlots) < (s.cfg.QueueDepth+1)/2 {
+		return nil
+	}
+	return ErrDegraded
+}
+
+// Health status values.
+const (
+	HealthOK       = "ok"       // fully serving, durable
+	HealthDegraded = "degraded" // serving, but shedding durability or load
+	HealthFailing  = "failing"  // not serving (draining or closed)
+)
+
+// Health is the service's condition, aggregated from admission state,
+// the K-DB circuit breaker, and the last service-level flush.
+type Health struct {
+	// Status is ok, degraded, or failing (see the constants).
+	Status string `json:"status"`
+	// Reasons explains any non-ok status, one condition per entry.
+	Reasons []string `json:"reasons,omitempty"`
+	// KDB is the knowledge-base circuit breaker's gauge snapshot.
+	KDB kdb.Health `json:"kdb"`
+	// LastFlushError is the most recent failed service-level flush
+	// ("" once a flush succeeds again).
+	LastFlushError string `json:"last_flush_error,omitempty"`
+}
+
+// Health classifies the service as ok, degraded, or failing, with the
+// reasons. Degraded means the service still serves analyses but the
+// self-learning loop is impaired (K-DB read-only/offline, or flushes
+// failing); failing means it no longer accepts work.
+func (s *Service) Health() Health {
+	h := Health{Status: HealthOK, KDB: s.engine.KDB().Health()}
+	s.mu.Lock()
+	closed := s.closed
+	flushErr := s.lastFlushErr
+	s.mu.Unlock()
+	if h.KDB.Mode != kdb.ModeHealthy {
+		h.Status = HealthDegraded
+		h.Reasons = append(h.Reasons, fmt.Sprintf("kdb %s: %s", h.KDB.Mode, h.KDB.Reason))
+	}
+	if flushErr != nil {
+		h.Status = HealthDegraded
+		h.LastFlushError = flushErr.Error()
+		h.Reasons = append(h.Reasons, "kdb flush failing: "+flushErr.Error())
+	}
+	if closed {
+		h.Status = HealthFailing
+		h.Reasons = append(h.Reasons, "service closed or draining")
+	}
+	return h
+}
+
 // Shutdown drains the service: admission stops (Submit returns
 // ErrClosed), queued and running jobs are allowed to finish, and
 // workers exit. If ctx expires first, every remaining job is cancelled
@@ -415,17 +497,34 @@ func (s *Service) run(j *Job) {
 		return
 	}
 	j.setRunning()
-	rep, err := s.runJob(j)
+	rep, err := s.safeRun(j)
 	if err == nil && rep != nil {
+		// The post-job flush is a durability accelerator, not part of
+		// the job's contract: every acked write is already on the WAL,
+		// so a failed compaction degrades Health without failing a job
+		// whose analysis succeeded.
 		s.flushMu.Lock()
 		ferr := s.engine.KDB().Flush()
 		s.flushMu.Unlock()
-		if ferr != nil {
-			err = fmt.Errorf("service: flushing K-DB: %w", ferr)
-			rep = nil
-		}
+		s.mu.Lock()
+		s.lastFlushErr = ferr
+		s.mu.Unlock()
 	}
 	j.finish(rep, err)
+}
+
+// safeRun isolates a panicking job execution (the runJob seam, or a
+// panic escaping the engine) to its own job: the job fails with a
+// stack-carrying *core.PanicError and the worker keeps dispatching.
+func (s *Service) safeRun(j *Job) (rep *core.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rep, err = nil, &core.PanicError{
+				Stage: "job " + j.id, Value: v, Stack: debug.Stack(),
+			}
+		}
+	}()
+	return s.runJob(j)
 }
 
 // defaultRun dispatches the job onto the shared stage pool through the

@@ -2,9 +2,11 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -147,6 +149,136 @@ func TestSubscribeMultiConsumer(t *testing.T) {
 			t.Fatal("subscriber stream never closed")
 		}
 	}
+}
+
+// waitGoroutines waits for the goroutine count to fall back to base,
+// dumping all stacks on timeout — the SSE lifecycle tests' leak check.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d running, want <= %d\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+// TestSSEClientDisconnectMidStream: a client dropping its SSE
+// connection mid-job must release the subscription and its handler
+// goroutine (no leak), without disturbing the job or later finish
+// processing (the subscriber channel is closed exactly once, by the
+// handler's cancel — finish then finds it already gone).
+func TestSSEClientDisconnectMidStream(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 4)
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	job, err := svc.Submit(t.Context(), testLog(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/analyses/"+job.ID()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read until the replayed "running" event proves the handler is
+	// subscribed and streaming, then drop the connection mid-stream.
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, string(StatusRunning)) {
+			break
+		}
+	}
+	cancel()
+	resp.Body.Close()
+	waitGoroutines(t, base)
+
+	// The job is unaffected by its audience leaving.
+	close(release)
+	if _, err := job.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSEJobCancelClosesStream: cancelling a queued job terminates a
+// live SSE stream with the cancelled lifecycle event, closes it (the
+// stream reader returns), and leaks no goroutine.
+func TestSSEJobCancelClosesStream(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 4)
+	defer close(release)
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	// Occupy the single worker so the second job stays queued.
+	if _, err := svc.Submit(t.Context(), testLog(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := svc.Submit(t.Context(), testLog(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	resp, err := http.Get(srv.URL + "/v1/analyses/" + queued.ID() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		queued.Cancel()
+	}()
+	events := readSSE(t, resp) // returns only if finish closes the stream
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	if last := events[len(events)-1]; last.Phase != string(StatusCancelled) {
+		t.Fatalf("terminal event = %+v, want cancelled", last)
+	}
+	// The cleanly-finished stream leaves a reusable keep-alive
+	// connection (two transport goroutines) in the shared client's
+	// pool; drop it so the leak check sees only real leaks.
+	http.DefaultClient.CloseIdleConnections()
+	waitGoroutines(t, base)
+}
+
+// TestSubscribeCancelAfterFinish: finish closes every live subscriber
+// channel; a subscription cancel arriving after that (an SSE handler
+// unwinding late) must be a no-op, not a second close. Cancel is also
+// idempotent.
+func TestSubscribeCancelAfterFinish(t *testing.T) {
+	svc, started, release, _ := blockingService(t, 1, 4)
+	job, err := svc.Submit(t.Context(), testLog(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ch, cancel := job.Subscribe()
+	close(release)
+	if _, err := job.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	for range ch {
+		// drain until finish's close
+	}
+	cancel() // after finish: must not double-close
+	cancel() // and idempotent
 }
 
 // TestDaemonKnowledgeAndSimilarEndpoints covers the K-DB query surface
