@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +63,7 @@ func main() {
 		warm    = flag.Bool("warmstart", true, "warm-start K sweeps: seed each K from the previous K's centroids (false = legacy independent seeding)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 		stageTO = flag.Duration("stage-timeout", 0, "per-stage attempt deadline; a stage exceeding it fails its job, not the daemon (0 = none)")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profile the daemon under cmd/loadgen traffic)")
 	)
 	flag.Parse()
 
@@ -96,7 +98,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	handler := service.NewHandler(svc)
+	if *pprofOn {
+		// The profiling surface rides on the API port behind an opt-in
+		// flag: `go tool pprof http://host:port/debug/pprof/profile`
+		// while loadgen drives traffic.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,577 @@
+// Command loadgen drives an adahealthd daemon with synthetic hospital
+// traffic and reports end-to-end service latency — the million-patient
+// throughput harness behind the BENCH_*_load.json snapshots.
+//
+//	loadgen -addr http://localhost:8080 -duration 30s -tenants 6
+//	loadgen -self -duration 10s -out BENCH_load.json
+//
+// Traffic model: each tenant is a closed-loop submitter (one job in
+// flight at a time — a hospital department waiting for its analysis)
+// drawing jobs from a heavy-tailed mix: log sizes follow a bounded
+// Pareto (most cohorts are small, a few are 10-20x larger), and each
+// job rolls a priority class — interactive (p=10, a clinician
+// waiting), standard (p=5, scheduled reporting), or batch (p=0,
+// overnight re-analysis). Submission rejections (429 backpressure)
+// are counted and retried after a short pause, exactly as a polite
+// client would.
+//
+// Measured per job: admission→terminal latency (the clock starts when
+// POST /v1/analyses is sent and stops when the job reports a terminal
+// status), bucketed overall and per priority class into p50/p90/p99.
+// A sampler polls /healthz on a fixed cadence for queue-depth and
+// running-worker gauges. Results land as indented JSON in -out.
+//
+// With -self the harness starts an in-process daemon on a loopback
+// port and drives it over real HTTP — the CI smoke mode. -min-completed
+// and -max-p99 turn the run into a gate: exit status 1 when too few
+// jobs completed or the overall p99 exceeds the ceiling.
+//
+// Profiling under load: start the daemon with -pprof and point pprof
+// at it while loadgen runs, e.g.
+//
+//	adahealthd -addr :8080 -pprof &
+//	loadgen -addr http://localhost:8080 -duration 60s &
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"adahealth/internal/core"
+	"adahealth/internal/optimize"
+	"adahealth/internal/partial"
+	"adahealth/internal/service"
+	"adahealth/internal/synth"
+)
+
+// jobClass is one priority band of the tenant mix.
+type jobClass struct {
+	Name     string  `json:"name"`
+	Priority int     `json:"priority"`
+	Weight   float64 `json:"weight"`
+}
+
+var classes = []jobClass{
+	{Name: "interactive", Priority: 10, Weight: 0.2},
+	{Name: "standard", Priority: 5, Weight: 0.5},
+	{Name: "batch", Priority: 0, Weight: 0.3},
+}
+
+// latencyStats summarizes one latency population in milliseconds.
+type latencyStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// gaugeStats summarizes a sampled gauge series.
+type gaugeStats struct {
+	Samples int     `json:"samples"`
+	Mean    float64 `json:"mean"`
+	P99     float64 `json:"p99"`
+	Max     int     `json:"max"`
+}
+
+// result is the BENCH_*_load.json document.
+type result struct {
+	Timestamp   string                  `json:"timestamp"`
+	Addr        string                  `json:"addr"`
+	SelfHosted  bool                    `json:"self_hosted"`
+	DurationSec float64                 `json:"duration_sec"`
+	Tenants     int                     `json:"tenants"`
+	Seed        int64                   `json:"seed"`
+	Classes     []jobClass              `json:"classes"`
+	Submitted   int                     `json:"submitted"`
+	Completed   int                     `json:"completed"`
+	Failed      int                     `json:"failed"`
+	Rejected    int                     `json:"rejected"`
+	JobsPerSec  float64                 `json:"jobs_per_sec"`
+	Latency     latencyStats            `json:"latency"`
+	ByClass     map[string]latencyStats `json:"latency_by_class"`
+	QueueDepth  gaugeStats              `json:"queue_depth"`
+	Running     gaugeStats              `json:"running"`
+	Patients    gaugeStats              `json:"patients_per_job"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon base URL (e.g. http://localhost:8080); empty requires -self")
+		self     = flag.Bool("self", false, "start an in-process daemon on a loopback port and drive it (CI smoke mode)")
+		workers  = flag.Int("workers", 0, "-self daemon worker slots (0 = service default)")
+		queue    = flag.Int("queue", 0, "-self daemon queue depth (0 = service default)")
+		duration = flag.Duration("duration", 20*time.Second, "submission window (in-flight jobs drain afterwards)")
+		tenants  = flag.Int("tenants", 4, "concurrent closed-loop tenant submitters")
+		maxJobs  = flag.Int("max-jobs", 0, "total submission budget (0 = duration-bound only)")
+		seed     = flag.Int64("seed", 1, "traffic-mix seed")
+		fast     = flag.Bool("fast", true, "attach a reduced per-job sweep config so jobs finish in seconds (false = the daemon's full Table I grid)")
+		sample   = flag.Duration("sample", 100*time.Millisecond, "queue-depth sampling period")
+		out      = flag.String("out", "BENCH_load.json", "result snapshot path (empty = stdout only)")
+		minDone  = flag.Int("min-completed", 0, "gate: fail unless at least this many jobs completed")
+		maxP99   = flag.Duration("max-p99", 0, "gate: fail when overall p99 latency exceeds this (0 = no gate)")
+	)
+	flag.Parse()
+
+	base := *addr
+	var shutdown func()
+	if *self {
+		var err error
+		base, shutdown, err = startSelf(*workers, *queue, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: starting in-process daemon: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: pass -addr or -self")
+		os.Exit(2)
+	}
+
+	res, err := run(base, runConfig{
+		duration: *duration,
+		tenants:  *tenants,
+		maxJobs:  *maxJobs,
+		seed:     *seed,
+		fast:     *fast,
+		sample:   *sample,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	res.SelfHosted = *self
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: encoding result: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("loadgen: %d submitted, %d completed, %d failed, %d rejected in %.1fs (%.2f jobs/s)\n",
+		res.Submitted, res.Completed, res.Failed, res.Rejected, res.DurationSec, res.JobsPerSec)
+	fmt.Printf("loadgen: latency p50=%.0fms p90=%.0fms p99=%.0fms max=%.0fms; queue depth mean=%.1f max=%d\n",
+		res.Latency.P50MS, res.Latency.P90MS, res.Latency.P99MS, res.Latency.MaxMS,
+		res.QueueDepth.Mean, res.QueueDepth.Max)
+	if *out != "" {
+		fmt.Printf("loadgen: snapshot written to %s\n", *out)
+	}
+
+	failed := false
+	if *minDone > 0 && res.Completed < *minDone {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: completed %d < min-completed %d\n", res.Completed, *minDone)
+		failed = true
+	}
+	if *maxP99 > 0 && res.Latency.P99MS > float64(maxP99.Milliseconds()) {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: p99 %.0fms > max-p99 %dms\n", res.Latency.P99MS, maxP99.Milliseconds())
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// startSelf boots an in-process daemon on a loopback port.
+func startSelf(workers, queue int, seed int64) (base string, shutdown func(), err error) {
+	svc, err := service.New(service.Config{
+		Engine:     core.Config{Seed: seed},
+		Workers:    workers,
+		QueueDepth: queue,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = svc.Close()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = svc.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+type runConfig struct {
+	duration time.Duration
+	tenants  int
+	maxJobs  int
+	seed     int64
+	fast     bool
+	sample   time.Duration
+}
+
+// jobOutcome is one completed submission's measurement.
+type jobOutcome struct {
+	class    string
+	latency  time.Duration
+	patients int
+	failed   bool
+}
+
+func run(base string, cfg runConfig) (*result, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := ping(client, base); err != nil {
+		return nil, fmt.Errorf("daemon unreachable at %s: %w", base, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		outcomes  []jobOutcome
+		submitted int
+		rejected  int
+	)
+	var budgetLeft *int
+	if cfg.maxJobs > 0 {
+		n := cfg.maxJobs
+		budgetLeft = &n
+	}
+	takeBudget := func() bool {
+		if budgetLeft == nil {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if *budgetLeft == 0 {
+			return false
+		}
+		*budgetLeft--
+		return true
+	}
+
+	// Queue-depth sampler: /healthz on a fixed cadence until every
+	// tenant drained.
+	sampleCtx, stopSampler := context.WithCancel(context.Background())
+	defer stopSampler()
+	var (
+		sampleMu     sync.Mutex
+		queueSamples []int
+		runSamples   []int
+	)
+	go func() {
+		tick := time.NewTicker(cfg.sample)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				if q, r, err := health(client, base); err == nil {
+					sampleMu.Lock()
+					queueSamples = append(queueSamples, q)
+					runSamples = append(runSamples, r)
+					sampleMu.Unlock()
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(t)*1_000_003))
+			for i := 0; ctx.Err() == nil; i++ {
+				if !takeBudget() {
+					return
+				}
+				class := rollClass(rng)
+				patients := paretoPatients(rng)
+				name := fmt.Sprintf("load-t%d-j%d", t, i)
+				outcome, rej, err := submitAndWait(ctx, client, base, submitSpec{
+					name: name, class: class, patients: patients,
+					seed: cfg.seed + int64(t*1000+i), fast: cfg.fast,
+				})
+				mu.Lock()
+				rejected += rej
+				if err == nil {
+					submitted++
+					outcomes = append(outcomes, outcome)
+				}
+				mu.Unlock()
+				if err != nil {
+					return // ctx expired mid-flight; in-flight job measured by no one
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	stopSampler()
+	elapsed := time.Since(start)
+
+	res := &result{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Addr:        base,
+		DurationSec: elapsed.Seconds(),
+		Tenants:     cfg.tenants,
+		Seed:        cfg.seed,
+		Classes:     classes,
+		Submitted:   submitted,
+		Rejected:    rejected,
+		ByClass:     map[string]latencyStats{},
+	}
+	var all []time.Duration
+	byClass := map[string][]time.Duration{}
+	var patients []int
+	for _, o := range outcomes {
+		if o.failed {
+			res.Failed++
+			continue
+		}
+		res.Completed++
+		all = append(all, o.latency)
+		byClass[o.class] = append(byClass[o.class], o.latency)
+		patients = append(patients, o.patients)
+	}
+	res.JobsPerSec = float64(res.Completed) / elapsed.Seconds()
+	res.Latency = summarize(all)
+	for class, ds := range byClass {
+		res.ByClass[class] = summarize(ds)
+	}
+	sampleMu.Lock()
+	res.QueueDepth = summarizeGauge(queueSamples)
+	res.Running = summarizeGauge(runSamples)
+	sampleMu.Unlock()
+	res.Patients = summarizeGauge(patients)
+	return res, nil
+}
+
+// rollClass draws a priority class from the weighted mix.
+func rollClass(rng *rand.Rand) jobClass {
+	u := rng.Float64()
+	for _, c := range classes {
+		if u < c.Weight {
+			return c
+		}
+		u -= c.Weight
+	}
+	return classes[len(classes)-1]
+}
+
+// paretoPatients draws a cohort size from a bounded Pareto (alpha=1.5,
+// xm=150): median ~240 patients, p99 ~3000 — most cohorts small, a
+// heavy tail of hospital-scale ones.
+func paretoPatients(rng *rand.Rand) int {
+	u := rng.Float64()
+	if u < 1e-9 {
+		u = 1e-9
+	}
+	n := int(150 * math.Pow(u, -1/1.5))
+	if n > 3000 {
+		n = 3000
+	}
+	return n
+}
+
+type submitSpec struct {
+	name     string
+	class    jobClass
+	patients int
+	seed     int64
+	fast     bool
+}
+
+// submitAndWait posts one synthetic-log job and polls it to a terminal
+// status. The latency clock covers admission through completion —
+// queue wait included, exactly what a caller experiences. Returns the
+// number of 429/503 rejections absorbed before admission.
+func submitAndWait(ctx context.Context, client *http.Client, base string, spec submitSpec) (jobOutcome, int, error) {
+	synthCfg := synth.SmallConfig()
+	synthCfg.Seed = spec.seed
+	synthCfg.NumPatients = spec.patients
+	synthCfg.TargetRecords = 15 * spec.patients
+	req := service.SubmitRequest{
+		Name:      spec.name,
+		Synthetic: &synthCfg,
+		Seed:      &spec.seed,
+		Priority:  spec.class.Priority,
+		Labels:    map[string]string{"class": spec.class.Name, "loadgen": "1"},
+	}
+	if spec.fast {
+		req.Config = &core.Config{
+			Seed:    spec.seed,
+			Partial: partial.Config{Ks: []int{4}},
+			Sweep:   optimize.SweepConfig{Ks: []int{3, 4, 5}, CVFolds: 4},
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return jobOutcome{}, 0, err
+	}
+
+	rejections := 0
+	start := time.Now()
+	var id string
+	for {
+		if err := ctx.Err(); err != nil {
+			return jobOutcome{}, rejections, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/analyses", bytes.NewReader(body))
+		if err != nil {
+			return jobOutcome{}, rejections, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return jobOutcome{}, rejections, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			rejections++
+			select {
+			case <-ctx.Done():
+				return jobOutcome{}, rejections, ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		var sub service.SubmitResponse
+		derr := json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return jobOutcome{}, rejections, fmt.Errorf("submit %s: HTTP %d", spec.name, resp.StatusCode)
+		}
+		if derr != nil {
+			return jobOutcome{}, rejections, derr
+		}
+		id = sub.ID
+		break
+	}
+
+	// Poll to terminal. The submission window closing does not abandon
+	// an admitted job — it still occupies the daemon, so it is measured.
+	for {
+		st, err := jobStatus(client, base, id)
+		if err != nil {
+			return jobOutcome{}, rejections, err
+		}
+		if st.Terminal() {
+			return jobOutcome{
+				class:    spec.class.Name,
+				latency:  time.Since(start),
+				patients: spec.patients,
+				failed:   st != service.StatusDone,
+			}, rejections, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func jobStatus(client *http.Client, base, id string) (service.Status, error) {
+	resp, err := client.Get(base + "/v1/analyses/" + id)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var st service.JobState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.Status, nil
+}
+
+func ping(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// health reads the /healthz queue and running gauges.
+func health(client *http.Client, base string) (queued, running int, err error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Queued  int `json:"queued"`
+		Running int `json:"running"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, err
+	}
+	return st.Queued, st.Running, nil
+}
+
+func summarize(ds []time.Duration) latencyStats {
+	if len(ds) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return latencyStats{
+		Count: len(ds),
+		P50MS: ms(percentileDur(ds, 0.50)),
+		P90MS: ms(percentileDur(ds, 0.90)),
+		P99MS: ms(percentileDur(ds, 0.99)),
+		MaxMS: ms(ds[len(ds)-1]),
+	}
+}
+
+func percentileDur(sorted []time.Duration, q float64) time.Duration {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func summarizeGauge(xs []int) gaugeStats {
+	if len(xs) == 0 {
+		return gaugeStats{}
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, x := range sorted {
+		sum += x
+	}
+	idx := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return gaugeStats{
+		Samples: len(sorted),
+		Mean:    float64(sum) / float64(len(sorted)),
+		P99:     float64(sorted[idx]),
+		Max:     sorted[len(sorted)-1],
+	}
+}

@@ -7,6 +7,16 @@ import (
 	"adahealth/internal/vec"
 )
 
+// boundedScanner is the common shape of the triangle-inequality
+// kernels (Hamerly, Elkan, Yinyang): a filtered assignment step whose
+// bounds decay between iterations by the centroid drift updateCentroids
+// reports through noteUpdate.
+type boundedScanner interface {
+	assign(centroids [][]float64, labels []int, sums [][]float64, counts []int)
+	assignLabels(centroids [][]float64, labels []int)
+	noteUpdate(drift []float64, repaired []int)
+}
+
 // boundedKernel implements the triangle-inequality-accelerated exact
 // assignment steps: Hamerly (one lower bound per point) and Elkan
 // (per-centroid lower bounds plus centroid-centroid distances). Both
@@ -119,11 +129,7 @@ func newBoundedKernel(elkan bool, data [][]float64, csr *vec.CSRMatrix, k, worke
 func (bk *boundedKernel) dist2(i, c int, cent []float64) float64 {
 	if bk.csr != nil {
 		vals, cols := bk.csr.RowView(i)
-		dot := 0.0
-		for p, v := range vals {
-			dot += v * cent[cols[p]]
-		}
-		return bk.csr.RowNorm2(i) + bk.cNorm2[c] - 2*dot
+		return bk.csr.RowNorm2(i) + bk.cNorm2[c] - 2*vec.SparseDot(vals, cols, cent)
 	}
 	return vec.SquaredEuclidean(bk.data[i], cent)
 }
@@ -145,11 +151,7 @@ func boundDist(d2 float64) float64 {
 func (bk *boundedKernel) refreshCenters(centroids [][]float64) {
 	if bk.csr != nil {
 		for c, cent := range centroids {
-			s := 0.0
-			for _, v := range cent {
-				s += v * v
-			}
-			bk.cNorm2[c] = s
+			bk.cNorm2[c] = vec.Dot(cent, cent)
 		}
 	}
 	k := bk.k
@@ -214,11 +216,8 @@ func (bk *boundedKernel) assign(centroids [][]float64, labels []int, sums [][]fl
 	if bk.csr != nil {
 		n := bk.csr.NumRows()
 		for i := 0; i < n; i++ {
-			dst := sums[labels[i]]
 			vals, cols := bk.csr.RowView(i)
-			for p, v := range vals {
-				dst[cols[p]] += v
-			}
+			vec.ScatterAdd(sums[labels[i]], vals, cols)
 		}
 	} else {
 		for i, x := range bk.data {

@@ -8,8 +8,8 @@ import (
 	"adahealth/internal/vec"
 )
 
-// Property (the tentpole guarantee): the Hamerly and Elkan bounded
-// kernels produce bit-for-bit identical Labels, SSE, Iterations,
+// Property (the tentpole guarantee): the Hamerly, Elkan and Yinyang
+// bounded kernels produce bit-for-bit identical Labels, SSE, Iterations,
 // Sizes and Centroids to Lloyd, across seeds {1, 7, 42} × K {2, 8,
 // 64} × dense/sparse inputs × worker counts {1, 2, 8}. Dense inputs
 // compare against serial dense Lloyd; sparse inputs compare against
@@ -34,7 +34,7 @@ func TestBoundedKernelsMatchLloyd(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for _, alg := range []Algorithm{Hamerly, Elkan} {
+				for _, alg := range []Algorithm{Hamerly, Elkan, Yinyang} {
 					for _, workers := range []int{1, 2, 8} {
 						got, err := KMeans(data, Options{
 							K: k, Seed: seed, Algorithm: alg,
@@ -67,7 +67,7 @@ func TestBoundedKernelsMatchLloydOverCSR(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, alg := range []Algorithm{Hamerly, Elkan} {
+			for _, alg := range []Algorithm{Hamerly, Elkan, Yinyang} {
 				got, err := KMeansCSR(csr, data, Options{K: k, Seed: seed, Algorithm: alg})
 				if err != nil {
 					t.Fatal(err)
@@ -91,7 +91,7 @@ func TestBoundedKernelsSurviveEmptyClusterRepair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, alg := range []Algorithm{Hamerly, Elkan} {
+	for _, alg := range []Algorithm{Hamerly, Elkan, Yinyang} {
 		got, err := KMeans(data, Options{K: 3, Algorithm: alg, InitialCentroids: init, MaxIter: 20})
 		if err != nil {
 			t.Fatal(err)
@@ -106,7 +106,7 @@ func TestScratchReuseAcrossRuns(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	data := randRows(rng, 150, 12, 0.3)
 	scratch := &Scratch{}
-	for _, alg := range []Algorithm{Hamerly, Elkan, Lloyd, Filtering, AlgorithmMiniBatch} {
+	for _, alg := range []Algorithm{Hamerly, Elkan, Yinyang, Lloyd, Filtering, AlgorithmMiniBatch} {
 		for _, k := range []int{2, 5, 9, 4} { // deliberately non-monotone
 			want, err := KMeans(data, Options{K: k, Seed: 9, Algorithm: alg})
 			if err != nil {
@@ -159,8 +159,10 @@ func TestMiniBatchDeterministicAndReasonable(t *testing.T) {
 	}
 }
 
-// Auto routing: sparse → elkan (over CSR), low-dim dense small K →
-// hamerly, low-dim dense large K → filtering, high-dim dense → elkan.
+// Auto routing, one case per row of the package-comment matrix:
+// sparse → elkan below K=32 and yinyang above, both over the CSR
+// view; low-dim dense → hamerly below K=32, filtering above; high-dim
+// dense → elkan below K=32, yinyang above.
 func TestAlgorithmAutoRouting(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	cases := []struct {
@@ -170,9 +172,11 @@ func TestAlgorithmAutoRouting(t *testing.T) {
 		want string
 	}{
 		{"sparse-highdim", randRows(rng, 120, 40, 0.1), 8, "elkan"},
+		{"sparse-highdim-largeK", randRows(rng, 120, 40, 0.1), 48, "yinyang"},
 		{"dense-lowdim-smallK", randRows(rng, 120, 3, 1.0), 8, "hamerly"},
 		{"dense-lowdim-largeK", randRows(rng, 120, 3, 1.0), 48, "filtering"},
 		{"dense-highdim", randRows(rng, 120, 24, 1.0), 8, "elkan"},
+		{"dense-highdim-largeK", randRows(rng, 120, 24, 1.0), 48, "yinyang"},
 	}
 	for _, tc := range cases {
 		res, err := KMeans(tc.data, Options{K: tc.k, Seed: 1, Algorithm: AlgorithmAuto})
@@ -191,15 +195,20 @@ func TestAlgorithmAutoRouting(t *testing.T) {
 // only elsewhere).
 func TestAlgorithmAutoMatchesLloydOnBoundedRoutes(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	for trial, data := range [][][]float64{
-		randRows(rng, 150, 30, 0.1), // elkan over CSR
-		randRows(rng, 150, 4, 1.0),  // hamerly
+	for trial, tc := range []struct {
+		data [][]float64
+		k    int
+	}{
+		{randRows(rng, 150, 30, 0.1), 6},  // elkan over CSR
+		{randRows(rng, 150, 4, 1.0), 6},   // hamerly
+		{randRows(rng, 150, 30, 0.1), 40}, // yinyang over CSR
+		{randRows(rng, 150, 24, 1.0), 40}, // yinyang dense
 	} {
-		want, err := KMeans(data, Options{K: 6, Seed: 2, Algorithm: Lloyd})
+		want, err := KMeans(tc.data, Options{K: tc.k, Seed: 2, Algorithm: Lloyd})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := KMeans(data, Options{K: 6, Seed: 2, Algorithm: AlgorithmAuto})
+		got, err := KMeans(tc.data, Options{K: tc.k, Seed: 2, Algorithm: AlgorithmAuto})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,7 +217,7 @@ func TestAlgorithmAutoMatchesLloydOnBoundedRoutes(t *testing.T) {
 }
 
 func TestAlgorithmTextRoundTrip(t *testing.T) {
-	for _, a := range []Algorithm{Lloyd, Filtering, DenseLloyd, SparseLloyd, Hamerly, Elkan, AlgorithmMiniBatch, AlgorithmAuto} {
+	for _, a := range []Algorithm{Lloyd, Filtering, DenseLloyd, SparseLloyd, Hamerly, Elkan, AlgorithmMiniBatch, Yinyang, AlgorithmAuto} {
 		b, err := json.Marshal(a)
 		if err != nil {
 			t.Fatal(err)

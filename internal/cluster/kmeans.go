@@ -2,7 +2,7 @@
 // used by ADA-HEALTH: K-means with k-means++ seeding, in the classic
 // Lloyd formulation, the kd-tree filtering formulation of Kanungo et
 // al. (the paper's reference [3]), a sparse-aware parallel kernel
-// tuned for the VSM patient matrices, the Hamerly/Elkan
+// tuned for the VSM patient matrices, the Hamerly/Elkan/Yinyang
 // triangle-inequality bounded kernels, Sculley mini-batch K-means,
 // and bisecting K-means.
 //
@@ -17,7 +17,9 @@
 //	dense-lloyd  exact (the reference)      dense       baseline
 //	sparse-lloyd exact, ≡ Lloyd bit-for-bit sparse/CSR  O(K·nnz) scan, parallel workers
 //	hamerly      exact, ≡ Lloyd bit-for-bit any         1 bound/point: low-dim, small K
-//	elkan        exact, ≡ Lloyd bit-for-bit any         K bounds/point: high-dim or big K
+//	elkan        exact, ≡ Lloyd bit-for-bit any         K bounds/point: high-dim, moderate K
+//	yinyang      exact, ≡ Lloyd bit-for-bit any         K/10 group bounds/point: large K
+//	             (Ding et al., ICML 2015)               without elkan's O(n·K) bound memory
 //	filtering    exact (≢ bit-for-bit: kd-  dense       low-dim dense, large K
 //	             tree subtree sums reorder
 //	             the fp accumulation)
@@ -26,10 +28,18 @@
 //	auto         exact (routes below)       any
 //
 // AlgorithmAuto routing rules, in order: data sparse enough for the
-// CSR kernel to pay (SparseProfitable) → elkan over the CSR view;
-// dense with ≤ 16 dimensions → filtering when K ≥ 32, else hamerly;
-// dense high-dimensional → elkan. Mini-batch is never auto-selected:
-// trading exactness for scale is an explicit caller decision.
+// CSR kernel to pay (SparseProfitable) → yinyang over the CSR view
+// when K ≥ 32, else elkan; dense with ≤ 16 dimensions → filtering
+// when K ≥ 32, else hamerly; dense high-dimensional → yinyang when
+// K ≥ 32, else elkan. Large K favors yinyang because its per-point
+// bound state is G ≈ K/10 floats instead of elkan's K, so the decay
+// pass touches an order less memory per iteration and the bounds stay
+// tighter than hamerly's single second-closest bound, which collapses
+// once many centroids crowd the second position; elkan remains the
+// pick below the K=32 line, where its per-centroid bounds prune
+// hardest and their maintenance still fits cache. Mini-batch is never
+// auto-selected: trading exactness for scale is an explicit caller
+// decision.
 //
 // "≡ Lloyd bit-for-bit" means identical Labels/SSE/Iterations/
 // Centroids, property-tested across seeds, worker counts and
@@ -127,11 +137,17 @@ const (
 	// per-iteration cost independent of the dataset size — the kernel
 	// for >100k-patient logs.
 	AlgorithmMiniBatch
+	// Yinyang is the group-filtered triangle-inequality kernel (Ding et
+	// al. 2015): exact like Hamerly/Elkan, with one upper bound plus
+	// G ≈ K/10 group lower bounds per point — Elkan-grade pruning at a
+	// tenth of the bound memory. The large-K exact kernel.
+	Yinyang
 	// AlgorithmAuto picks an exact kernel from the data shape: sparse
-	// data routes to Elkan over the CSR view, low-dimensional dense
-	// data to Hamerly (or to the kd-tree Filtering kernel once K is
-	// large enough for cell pruning to win), high-dimensional dense
-	// data to Elkan. See the package comment for the routing matrix.
+	// data routes to Yinyang at large K and Elkan below it, both over
+	// the CSR view; low-dimensional dense data to Hamerly (or to the
+	// kd-tree Filtering kernel once K is large enough for cell pruning
+	// to win); high-dimensional dense data to Yinyang at large K, else
+	// Elkan. See the package comment for the routing matrix.
 	AlgorithmAuto
 )
 
@@ -151,6 +167,8 @@ func (a Algorithm) String() string {
 		return "elkan"
 	case AlgorithmMiniBatch:
 		return "minibatch"
+	case Yinyang:
+		return "yinyang"
 	case AlgorithmAuto:
 		return "auto"
 	default:
@@ -181,10 +199,12 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return Elkan, nil
 	case "minibatch":
 		return AlgorithmMiniBatch, nil
+	case "yinyang":
+		return Yinyang, nil
 	case "auto":
 		return AlgorithmAuto, nil
 	}
-	return 0, fmt.Errorf("cluster: unknown algorithm %q (want lloyd, filtering, dense-lloyd, sparse-lloyd, hamerly, elkan, minibatch or auto)", s)
+	return 0, fmt.Errorf("cluster: unknown algorithm %q (want lloyd, filtering, dense-lloyd, sparse-lloyd, hamerly, elkan, minibatch, yinyang or auto)", s)
 }
 
 // MarshalText encodes the algorithm as its name, so a JSON config
@@ -213,18 +233,27 @@ func (a *Algorithm) UnmarshalText(b []byte) error {
 const (
 	autoFilteringMaxDim = 16
 	autoFilteringMinK   = 32
+	// autoYinyangMinK is the centroid count from which the yinyang
+	// group bounds out-prune Elkan's per-centroid bounds on the routes
+	// without a kd-tree: below it G = ⌈K/10⌉ is too coarse to filter
+	// and Elkan's O(n·K) bound memory is still cheap.
+	autoYinyangMinK = 32
 )
 
-// autoAlgorithm resolves AlgorithmAuto for a dataset shape: Elkan over
-// the CSR view for sparse data (the VSM regime — the caller resolves
-// sparsity by probing AutoCSR once, so csr != nil means "sparse enough
-// to pay"), the kd-tree filtering kernel for low-dimensional dense
-// data at large K (where it wins decisively — see
-// BenchmarkKMeansAblation blobs-d3/K=64), Hamerly for low-dimensional
-// dense data at small K, and Elkan for the dense high-dimensional
-// rest.
+// autoAlgorithm resolves AlgorithmAuto for a dataset shape. Sparse
+// data (the VSM regime — the caller resolves sparsity by probing
+// AutoCSR once, so csr != nil means "sparse enough to pay") routes to
+// Yinyang at large K and Elkan below it, both over the CSR view.
+// Low-dimensional dense data routes to the kd-tree filtering kernel at
+// large K (where cell pruning wins decisively — see
+// BenchmarkKMeansAblation blobs-d3/K=64) and Hamerly at small K.
+// High-dimensional dense data, where no kd-tree helps, routes to
+// Yinyang at large K and Elkan below it.
 func autoAlgorithm(d, k int, csr *vec.CSRMatrix) Algorithm {
 	if csr != nil {
+		if k >= autoYinyangMinK {
+			return Yinyang
+		}
 		return Elkan
 	}
 	if d <= autoFilteringMaxDim {
@@ -232,6 +261,9 @@ func autoAlgorithm(d, k int, csr *vec.CSRMatrix) Algorithm {
 			return Filtering
 		}
 		return Hamerly
+	}
+	if k >= autoYinyangMinK {
+		return Yinyang
 	}
 	return Elkan
 }
@@ -477,7 +509,7 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 			}
 			useSparse = SparseProfitable(n, d, float64(nnz)/float64(n*d))
 		}
-	case Hamerly, Elkan:
+	case Hamerly, Elkan, Yinyang:
 		// The bounded kernels score distances through the CSR identity
 		// whenever the sparse view exists or would pay (same routing as
 		// Lloyd), and densely otherwise.
@@ -508,9 +540,15 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 		}
 		sk = newSparseKernel(csr, opts.K, opts.Parallelism)
 	}
-	var bk *boundedKernel
-	if algo == Hamerly || algo == Elkan {
+	// The triangle-inequality kernels (Hamerly, Elkan, Yinyang) share
+	// one shape: a filtered label scan plus drift bookkeeping between
+	// iterations, behind the boundedScanner interface.
+	var bk boundedScanner
+	switch algo {
+	case Hamerly, Elkan:
 		bk = newBoundedKernel(algo == Elkan, data, csr, opts.K, opts.Parallelism, opts.Scratch)
+	case Yinyang:
+		bk = newYinyangKernel(data, csr, centroids, opts.Parallelism, opts.Scratch)
 	}
 
 	var (
@@ -523,6 +561,9 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 		labels = opts.Scratch.ints(&opts.Scratch.labels, n)
 		counts = opts.Scratch.ints(&opts.Scratch.counts, opts.K)
 		sums = opts.Scratch.sumBuffers(opts.K, d)
+		if bk != nil {
+			drift = opts.Scratch.f64(&opts.Scratch.driftBuf, opts.K)
+		}
 	} else {
 		labels = make([]int, n)
 		counts = make([]int, opts.K)
@@ -530,9 +571,9 @@ func run(ctx context.Context, data [][]float64, csr *vec.CSRMatrix, opts Options
 		for i := range sums {
 			sums[i] = make([]float64, d)
 		}
-	}
-	if bk != nil {
-		drift = make([]float64, opts.K)
+		if bk != nil {
+			drift = make([]float64, opts.K)
+		}
 	}
 	var repaired []int
 

@@ -22,7 +22,16 @@ type Scratch struct {
 	sumsBack []float64
 
 	upper, lower, cNorm2, half, s []float64
+	driftBuf                      []float64
 	partial                       [][]int
+
+	// yinyang kernel state: centroid grouping, per-group drift, and the
+	// per-worker min/second-min scan slabs. The bound matrix itself
+	// shares the lower slot with Elkan.
+	yinGroup, yinMembers, yinOffsets []int
+	yinDrift                         []float64
+	yinScan                          []float64
+	yinScanSlab                      [][]float64
 
 	filter *kdtree.FilterScratch
 	tree   *kdtree.Tree
@@ -91,6 +100,20 @@ func (s *Scratch) partials(workers, k int) [][]int {
 		}
 	}
 	return s.partial
+}
+
+// yinScanSlabs returns workers zeroed 3·g-float scan slabs backed by
+// one contiguous array.
+func (s *Scratch) yinScanSlabs(workers, g int) [][]float64 {
+	back := s.f64(&s.yinScan, workers*3*g)
+	if cap(s.yinScanSlab) < workers {
+		s.yinScanSlab = make([][]float64, workers)
+	}
+	s.yinScanSlab = s.yinScanSlab[:workers]
+	for w := range s.yinScanSlab {
+		s.yinScanSlab[w] = back[w*3*g : (w+1)*3*g : (w+1)*3*g]
+	}
+	return s.yinScanSlab
 }
 
 // filterScratch returns the shared kd-tree filtering scratch.

@@ -41,11 +41,7 @@ func newSparseKernel(m *vec.CSRMatrix, k, workers int) *sparseKernel {
 // refreshCentroidNorms caches ‖c‖² for every centroid.
 func (sk *sparseKernel) refreshCentroidNorms(centroids [][]float64) {
 	for c, cent := range centroids {
-		s := 0.0
-		for _, v := range cent {
-			s += v * v
-		}
-		sk.cNorm2[c] = s
+		sk.cNorm2[c] = vec.Dot(cent, cent)
 	}
 }
 
@@ -58,10 +54,7 @@ func (sk *sparseKernel) argminRow(i int, centroids [][]float64) int {
 	xn2 := sk.m.RowNorm2(i)
 	best, bestD := -1, 0.0
 	for c, cent := range centroids {
-		dot := 0.0
-		for p, v := range vals {
-			dot += v * cent[cols[p]]
-		}
+		dot := vec.SparseDot(vals, cols, cent)
 		if d := xn2 + sk.cNorm2[c] - 2*dot; best < 0 || d < bestD {
 			best, bestD = c, d
 		}
@@ -98,11 +91,8 @@ func (sk *sparseKernel) assign(centroids [][]float64, labels []int, sums [][]flo
 	// changes an IEEE sum that started at +0.
 	n := sk.m.NumRows()
 	for i := 0; i < n; i++ {
-		dst := sums[labels[i]]
 		vals, cols := sk.m.RowView(i)
-		for p, v := range vals {
-			dst[cols[p]] += v
-		}
+		vec.ScatterAdd(sums[labels[i]], vals, cols)
 	}
 }
 

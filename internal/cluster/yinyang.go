@@ -1,0 +1,608 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+
+	"adahealth/internal/vec"
+)
+
+// yinyangKernel implements the group-filtered exact assignment step of
+// Ding et al., "Yinyang K-Means: A Drop-In Replacement of the Classic
+// K-Means with Consistent Speedup" (ICML 2015). The K centroids are
+// partitioned once, at kernel construction, into G ≈ K/10 groups of
+// nearby centroids; each point then carries one upper bound u on the
+// distance to its assigned centroid and G group lower bounds lb[j] ≤
+// min over the centroids of group j (excluding the assigned one). The
+// filter cascade per point and iteration:
+//
+//  1. global: if u ≤ min_j lb[j] after drift decay, the assignment
+//     provably cannot improve — no distance is computed at all;
+//  2. tighten: recompute u exactly and retest (also against s[a], the
+//     half-distance to the assigned centroid's nearest neighbour);
+//  3. group: every group with lb[j] ≥ u is skipped whole; a failing
+//     group is rescanned, refreshing its bound;
+//  4. local: within a rescanned group, a member c is skipped when
+//     u ≤ d(assigned, c)/2 — Elkan's pairwise prune, from a shared
+//     K×K half-distance matrix (per-run, not per-point, so it costs
+//     none of Elkan's O(n·K) bound memory).
+//
+// Memory is O(n·G) ≈ O(n·K/10) — an order less than Elkan's O(n·K)
+// bound matrix — while the group bounds stay far tighter than
+// Hamerly's single second-closest bound, which collapses at large K
+// where the second-closest centroid is close. That makes yinyang the
+// large-K exact kernel: Elkan's pruning without Elkan's memory
+// traffic.
+//
+// Exactness: identical contract to boundedKernel (see bounded.go). A
+// group is skipped only when its decayed lower bound proves no member
+// is strictly closer than the current exact upper bound, and every
+// surviving candidate is compared by exact squared distance with the
+// same arithmetic as the Lloyd kernel this run shadows (dense
+// vec.SquaredEuclidean, or the cached-norm identity over the CSR
+// view). The documented caveat is again exact distance ties: a proof
+// of "no strictly closer centroid" keeps the incumbent where Lloyd's
+// fresh scan picks the lowest index — measure zero on continuous
+// data. The grouping itself (a small deterministic K-means over the
+// initial centroids) only decides what gets pruned, never what wins a
+// comparison, so any grouping yields the same labels.
+//
+// Parallelism mirrors the other kernels: chunked row ranges over a
+// worker pool, private partial counts merged at a barrier, serial
+// row-order centroid-sum reduction.
+type yinyangKernel struct {
+	data    [][]float64
+	csr     *vec.CSRMatrix // nil = dense kernel arithmetic
+	k, g    int
+	workers int
+
+	group   []int // centroid → group, fixed for the run
+	members []int // centroid indices grouped: members[offsets[j]:offsets[j+1]]
+	offsets []int // len g+1
+
+	upper  []float64 // u[i] ≥ d(x_i, centroid[labels[i]])
+	lower  []float64 // n·g row-major group bounds
+	cNorm2 []float64 // per-iteration ‖c‖² cache (CSR identity)
+	// half[a·k+c] = d(a,c)/2 for the local prune; s[c] = min_{c'≠c}
+	// d(c,c')/2 for the post-tighten skip — the same per-iteration
+	// caches Elkan keeps, shared across all points.
+	half []float64
+	s    []float64
+
+	// Drift bookkeeping, folded into the bounds lazily per row: u grows
+	// by the assigned centroid's own movement, lb[j] shrinks by the
+	// largest movement within group j.
+	pendingDrift []float64
+	groupDrift   []float64
+	driftPending bool
+	repairFlag   []bool
+	hasRepairs   bool
+
+	// scanTmp[w] is worker w's 3·g slab for the per-row min/second-min
+	// distance and skip-bound tracking of the rescanned groups.
+	scanTmp [][]float64
+
+	partialCounts [][]int
+	started       bool
+}
+
+// yinyangGroups returns the group count for k centroids: one group per
+// ten centroids, at least one — the G ≈ K/10 of the yinyang paper.
+func yinyangGroups(k int) int {
+	g := (k + 9) / 10
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// newYinyangKernel builds the kernel and its centroid grouping over
+// the initial centroids. Buffers come from scratch when provided; the
+// bound matrix reuses the same scratch slot as Elkan's, so a warm
+// sweep alternating kernels still shares one allocation.
+func newYinyangKernel(data [][]float64, csr *vec.CSRMatrix, centroids [][]float64, workers int, scratch *Scratch) *yinyangKernel {
+	n := len(data)
+	k := len(centroids)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	g := yinyangGroups(k)
+	yk := &yinyangKernel{
+		data:    data,
+		csr:     csr,
+		k:       k,
+		g:       g,
+		workers: workers,
+	}
+	if scratch != nil {
+		yk.upper = scratch.f64(&scratch.upper, n)
+		yk.lower = scratch.f64(&scratch.lower, n*g)
+		yk.cNorm2 = scratch.f64(&scratch.cNorm2, k)
+		yk.half = scratch.f64(&scratch.half, k*k)
+		yk.s = scratch.f64(&scratch.s, k)
+		yk.group = scratch.ints(&scratch.yinGroup, k)
+		yk.members = scratch.ints(&scratch.yinMembers, k)
+		yk.offsets = scratch.ints(&scratch.yinOffsets, g+1)
+		yk.groupDrift = scratch.f64(&scratch.yinDrift, g)
+		yk.partialCounts = scratch.partials(workers, k)
+		yk.scanTmp = scratch.yinScanSlabs(workers, g)
+	} else {
+		yk.upper = make([]float64, n)
+		yk.lower = make([]float64, n*g)
+		yk.cNorm2 = make([]float64, k)
+		yk.half = make([]float64, k*k)
+		yk.s = make([]float64, k)
+		yk.group = make([]int, k)
+		yk.members = make([]int, k)
+		yk.offsets = make([]int, g+1)
+		yk.groupDrift = make([]float64, g)
+		yk.partialCounts = make([][]int, workers)
+		yk.scanTmp = make([][]float64, workers)
+		for w := range yk.partialCounts {
+			yk.partialCounts[w] = make([]int, k)
+			yk.scanTmp[w] = make([]float64, 3*g)
+		}
+	}
+	yk.buildGroups(centroids)
+	return yk
+}
+
+// buildGroups partitions the centroids into g groups of mutual
+// proximity with a small serial K-means over the centroid vectors:
+// deterministic farthest-point seeding (Gonzalez, from centroid 0)
+// followed by a few Lloyd iterations. Group quality affects only how
+// much the filters prune, never the assignment result, so the refine
+// count is a pure speed knob.
+func (yk *yinyangKernel) buildGroups(centroids [][]float64) {
+	k, g := yk.k, yk.g
+	if g == 1 {
+		for c := range yk.group {
+			yk.group[c] = 0
+		}
+	} else {
+		d := len(centroids[0])
+		centers := make([][]float64, g)
+		centers[0] = vec.Clone(centroids[0])
+		minD := make([]float64, k)
+		for c := range minD {
+			minD[c] = vec.SquaredEuclidean(centroids[c], centers[0])
+		}
+		for j := 1; j < g; j++ {
+			far := 0
+			for c := 1; c < k; c++ {
+				if minD[c] > minD[far] {
+					far = c
+				}
+			}
+			centers[j] = vec.Clone(centroids[far])
+			for c := range minD {
+				if dd := vec.SquaredEuclidean(centroids[c], centers[j]); dd < minD[c] {
+					minD[c] = dd
+				}
+			}
+		}
+		sums := make([]float64, g*d)
+		counts := make([]int, g)
+		for iter := 0; iter < 3; iter++ {
+			for c := range yk.group {
+				best, bestD := 0, math.Inf(1)
+				for j, ctr := range centers {
+					if dd := vec.SquaredEuclidean(centroids[c], ctr); dd < bestD {
+						best, bestD = j, dd
+					}
+				}
+				yk.group[c] = best
+			}
+			if iter == 2 {
+				break // final assignment computed; centers no longer needed
+			}
+			for i := range sums {
+				sums[i] = 0
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+			for c := range yk.group {
+				j := yk.group[c]
+				counts[j]++
+				vec.AddTo(sums[j*d:(j+1)*d], centroids[c])
+			}
+			for j := range centers {
+				if counts[j] == 0 {
+					continue // empty group keeps its center
+				}
+				inv := 1 / float64(counts[j])
+				for x := 0; x < d; x++ {
+					centers[j][x] = sums[j*d+x] * inv
+				}
+			}
+		}
+	}
+
+	// Flatten group → member centroid lists (counting sort by group).
+	for j := range yk.offsets {
+		yk.offsets[j] = 0
+	}
+	for _, j := range yk.group {
+		yk.offsets[j+1]++
+	}
+	for j := 1; j <= g; j++ {
+		yk.offsets[j] += yk.offsets[j-1]
+	}
+	fill := make([]int, g)
+	copy(fill, yk.offsets[:g])
+	for c, j := range yk.group {
+		yk.members[fill[j]] = c
+		fill[j]++
+	}
+}
+
+// dist2 returns the squared distance from row i to centroid c with the
+// exact arithmetic of the Lloyd kernel this run shadows (see
+// boundedKernel.dist2).
+func (yk *yinyangKernel) dist2(i, c int, cent []float64) float64 {
+	if yk.csr != nil {
+		vals, cols := yk.csr.RowView(i)
+		return yk.csr.RowNorm2(i) + yk.cNorm2[c] - 2*vec.SparseDot(vals, cols, cent)
+	}
+	return vec.SquaredEuclidean(yk.data[i], cent)
+}
+
+// refreshCenters recomputes the per-iteration centroid caches: ‖c‖²
+// for the CSR identity, and the half pairwise distances plus s minima
+// behind the local prune. O(K²·d) per iteration — shared by every
+// point, unlike the per-point group bounds.
+func (yk *yinyangKernel) refreshCenters(centroids [][]float64) {
+	if yk.csr != nil {
+		for c, cent := range centroids {
+			yk.cNorm2[c] = vec.Dot(cent, cent)
+		}
+	}
+	k := yk.k
+	for c := range yk.s {
+		yk.s[c] = math.Inf(1)
+	}
+	for a := 0; a < k; a++ {
+		yk.half[a*k+a] = 0
+		for c := a + 1; c < k; c++ {
+			h := boundDist(vec.SquaredEuclidean(centroids[a], centroids[c])) / 2
+			yk.half[a*k+c] = h
+			yk.half[c*k+a] = h
+			if h < yk.s[a] {
+				yk.s[a] = h
+			}
+			if h < yk.s[c] {
+				yk.s[c] = h
+			}
+		}
+	}
+}
+
+// noteUpdate records one updateCentroids call: per-centroid drift for
+// the upper bounds, per-group maximum drift for the group bounds, and
+// any empty-cluster repairs (whose rows reset their bounds wholesale).
+func (yk *yinyangKernel) noteUpdate(drift []float64, repaired []int) {
+	yk.pendingDrift = drift
+	for j := range yk.groupDrift {
+		yk.groupDrift[j] = 0
+	}
+	for c, d := range drift {
+		if j := yk.group[c]; d > yk.groupDrift[j] {
+			yk.groupDrift[j] = d
+		}
+	}
+	yk.driftPending = true
+	yk.hasRepairs = len(repaired) > 0
+	if yk.hasRepairs {
+		if yk.repairFlag == nil {
+			yk.repairFlag = make([]bool, len(yk.data))
+		}
+		for _, i := range repaired {
+			yk.repairFlag[i] = true
+		}
+	}
+}
+
+// assign performs one full assignment step: parallel filtered label
+// scan, then the serial row-order centroid-sum reduction shared with
+// every other kernel (bit-stable accumulation for any worker count).
+func (yk *yinyangKernel) assign(centroids [][]float64, labels []int, sums [][]float64, counts []int) {
+	yk.scan(centroids, labels, yk.partialCounts)
+	for c := range counts {
+		counts[c] = 0
+		for w := range yk.partialCounts {
+			counts[c] += yk.partialCounts[w][c]
+		}
+		for j := range sums[c] {
+			sums[c][j] = 0
+		}
+	}
+	if yk.csr != nil {
+		n := yk.csr.NumRows()
+		for i := 0; i < n; i++ {
+			vals, cols := yk.csr.RowView(i)
+			vec.ScatterAdd(sums[labels[i]], vals, cols)
+		}
+	} else {
+		for i, x := range yk.data {
+			vec.AddTo(sums[labels[i]], x)
+		}
+	}
+}
+
+// assignLabels runs only the filtered label scan — the final pass
+// against the converged centroids.
+func (yk *yinyangKernel) assignLabels(centroids [][]float64, labels []int) {
+	yk.scan(centroids, labels, nil)
+}
+
+func (yk *yinyangKernel) scan(centroids [][]float64, labels []int, partialCounts [][]int) {
+	yk.refreshCenters(centroids)
+	n := len(yk.data)
+	if yk.workers == 1 {
+		var pc []int
+		if partialCounts != nil {
+			pc = partialCounts[0]
+			for c := range pc {
+				pc[c] = 0
+			}
+		}
+		yk.scanRange(centroids, labels, pc, yk.scanTmp[0], 0, n)
+	} else {
+		chunk := (n + yk.workers - 1) / yk.workers
+		var wg sync.WaitGroup
+		for w := 0; w < yk.workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			var pc []int
+			if partialCounts != nil {
+				pc = partialCounts[w]
+				for c := range pc {
+					pc[c] = 0
+				}
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int, pc []int, tmp []float64) {
+				defer wg.Done()
+				yk.scanRange(centroids, labels, pc, tmp, lo, hi)
+			}(lo, hi, pc, yk.scanTmp[w])
+		}
+		wg.Wait()
+	}
+	yk.driftPending = false
+	if yk.hasRepairs {
+		for i := range yk.repairFlag {
+			yk.repairFlag[i] = false
+		}
+		yk.hasRepairs = false
+	}
+	yk.started = true
+}
+
+// scanRange labels rows [lo, hi) with worker-private count and scan
+// slabs, folding any pending drift into the bounds row by row.
+func (yk *yinyangKernel) scanRange(centroids [][]float64, labels []int, pc []int, tmp []float64, lo, hi int) {
+	if !yk.started {
+		for i := lo; i < hi; i++ {
+			c := yk.initRow(i, centroids, tmp)
+			labels[i] = c
+			if pc != nil {
+				pc[c]++
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		c := yk.yinyangRow(i, labels[i], centroids, tmp)
+		labels[i] = c
+		if pc != nil {
+			pc[c]++
+		}
+	}
+}
+
+// rowData captures the loop-invariant view of one input row so the
+// candidate loops pay for RowView/RowNorm2 (or the dense row fetch)
+// once per row instead of once per distance.
+type rowData struct {
+	dense []float64 // nil on the CSR path
+	vals  []float64
+	cols  []int32
+	norm2 float64
+}
+
+func (yk *yinyangKernel) rowView(i int) rowData {
+	if yk.csr != nil {
+		vals, cols := yk.csr.RowView(i)
+		return rowData{vals: vals, cols: cols, norm2: yk.csr.RowNorm2(i)}
+	}
+	return rowData{dense: yk.data[i]}
+}
+
+// rowDist2 is dist2 over a hoisted row view — same arithmetic, no
+// per-candidate row refetch.
+func (yk *yinyangKernel) rowDist2(x rowData, c int, cent []float64) float64 {
+	if x.dense != nil {
+		return vec.SquaredEuclidean(x.dense, cent)
+	}
+	return x.norm2 + yk.cNorm2[c] - 2*vec.SparseDot(x.vals, x.cols, cent)
+}
+
+// initRow is the first-iteration full scan: the same strict-"<"
+// index-order argmin as every other kernel, additionally capturing the
+// upper bound and the per-group min/second-min distances the filtered
+// iterations prune with.
+func (yk *yinyangKernel) initRow(i int, centroids [][]float64, tmp []float64) int {
+	g := yk.g
+	min1, min2 := tmp[:g], tmp[g:2*g]
+	for j := 0; j < g; j++ {
+		min1[j] = math.Inf(1)
+		min2[j] = math.Inf(1)
+	}
+	x := yk.rowView(i)
+	group := yk.group
+	best, bestD := -1, math.Inf(1)
+	for c, cent := range centroids {
+		d2 := yk.rowDist2(x, c, cent)
+		j := group[c]
+		if d2 < min1[j] {
+			min2[j] = min1[j]
+			min1[j] = d2
+		} else if d2 < min2[j] {
+			min2[j] = d2
+		}
+		if d2 < bestD {
+			best, bestD = c, d2
+		}
+	}
+	lb := yk.lower[i*g : i*g+g]
+	bGroup := group[best]
+	for j := 0; j < g; j++ {
+		if j == bGroup {
+			lb[j] = boundDist(min2[j])
+		} else {
+			lb[j] = boundDist(min1[j])
+		}
+	}
+	yk.upper[i] = boundDist(bestD)
+	return best
+}
+
+// yinyangRow performs one filtered step for row i: drift-decay the
+// bounds, run the global filter, tighten u, then rescan exactly the
+// groups whose bound fails against the current exact upper bound —
+// every surviving candidate is compared by exact squared distance with
+// strict "<", so the winner matches Lloyd's scan away from exact ties.
+func (yk *yinyangKernel) yinyangRow(i, a int, centroids [][]float64, tmp []float64) int {
+	g := yk.g
+	lb := yk.lower[i*g : i*g+g]
+	u := yk.upper[i]
+	if yk.driftPending {
+		u += yk.pendingDrift[a]
+		for j := range lb {
+			l := lb[j] - yk.groupDrift[j]
+			if l < 0 {
+				l = 0
+			}
+			lb[j] = l
+		}
+		if yk.hasRepairs && yk.repairFlag[i] {
+			// Reseeded as an exact copy of centroid a: distance exactly 0;
+			// the bound state predates the relabel, so it resets wholesale
+			// and the next failing filter rebuilds it exactly.
+			u = 0
+			for j := range lb {
+				lb[j] = 0
+			}
+		}
+	}
+	minLB := math.Inf(1)
+	for _, l := range lb {
+		if l < minLB {
+			minLB = l
+		}
+	}
+	if u <= minLB {
+		yk.upper[i] = u
+		return a
+	}
+	// Tighten the upper bound to the exact distance and retest — both
+	// against the group bounds and against s[a]: u ≤ d(a,c)/2 for every
+	// other centroid c proves d(x,c) ≥ 2·s[a] − u ≥ u, so nothing is
+	// strictly closer.
+	x := yk.rowView(i)
+	u2 := yk.rowDist2(x, a, centroids[a])
+	u = boundDist(u2)
+	if u <= minLB || u <= yk.s[a] {
+		yk.upper[i] = u
+		return a
+	}
+
+	// Group filter: rescan every group whose bound fails against the
+	// current exact upper bound, tracking min/second-min per rescanned
+	// group (in squared space; min1[j] = -1 marks a skipped group).
+	// Within a rescanned group the local filter prunes members the
+	// half-distance matrix rules out; skipB[j] keeps the smallest
+	// lower bound those proofs establish, so the group bound refresh
+	// below stays valid without their exact distances.
+	min1, min2, skipB := tmp[:g], tmp[g:2*g], tmp[2*g:3*g]
+	best, bestD2, bestD := a, u2, u
+	aGroup := yk.group[a]
+	k := yk.k
+	members, offsets, half := yk.members, yk.offsets, yk.half
+	halfB := half[best*k : best*k+k]
+	for j := 0; j < g; j++ {
+		if lb[j] >= bestD {
+			min1[j] = -1
+			continue
+		}
+		m1, m2 := math.Inf(1), math.Inf(1)
+		sb := math.Inf(1)
+		for _, c := range members[offsets[j]:offsets[j+1]] {
+			var d2 float64
+			if c == a {
+				d2 = u2 // already exact; a stays the incumbent on ties
+			} else {
+				if h := halfB[c]; bestD <= h {
+					// d(x,c) ≥ 2h − d(x,best) ≥ bestD: c cannot win, and
+					// bestD only shrinks from here, so the proof stands for
+					// the final winner too.
+					if b := 2*h - bestD; b < sb {
+						sb = b
+					}
+					continue
+				}
+				d2 = yk.rowDist2(x, c, centroids[c])
+				if d2 < bestD2 {
+					best, bestD2, bestD = c, d2, boundDist(d2)
+					halfB = half[best*k : best*k+k]
+				}
+			}
+			if d2 < m1 {
+				m2 = m1
+				m1 = d2
+			} else if d2 < m2 {
+				m2 = d2
+			}
+		}
+		min1[j], min2[j], skipB[j] = m1, m2, sb
+	}
+
+	// Refresh the bounds of the rescanned groups, excluding the final
+	// winner from its own group's bound (second-min takes its place; a
+	// locally skipped member can never be the winner, so skipB applies
+	// to both cases).
+	bGroup := yk.group[best]
+	for j := 0; j < g; j++ {
+		if min1[j] < 0 {
+			continue
+		}
+		m := min1[j]
+		if j == bGroup {
+			m = min2[j]
+		}
+		l := boundDist(m)
+		if skipB[j] < l {
+			l = skipB[j]
+		}
+		lb[j] = l
+	}
+	if best != a && min1[aGroup] < 0 {
+		// The old assignment's group was skipped, so its bound still
+		// excludes a — fold a's now-known exact distance back in.
+		if ua := boundDist(u2); ua < lb[aGroup] {
+			lb[aGroup] = ua
+		}
+	}
+	yk.upper[i] = bestD
+	return best
+}

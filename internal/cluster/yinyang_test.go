@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"adahealth/internal/vec"
+)
+
+// Yinyang shares the whole property matrix of bounded_test.go (seeds ×
+// K × dense/CSR × workers, empty-cluster repair, scratch reuse) via
+// the shared algorithm lists there; this file covers what is specific
+// to the group-filtered kernel.
+
+func TestYinyangGroupCount(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 9: 1, 10: 1, 11: 2, 20: 2, 64: 7, 100: 10, 101: 11}
+	for k, want := range cases {
+		if got := yinyangGroups(k); got != want {
+			t.Errorf("yinyangGroups(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// The grouping is computed deterministically from the initial
+// centroids: same input, same partition — a prerequisite for the
+// kernel's reproducibility across runs and worker counts.
+func TestYinyangGroupingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randRows(rng, 300, 8, 1.0)
+	for trial := 0; trial < 3; trial++ {
+		a, err := KMeans(data, Options{K: 40, Seed: 3, Algorithm: Yinyang, Parallelism: 1 + trial*3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := KMeans(data, Options{K: 40, Seed: 3, Algorithm: Yinyang, Parallelism: 8 - trial*2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, trial, 0, a, b)
+	}
+}
+
+// Every centroid lands in exactly one group and every group's member
+// list round-trips through the flat members/offsets encoding.
+func TestYinyangGroupPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := randRows(rng, 200, 5, 1.0)
+	cents := make([][]float64, 37)
+	for i := range cents {
+		cents[i] = data[rng.Intn(len(data))]
+	}
+	yk := newYinyangKernel(data, nil, cents, 4, nil)
+	if yk.g != yinyangGroups(37) {
+		t.Fatalf("g = %d, want %d", yk.g, yinyangGroups(37))
+	}
+	seen := make([]bool, 37)
+	for j := 0; j < yk.g; j++ {
+		for _, c := range yk.members[yk.offsets[j]:yk.offsets[j+1]] {
+			if yk.group[c] != j {
+				t.Errorf("centroid %d listed under group %d but group[%d] = %d", c, j, c, yk.group[c])
+			}
+			if seen[c] {
+				t.Errorf("centroid %d listed twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Errorf("centroid %d in no group", c)
+		}
+	}
+}
+
+// The large-K headline case: yinyang over a prebuilt CSR view at K=64
+// matches the sparse Lloyd reference bit for bit under every worker
+// count, with a Scratch shared across the worker-count runs the way
+// the warm sweep shares one.
+func TestYinyangLargeKOverCSRWithScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := randRows(rng, 400, 32, 0.1)
+	csr := vec.NewCSRFromDense(data)
+	want, err := KMeansCSR(csr, data, Options{K: 64, Seed: 4, Algorithm: SparseLloyd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := &Scratch{}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := KMeansCSR(csr, data, Options{K: 64, Seed: 4, Algorithm: Yinyang, Parallelism: workers, Scratch: scratch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Algorithm != "yinyang" {
+			t.Fatalf("Algorithm = %q, want yinyang", got.Algorithm)
+		}
+		requireIdentical(t, 64, workers, want, got)
+	}
+}
+
+// Auto routing must never alter the result: on every routed shape the
+// labels match Lloyd's exactly, and on the bounded routes the whole
+// result does bit for bit (the filtering route accumulates subtree
+// sums in a different order, so its centroids/SSE are compared by
+// label equality only).
+func TestAutoRoutingNeverAltersResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cases := []struct {
+		name     string
+		data     [][]float64
+		k        int
+		bitLevel bool
+	}{
+		{"sparse-smallK-elkan", randRows(rng, 150, 40, 0.1), 8, true},
+		{"sparse-largeK-yinyang", randRows(rng, 150, 40, 0.1), 40, true},
+		{"dense-lowdim-hamerly", randRows(rng, 150, 3, 1.0), 8, true},
+		{"dense-lowdim-filtering", randRows(rng, 150, 3, 1.0), 40, false},
+		{"dense-highdim-elkan", randRows(rng, 150, 24, 1.0), 8, true},
+		{"dense-highdim-yinyang", randRows(rng, 150, 24, 1.0), 40, true},
+	}
+	for _, tc := range cases {
+		want, err := KMeans(tc.data, Options{K: tc.k, Seed: 6, Algorithm: Lloyd})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := KMeans(tc.data, Options{K: tc.k, Seed: 6, Algorithm: AlgorithmAuto})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tc.bitLevel {
+			requireIdentical(t, tc.k, 0, want, got)
+			continue
+		}
+		if len(got.Labels) != len(want.Labels) {
+			t.Fatalf("%s: %d labels, want %d", tc.name, len(got.Labels), len(want.Labels))
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				t.Fatalf("%s: label[%d] = %d, want %d", tc.name, i, got.Labels[i], want.Labels[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"adahealth/internal/optimize"
+)
+
+// TestAnalyzeArenaMatchesFresh is the cross-job reuse equivalence
+// property: analyses whose sweeps draw worker slabs from one shared
+// arena (the job service's configuration) must produce bit-for-bit
+// identical Reports to arena-less analyses, across a sequence of
+// different logs so later jobs run on slabs warmed by earlier ones.
+func TestAnalyzeArenaMatchesFresh(t *testing.T) {
+	seeds := []int64{1, 7, 42, 7} // repeat a log: fully warm slab path
+	ctx := context.Background()
+
+	freshEngine, err := New(seededConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]*Report, len(seeds))
+	for i, seed := range seeds {
+		rep, err := freshEngine.AnalyzeContext(ctx, seededLog(t, seed))
+		if err != nil {
+			t.Fatalf("seed %d fresh: %v", seed, err)
+		}
+		fresh[i] = rep
+	}
+
+	arenaEngine, err := New(seededConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := optimize.NewArena()
+	for i, seed := range seeds {
+		rep, err := arenaEngine.AnalyzeWith(ctx, seededLog(t, seed), AnalyzeOptions{Arena: arena})
+		if err != nil {
+			t.Fatalf("seed %d arena: %v", seed, err)
+		}
+		if !reflect.DeepEqual(comparable(rep), comparable(fresh[i])) {
+			t.Errorf("job %d (seed %d): arena-backed report differs from fresh", i, seed)
+		}
+		if !reflect.DeepEqual(projectRecs(rep), projectRecs(fresh[i])) {
+			t.Errorf("job %d (seed %d): arena-backed recommendations differ", i, seed)
+		}
+	}
+}

@@ -387,6 +387,14 @@ type AnalyzeOptions struct {
 	// this only affects scheduling. 0 leaves the kernels free to use
 	// the whole machine, as a lone Analyze call should.
 	FairShare int
+	// Arena, when non-nil, lends the analysis's K sweep its reusable
+	// worker slabs (decision trees, cluster scratch, RNGs) so a
+	// long-lived caller stops paying those allocations on every job.
+	// Reports are bit-for-bit identical with or without it. Safe to
+	// share across concurrent analyses — checkout is per sweep worker
+	// (see optimize.Arena) — but an explicitly configured
+	// Config.Sweep.Arena takes precedence.
+	Arena *optimize.Arena
 }
 
 // AnalyzeWith is the single dispatch path every analysis funnels
@@ -412,7 +420,7 @@ func (e *Engine) AnalyzeWith(ctx context.Context, log *dataset.Log, opts Analyze
 		e.inflight.add(log.Name)
 		defer e.inflight.remove(log.Name)
 	}
-	return be.analyze(ctx, log, opts.Pool, !opts.NoFlush, opts.Observer)
+	return be.analyze(ctx, log, opts.Pool, !opts.NoFlush, opts.Observer, opts.Arena)
 }
 
 // derated returns a copy of the engine whose inner sweep and
@@ -531,8 +539,9 @@ func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Repor
 // stage semaphore (nil = private pool sized by Config.Parallelism);
 // flush controls whether the K-DB is flushed here (AnalyzeMany defers
 // to one batch-level flush so concurrent snapshot writes cannot tear);
-// observe, when non-nil, receives stage start/finish events live.
-func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, flush bool, observe StageObserver) (*Report, error) {
+// observe, when non-nil, receives stage start/finish events live;
+// arena, when non-nil, backs the sweep stage's worker slabs.
+func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, flush bool, observe StageObserver, arena *optimize.Arena) (*Report, error) {
 	if log.NumPatients() == 0 || log.NumRecords() == 0 {
 		return nil, fmt.Errorf("core: log %q is empty", log.Name)
 	}
@@ -540,7 +549,7 @@ func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, 
 	if err := validateStages(stages); err != nil {
 		return nil, err
 	}
-	s := &pipelineState{log: log, rep: &Report{}}
+	s := &pipelineState{log: log, rep: &Report{}, arena: arena}
 
 	var (
 		sr  *scheduleResult

@@ -85,6 +85,9 @@ type pipelineState struct {
 	// recallHints is the recall stage's retrieved prior knowledge
 	// (nil on a miss or when recall is disabled — the cold path).
 	recallHints *recallHints
+	// arena, when non-nil, backs the sweep stage's worker slabs with
+	// buffers that outlive this analysis (see AnalyzeOptions.Arena).
+	arena *optimize.Arena
 
 	// degradeMu guards the degradation notes below. Unlike the keyed
 	// DAG state, these are appended by whichever stages hit a soft
@@ -290,6 +293,11 @@ func (e *Engine) runSweep(ctx context.Context, s *pipelineState) error {
 	// configuration passes through untouched: the cold path is
 	// bit-for-bit the pre-recall pipeline.
 	cfg := e.cfg.Sweep
+	if cfg.Arena == nil {
+		// The caller's cross-job arena backs this sweep's worker slabs
+		// unless the engine config pinned its own.
+		cfg.Arena = s.arena
+	}
 	if s.recallHints != nil {
 		cfg = applyRecallHints(cfg, s.recallHints, s.working.Features, s.rep.Recall)
 	}

@@ -1,0 +1,83 @@
+package optimize
+
+import (
+	"math/rand"
+	"sync"
+
+	"adahealth/internal/classify"
+	"adahealth/internal/cluster"
+)
+
+// Arena is a pool of reusable sweep-worker state that survives across
+// sweeps — the cross-job extension of the reuse a single sweep already
+// practices internally. Within one sweep every worker keeps one
+// decision tree (whose fit buffers survive refits) and one
+// cluster.Scratch (bound matrices, centroid accumulators, kd-tree)
+// for all the Ks it evaluates; an Arena carries exactly that state
+// across sweep invocations, so a long-lived job service stops paying
+// the slab allocations on every admitted job.
+//
+// Checkout is per sweep worker: each newSweepWorker takes a slab for
+// the duration of the sweep and returns it on completion, so an Arena
+// shared by concurrent sweeps is safe — a slab is owned by exactly one
+// worker at a time, and the pool grows to the peak concurrent worker
+// count, never beyond.
+//
+// Reuse is bit-for-bit invisible in the results: cluster.Scratch
+// zeroes every buffer it hands out (property-tested across
+// non-monotone K sequences), tree.FitSubset fully resets the model,
+// and the per-worker RNG is reseeded from KSeed before every run. A
+// slab whose tree was built under different TreeOptions is rebuilt on
+// checkout; everything else is shape-agnostic.
+type Arena struct {
+	mu   sync.Mutex
+	free []*workerSlab
+}
+
+// workerSlab is the reusable state of one sweep worker.
+type workerSlab struct {
+	tree     *classify.DecisionTree
+	treeOpts classify.TreeOptions
+	scratch  *cluster.Scratch
+	rng      *rand.Rand
+}
+
+// NewArena returns an empty arena; slabs are created on first
+// checkout.
+func NewArena() *Arena { return &Arena{} }
+
+// acquire pops a free slab (rebuilding its tree if the options
+// changed) or builds a fresh one.
+func (a *Arena) acquire(opts classify.TreeOptions) *workerSlab {
+	a.mu.Lock()
+	var s *workerSlab
+	if n := len(a.free); n > 0 {
+		s = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	}
+	a.mu.Unlock()
+	if s == nil {
+		return &workerSlab{
+			tree:     classify.NewDecisionTree(opts),
+			treeOpts: opts,
+			scratch:  &cluster.Scratch{},
+			rng:      rand.New(rand.NewSource(0)),
+		}
+	}
+	if s.treeOpts != opts {
+		s.tree = classify.NewDecisionTree(opts)
+		s.treeOpts = opts
+	}
+	return s
+}
+
+// release returns a slab to the pool.
+func (a *Arena) release(s *workerSlab) {
+	if s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.free = append(a.free, s)
+	a.mu.Unlock()
+}

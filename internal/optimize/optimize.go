@@ -125,6 +125,12 @@ type SweepConfig struct {
 	// dimensionality.
 	SeedCentroids [][]float64
 
+	// Arena, when non-nil, lends the sweep its worker slabs (decision
+	// tree, cluster scratch, RNG) instead of allocating fresh ones —
+	// the cross-job reuse hook for long-lived services. Results are
+	// bit-for-bit identical with or without it; see Arena.
+	Arena *Arena `json:"-"`
+
 	// csr, when non-nil, is a shared sparse view of the data rows (set
 	// by SweepMatrix, or built internally when the data is sparse
 	// enough): every K evaluation then routes through the sparse-aware
@@ -288,20 +294,25 @@ type sweepWorker struct {
 	tree    *classify.DecisionTree
 	scratch *cluster.Scratch
 	opts    cluster.Options
+	slab    *workerSlab // non-nil iff checked out of cfg.Arena
 }
 
 func newSweepWorker(cfg SweepConfig, ord *classify.ColumnOrder) *sweepWorker {
-	w := &sweepWorker{
-		cfg:     cfg,
-		ord:     ord,
-		tree:    classify.NewDecisionTree(cfg.Tree),
-		scratch: &cluster.Scratch{},
-		opts:    cfg.Cluster,
+	w := &sweepWorker{cfg: cfg, ord: ord, opts: cfg.Cluster}
+	if cfg.Arena != nil {
+		w.slab = cfg.Arena.acquire(cfg.Tree)
+		w.tree = w.slab.tree
+		w.scratch = w.slab.scratch
+		w.opts.Rand = w.slab.rng
+	} else {
+		w.tree = classify.NewDecisionTree(cfg.Tree)
+		w.scratch = &cluster.Scratch{}
+		// One generator per worker, reseeded by the run (cluster.run
+		// calls Rand.Seed(KSeed(...))) — the per-K stream is identical
+		// to a freshly constructed rand.New(rand.NewSource(KSeed(...))),
+		// which is also why an arena slab's generator can carry over.
+		w.opts.Rand = rand.New(rand.NewSource(0))
 	}
-	// One generator per worker, reseeded by the run (cluster.run calls
-	// Rand.Seed(KSeed(...))) — the per-K stream is identical to a
-	// freshly constructed rand.New(rand.NewSource(KSeed(...))).
-	w.opts.Rand = rand.New(rand.NewSource(0))
 	if w.opts.Parallelism == 0 && cfg.Parallelism > 1 {
 		// The sweep pool already saturates the cores with concurrent
 		// evaluations; keep each kernel serial unless explicitly
@@ -317,6 +328,14 @@ func newSweepWorker(cfg SweepConfig, ord *classify.ColumnOrder) *sweepWorker {
 // factory returns the worker's reusable tree; eval.CrossValidate
 // refits it per fold (FitSubset fully resets the model).
 func (w *sweepWorker) factory() classify.Classifier { return w.tree }
+
+// close returns the worker's slab to the arena it came from.
+func (w *sweepWorker) close() {
+	if w.slab != nil {
+		w.cfg.Arena.release(w.slab)
+		w.slab = nil
+	}
+}
 
 // clusterK runs the clustering of one K under the worker's scratch.
 func (w *sweepWorker) clusterK(ctx context.Context, data [][]float64, k int, initial [][]float64) (*cluster.Result, error) {
@@ -382,6 +401,7 @@ func sweepLegacy(ctx context.Context, data [][]float64, cfg SweepConfig, ord *cl
 		go func() {
 			defer wg.Done()
 			w := newSweepWorker(cfg, ord)
+			defer w.close()
 			for i := range idxCh {
 				k := cfg.Ks[i]
 				if err := ctx.Err(); err != nil {
@@ -428,6 +448,7 @@ func sweepWarm(ctx context.Context, data [][]float64, cfg SweepConfig, ord *clas
 		go func() {
 			defer wg.Done()
 			w := newSweepWorker(cfg, ord)
+			defer w.close()
 			for j := range jobs {
 				if err := ctx.Err(); err != nil {
 					rows[j.i] = KResult{K: j.k, Err: err.Error()}
@@ -444,6 +465,7 @@ func sweepWarm(ctx context.Context, data [][]float64, cfg SweepConfig, ord *clas
 	// K" for the smallest K of the chain; otherwise it seeds k-means++
 	// exactly as a cold sweep does.
 	cw := newSweepWorker(cfg, ord)
+	defer cw.close()
 	prev := cfg.SeedCentroids
 	var chainErr error
 	for _, i := range order {
@@ -496,17 +518,10 @@ func warmSeed(prev [][]float64, data [][]float64, csr *vec.CSRMatrix, k int) [][
 	// tighten lowers dist[i] to min(dist[i], ‖x_i − cent‖²).
 	tighten := func(cent []float64) {
 		if csr != nil {
-			cn := 0.0
-			for _, v := range cent {
-				cn += v * v
-			}
+			cn := vec.Dot(cent, cent)
 			for i := range dist {
 				vals, cols := csr.RowView(i)
-				dot := 0.0
-				for p, v := range vals {
-					dot += v * cent[cols[p]]
-				}
-				if d := csr.RowNorm2(i) + cn - 2*dot; d < dist[i] {
+				if d := csr.RowNorm2(i) + cn - 2*vec.SparseDot(vals, cols, cent); d < dist[i] {
 					dist[i] = d
 				}
 			}

@@ -25,6 +25,7 @@ import (
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
 	"adahealth/internal/kdb"
+	"adahealth/internal/optimize"
 )
 
 var (
@@ -83,6 +84,12 @@ type Service struct {
 	engine *core.Engine
 	pool   core.StagePool
 	cfg    Config
+	// arena carries sweep worker slabs (decision trees, cluster
+	// scratch, RNGs) across jobs: slabs are checked out per sweep
+	// worker, so the one arena is safe under every Workers count and
+	// settles at the peak concurrent sweep-worker population. Reports
+	// are bit-for-bit identical to arena-less runs.
+	arena *optimize.Arena
 
 	// queueSlots is the admission semaphore: holding a slot = sitting
 	// in the queue. Submit acquires non-blocking (ErrQueueFull),
@@ -140,6 +147,7 @@ func NewWithEngine(engine *core.Engine, cfg Config) *Service {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		engine:     engine,
+		arena:      optimize.NewArena(),
 		pool:       core.NewStagePool(engine.StageParallelism()),
 		cfg:        cfg,
 		queueSlots: make(chan struct{}, cfg.QueueDepth),
@@ -538,6 +546,7 @@ func (s *Service) defaultRun(j *Job) (*core.Report, error) {
 		Observer:  j.observeStage,
 		NoFlush:   true,
 		FairShare: s.cfg.Workers,
+		Arena:     s.arena,
 	})
 }
 

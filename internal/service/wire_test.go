@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adahealth/internal/core"
+	"adahealth/internal/kdb"
+)
+
+// TestJobStateRetries: the status wire form totals the scheduler's
+// stage re-runs (attempts−1 per trace) so the load harness can see how
+// much of a job's latency went to retry/backoff.
+func TestJobStateRetries(t *testing.T) {
+	svc, err := New(Config{Engine: fastConfig(1), Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	svc.runJob = func(j *Job) (*core.Report, error) {
+		return &core.Report{Stages: []kdb.StageTrace{
+			{Stage: "sweep", Attempts: 3},    // 2 retries
+			{Stage: "cluster", Attempts: 1},  // clean run
+			{Stage: "patterns", Attempts: 0}, // legacy trace without the field
+		}}, nil
+	}
+
+	j, err := svc.Submit(context.Background(), testLog(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := j.State()
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+	buf, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"retries": 2`) && !strings.Contains(string(buf), `"retries":2`) {
+		t.Errorf("status JSON missing retries field: %s", buf)
+	}
+}
+
+// TestJobStateRetriesOmittedWhenClean: a retry-free job's status JSON
+// omits the field entirely (omitempty) rather than reporting zero.
+func TestJobStateRetriesOmittedWhenClean(t *testing.T) {
+	svc, err := New(Config{Engine: fastConfig(1), Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	svc.runJob = func(j *Job) (*core.Report, error) {
+		return &core.Report{Stages: []kdb.StageTrace{{Stage: "sweep", Attempts: 1}}}, nil
+	}
+
+	j, err := svc.Submit(context.Background(), testLog(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.State(); st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", st.Retries)
+	}
+	buf, err := json.Marshal(j.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf), "retries") {
+		t.Errorf("clean job's status JSON carries retries: %s", buf)
+	}
+}

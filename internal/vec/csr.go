@@ -120,11 +120,7 @@ func (m *CSRMatrix) DotDense(i int, dense []float64) float64 {
 		panic(fmt.Sprintf("vec: CSRMatrix.DotDense length mismatch %d vs %d", len(dense), m.Cols))
 	}
 	vals, cols := m.RowView(i)
-	s := 0.0
-	for p, v := range vals {
-		s += v * dense[cols[p]]
-	}
-	return s
+	return SparseDot(vals, cols, dense)
 }
 
 // DenseRow materializes row i into dst (which must have NumCols

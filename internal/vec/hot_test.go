@@ -1,0 +1,165 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Naive reference implementations: the plain range loops the unrolled
+// versions replaced. The tests require bit-for-bit equality (==, not
+// a tolerance) across lengths that exercise every unroll tail, which
+// is exactly the single-accumulator-in-order contract the clustering
+// kernels' exactness properties rest on.
+
+func naiveDot(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+func naiveSquaredEuclidean(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func naiveSparseDot(vals []float64, cols []int32, dense []float64) float64 {
+	s := 0.0
+	for p, v := range vals {
+		s += v * dense[cols[p]]
+	}
+	return s
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 3
+	}
+	return out
+}
+
+func randSparseRow(rng *rand.Rand, nnz, dim int) ([]float64, []int32) {
+	perm := rng.Perm(dim)[:nnz]
+	vals := make([]float64, nnz)
+	cols := make([]int32, nnz)
+	for p := range vals {
+		vals[p] = rng.NormFloat64()
+		cols[p] = int32(perm[p])
+	}
+	return vals, cols
+}
+
+func TestUnrolledLoopsMatchNaiveBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 100, 257}
+	for _, n := range lengths {
+		for trial := 0; trial < 8; trial++ {
+			a, b := randVec(rng, n), randVec(rng, n)
+			if got, want := Dot(a, b), naiveDot(a, b); got != want {
+				t.Fatalf("Dot(len=%d) = %v, naive = %v", n, got, want)
+			}
+			if got, want := SquaredEuclidean(a, b), naiveSquaredEuclidean(a, b); got != want {
+				t.Fatalf("SquaredEuclidean(len=%d) = %v, naive = %v", n, got, want)
+			}
+
+			dst1, dst2 := randVec(rng, n), make([]float64, n)
+			copy(dst2, dst1)
+			AddTo(dst1, a)
+			for i := range dst2 {
+				dst2[i] += a[i]
+			}
+			for i := range dst1 {
+				if dst1[i] != dst2[i] {
+					t.Fatalf("AddTo(len=%d)[%d] = %v, naive = %v", n, i, dst1[i], dst2[i])
+				}
+			}
+
+			dim := n + 8
+			dense := randVec(rng, dim)
+			vals, cols := randSparseRow(rng, n, dim)
+			if got, want := SparseDot(vals, cols, dense), naiveSparseDot(vals, cols, dense); got != want {
+				t.Fatalf("SparseDot(nnz=%d) = %v, naive = %v", n, got, want)
+			}
+
+			acc1, acc2 := randVec(rng, dim), make([]float64, dim)
+			copy(acc2, acc1)
+			ScatterAdd(acc1, vals, cols)
+			for p, v := range vals {
+				acc2[cols[p]] += v
+			}
+			for i := range acc1 {
+				if acc1[i] != acc2[i] {
+					t.Fatalf("ScatterAdd(nnz=%d)[%d] = %v, naive = %v", n, i, acc1[i], acc2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUnrolledLoopsPanicOnMismatch(t *testing.T) {
+	cases := map[string]func(){
+		"Dot":              func() { Dot(make([]float64, 3), make([]float64, 4)) },
+		"SquaredEuclidean": func() { SquaredEuclidean(make([]float64, 3), make([]float64, 4)) },
+		"AddTo":            func() { AddTo(make([]float64, 3), make([]float64, 4)) },
+		"SparseDot":        func() { SparseDot(make([]float64, 3), make([]int32, 4), make([]float64, 8)) },
+		"ScatterAdd":       func() { ScatterAdd(make([]float64, 8), make([]float64, 3), make([]int32, 4)) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+var sinkF float64
+
+func BenchmarkSquaredEuclidean(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{8, 64, 256} {
+		x, y := randVec(rng, d), randVec(rng, d)
+		b.Run(sizeName("d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF = SquaredEuclidean(x, y)
+			}
+		})
+		b.Run(sizeName("naive-d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF = naiveSquaredEuclidean(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkSparseDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nnz := range []int{8, 64, 256} {
+		dense := randVec(rng, nnz*4)
+		vals, cols := randSparseRow(rng, nnz, nnz*4)
+		b.Run(sizeName("nnz", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF = SparseDot(vals, cols, dense)
+			}
+		})
+		b.Run(sizeName("naive-nnz", nnz), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF = naiveSparseDot(vals, cols, dense)
+			}
+		})
+	}
+}
+
+func sizeName(prefix string, n int) string {
+	return fmt.Sprintf("%s%d", prefix, n)
+}

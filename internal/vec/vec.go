@@ -9,19 +9,6 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b. It panics if the lengths
-// differ, since that is always a programming error.
-func Dot(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: Dot length mismatch %d vs %d", len(a), len(b)))
-	}
-	s := 0.0
-	for i, x := range a {
-		s += x * b[i]
-	}
-	return s
-}
-
 // Norm returns the Euclidean (L2) norm of a.
 func Norm(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
 
@@ -59,16 +46,6 @@ func Add(a, b []float64) []float64 {
 	return out
 }
 
-// AddTo accumulates src into dst in place.
-func AddTo(dst, src []float64) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("vec: AddTo length mismatch %d vs %d", len(dst), len(src)))
-	}
-	for i := range dst {
-		dst[i] += src[i]
-	}
-}
-
 // Sub returns a-b as a new slice.
 func Sub(a, b []float64) []float64 {
 	if len(a) != len(b) {
@@ -94,19 +71,6 @@ func Clone(a []float64) []float64 {
 	out := make([]float64, len(a))
 	copy(out, a)
 	return out
-}
-
-// SquaredEuclidean returns ||a-b||².
-func SquaredEuclidean(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: SquaredEuclidean length mismatch %d vs %d", len(a), len(b)))
-	}
-	s := 0.0
-	for i, x := range a {
-		d := x - b[i]
-		s += d * d
-	}
-	return s
 }
 
 // Euclidean returns ||a-b||.

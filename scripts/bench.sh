@@ -18,12 +18,13 @@ BENCH="${BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblati
 if [ "${SMOKE:-0}" = "1" ]; then
     # The smoke set gates the CI ns/op regression check: the full
     # Table I sweep (the repo's headline number), the partial-mining
-    # series, the vsm-shaped K-means ablation (all kernels, including
-    # the bounded ones), one bounded-kernel case on the blobs shape
-    # where triangle-inequality pruning dominates, the batch pipeline,
-    # and the K-DB storage engine's write (WAL group commit) and
-    # sorted-query paths.
-    BENCH="${SMOKE_BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkKMeansAblation/blobs-d3/K=64/elkan|BenchmarkAnalyzeMany|BenchmarkDocstore/WALInsert\$|BenchmarkDocstore/QuerySorted}"
+    # series, the vsm-shaped K-means ablation (all kernels at the
+    # paper's operating point), the large-K bounded-kernel ablation on
+    # the overlapping-blob shapes (yinyang's target regime, with
+    # hamerly/elkan as the baselines it must beat), the batch
+    # pipeline, and the K-DB storage engine's write (WAL group commit)
+    # and sorted-query paths.
+    BENCH="${SMOKE_BENCH:-BenchmarkTableI\$|BenchmarkPartialMining\$|BenchmarkKMeansAblation/vsm-d8|BenchmarkKMeansAblation/blobs-d3/K=64/(hamerly|elkan|yinyang)\$|BenchmarkKMeansAblation/blobs-d8/K=64/(hamerly|elkan|yinyang)\$|BenchmarkAnalyzeMany|BenchmarkDocstore/WALInsert\$|BenchmarkDocstore/QuerySorted}"
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%F).json}"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check_bce.sh — verify the hot loops stay bounds-check free.
+#
+# Compiles internal/vec with the SSA bounds-check-elimination debug
+# flag and fails if any check survives in the unrolled hot-loop file
+# other than the data-dependent CSR gathers/scatters (dense[cols[p]]
+# in SparseDot, dst[cols[p]] in ScatterAdd), which no safe Go
+# formulation can eliminate: the column indices are data, not
+# induction variables.
+#
+# Usage: scripts/check_bce.sh            # check and summarize
+#        scripts/check_bce.sh -v         # also print every finding
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# One line per residual bounds check: "hot.go:LINE:COL: Found IsInBounds".
+findings=$(go build -gcflags='-d=ssa/check_bce' ./internal/vec 2>&1 |
+	grep -E 'hot\.go:[0-9]+:[0-9]+: Found Is(Slice)?InBounds' || true)
+
+if [[ "${1:-}" == "-v" && -n "$findings" ]]; then
+	echo "$findings"
+fi
+
+# The two gather/scatter functions are the only allowed homes for
+# residual checks. Everything else in hot.go must be check-free.
+allowed_lines=$(awk '/^func (SparseDot|ScatterAdd)/,/^}/ {print NR}' internal/vec/hot.go)
+bad=0
+while IFS= read -r line; do
+	[[ -z "$line" ]] && continue
+	lineno=$(echo "$line" | sed -E 's/.*hot\.go:([0-9]+):.*/\1/')
+	if ! grep -qx "$lineno" <<<"$allowed_lines"; then
+		echo "UNEXPECTED bounds check: $line" >&2
+		bad=1
+	fi
+done <<<"$findings"
+
+count=$(grep -c . <<<"$findings" || true)
+if [[ $bad -ne 0 ]]; then
+	echo "check_bce: FAIL — bounds checks outside the data-dependent gathers" >&2
+	exit 1
+fi
+echo "check_bce: OK ($count residual checks, all data-dependent gathers in SparseDot/ScatterAdd)"
