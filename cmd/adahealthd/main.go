@@ -14,6 +14,10 @@
 //	DELETE /v1/analyses/{id}         cancel the job
 //	GET    /v1/knowledge             K-DB knowledge items (?dataset=, ?metric=, ?limit=)
 //	GET    /v1/datasets/{id}/similar statistically similar datasets from the K-DB
+//	PUT    /v1/datasets/{id}         register a live (streaming) dataset; 201, 409 if the name is taken
+//	POST   /v1/datasets/{id}/visits  append a visit batch to a live dataset; 202 + revision, 503 when not durable
+//	GET    /v1/datasets/{id}         live model status, drift gauge, last full-analysis report id
+//	GET    /v1/datasets/{id}/events  live dataset event stream (SSE: appended, model-updated, resweep-scheduled, ...)
 //	GET    /healthz                  liveness + queue/worker/K-DB gauges
 //
 // With -kdb-dir the knowledge base is durable: every mutation is
@@ -48,6 +52,7 @@ import (
 	"adahealth/internal/core"
 	"adahealth/internal/optimize"
 	"adahealth/internal/service"
+	"adahealth/internal/stream"
 )
 
 func main() {
@@ -64,6 +69,8 @@ func main() {
 		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 		stageTO = flag.Duration("stage-timeout", 0, "per-stage attempt deadline; a stage exceeding it fails its job, not the daemon (0 = none)")
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profile the daemon under cmd/loadgen traffic)")
+		driftTh = flag.Float64("drift-threshold", 0, "live-dataset descriptor drift that triggers a full warm-started re-analysis (0 = default 0.15)")
+		traces  = flag.Int("max-stage-traces", 0, "newest stage traces kept per dataset at flush time (0 = default 256, negative = unbounded)")
 	)
 	flag.Parse()
 
@@ -97,8 +104,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
 		os.Exit(1)
 	}
+	if *traces != 0 {
+		svc.Engine().KDB().SetStageTraceLimit(*traces)
+	}
 
-	handler := service.NewHandler(svc)
+	// The streaming manager resumes any live datasets persisted in the
+	// K-DB (replaying their accepted batches), so a restarted daemon
+	// picks up every stream where the last acknowledged append left it.
+	mgr, err := stream.NewManager(stream.Config{
+		Service:        svc,
+		DriftThreshold: *driftTh,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
+		os.Exit(1)
+	}
+
+	handler := stream.Handler(svc, mgr)
 	if *pprofOn {
 		// The profiling surface rides on the API port behind an opt-in
 		// flag: `go tool pprof http://host:port/debug/pprof/profile`

@@ -21,6 +21,21 @@
 // A sampler polls /healthz on a fixed cadence for queue-depth and
 // running-worker gauges. Results land as indented JSON in -out.
 //
+// With -open-loop the tenants are replaced by Poisson arrival
+// processes: each priority class offers jobs at its share of -rate
+// (exponential interarrivals), fired without waiting for completions —
+// the classic open-loop model that exposes queue growth instead of
+// self-throttling with it. Rejections (429/503) drop the arrival
+// rather than retrying, so offered vs. achieved rate, per-class SLO
+// attainment (latency within the class's slo_ms) and the queue-depth
+// growth slope report how far the daemon is from saturation.
+//
+// With -streams N the mix adds N live-dataset tenants exercising the
+// streaming endpoints: each registers a dataset (PUT /v1/datasets/{id})
+// and appends visit batches (POST /v1/datasets/{id}/visits) on a fixed
+// period, reporting append counts and each stream's final revision and
+// drift gauge.
+//
 // With -self the harness starts an in-process daemon on a loopback
 // port and drives it over real HTTP — the CI smoke mode. -min-completed
 // and -max-p99 turn the run into a gate: exit status 1 when too few
@@ -50,23 +65,28 @@ import (
 	"time"
 
 	"adahealth/internal/core"
+	"adahealth/internal/dataset"
 	"adahealth/internal/optimize"
 	"adahealth/internal/partial"
 	"adahealth/internal/service"
+	"adahealth/internal/stream"
 	"adahealth/internal/synth"
 )
 
-// jobClass is one priority band of the tenant mix.
+// jobClass is one priority band of the tenant mix. SLOMS is the
+// class's completion-latency objective, reported as attainment (the
+// fraction of completed jobs within it) in open-loop mode.
 type jobClass struct {
 	Name     string  `json:"name"`
 	Priority int     `json:"priority"`
 	Weight   float64 `json:"weight"`
+	SLOMS    float64 `json:"slo_ms"`
 }
 
 var classes = []jobClass{
-	{Name: "interactive", Priority: 10, Weight: 0.2},
-	{Name: "standard", Priority: 5, Weight: 0.5},
-	{Name: "batch", Priority: 0, Weight: 0.3},
+	{Name: "interactive", Priority: 10, Weight: 0.2, SLOMS: 5000},
+	{Name: "standard", Priority: 5, Weight: 0.5, SLOMS: 15000},
+	{Name: "batch", Priority: 0, Weight: 0.3, SLOMS: 60000},
 }
 
 // latencyStats summarizes one latency population in milliseconds.
@@ -84,6 +104,18 @@ type gaugeStats struct {
 	Mean    float64 `json:"mean"`
 	P99     float64 `json:"p99"`
 	Max     int     `json:"max"`
+}
+
+// streamResult is one live-dataset tenant's tally: appends accepted
+// through POST /v1/datasets/{id}/visits plus the stream's final status
+// (revision, drift gauge, any resweep observed).
+type streamResult struct {
+	Dataset  string  `json:"dataset"`
+	Appends  int     `json:"appends"`
+	Errors   int     `json:"errors"`
+	Revision int     `json:"revision,omitempty"`
+	Drift    float64 `json:"drift,omitempty"`
+	Resweep  string  `json:"resweep_job,omitempty"`
 }
 
 // result is the BENCH_*_load.json document.
@@ -105,6 +137,17 @@ type result struct {
 	QueueDepth  gaugeStats              `json:"queue_depth"`
 	Running     gaugeStats              `json:"running"`
 	Patients    gaugeStats              `json:"patients_per_job"`
+
+	// Open-loop mode only: offered vs. achieved throughput, per-class
+	// SLO attainment, and the queue-depth growth slope over the run.
+	OpenLoop          bool               `json:"open_loop,omitempty"`
+	OfferedPerSec     float64            `json:"offered_per_sec,omitempty"`
+	AchievedPerSec    float64            `json:"achieved_per_sec,omitempty"`
+	SLOAttainment     map[string]float64 `json:"slo_attainment,omitempty"`
+	QueueGrowthPerSec float64            `json:"queue_growth_per_sec,omitempty"`
+
+	// -streams mode only: per-stream append tallies.
+	Streams []streamResult `json:"streams,omitempty"`
 }
 
 func main() {
@@ -122,6 +165,10 @@ func main() {
 		out      = flag.String("out", "BENCH_load.json", "result snapshot path (empty = stdout only)")
 		minDone  = flag.Int("min-completed", 0, "gate: fail unless at least this many jobs completed")
 		maxP99   = flag.Duration("max-p99", 0, "gate: fail when overall p99 latency exceeds this (0 = no gate)")
+		openLoop = flag.Bool("open-loop", false, "Poisson arrivals at -rate instead of closed-loop tenants (rejections drop, not retry)")
+		rate     = flag.Float64("rate", 2, "open-loop total offered arrival rate in jobs/sec, split across classes by weight")
+		streams  = flag.Int("streams", 0, "live-dataset tenants registering and appending via /v1/datasets")
+		streamMS = flag.Duration("stream-period", 250*time.Millisecond, "interval between a stream tenant's visit-batch appends")
 	)
 	flag.Parse()
 
@@ -142,12 +189,16 @@ func main() {
 	}
 
 	res, err := run(base, runConfig{
-		duration: *duration,
-		tenants:  *tenants,
-		maxJobs:  *maxJobs,
-		seed:     *seed,
-		fast:     *fast,
-		sample:   *sample,
+		duration:     *duration,
+		tenants:      *tenants,
+		maxJobs:      *maxJobs,
+		seed:         *seed,
+		fast:         *fast,
+		sample:       *sample,
+		openLoop:     *openLoop,
+		rate:         *rate,
+		streams:      *streams,
+		streamPeriod: *streamMS,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -172,6 +223,19 @@ func main() {
 	fmt.Printf("loadgen: latency p50=%.0fms p90=%.0fms p99=%.0fms max=%.0fms; queue depth mean=%.1f max=%d\n",
 		res.Latency.P50MS, res.Latency.P90MS, res.Latency.P99MS, res.Latency.MaxMS,
 		res.QueueDepth.Mean, res.QueueDepth.Max)
+	if res.OpenLoop {
+		fmt.Printf("loadgen: open-loop offered=%.2f/s achieved=%.2f/s queue growth=%.3f/s\n",
+			res.OfferedPerSec, res.AchievedPerSec, res.QueueGrowthPerSec)
+		for _, c := range classes {
+			if att, ok := res.SLOAttainment[c.Name]; ok {
+				fmt.Printf("loadgen: SLO %-11s %.0fms attainment %.1f%%\n", c.Name, c.SLOMS, att*100)
+			}
+		}
+	}
+	for _, s := range res.Streams {
+		fmt.Printf("loadgen: stream %s: %d appends, %d errors, revision %d, drift %.3f\n",
+			s.Dataset, s.Appends, s.Errors, s.Revision, s.Drift)
+	}
 	if *out != "" {
 		fmt.Printf("loadgen: snapshot written to %s\n", *out)
 	}
@@ -190,7 +254,8 @@ func main() {
 	}
 }
 
-// startSelf boots an in-process daemon on a loopback port.
+// startSelf boots an in-process daemon on a loopback port, serving the
+// full API surface: job endpoints plus the live-dataset routes.
 func startSelf(workers, queue int, seed int64) (base string, shutdown func(), err error) {
 	svc, err := service.New(service.Config{
 		Engine:     core.Config{Seed: seed},
@@ -200,12 +265,17 @@ func startSelf(workers, queue int, seed int64) (base string, shutdown func(), er
 	if err != nil {
 		return "", nil, err
 	}
+	mgr, err := stream.NewManager(stream.Config{Service: svc})
+	if err != nil {
+		_ = svc.Close()
+		return "", nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		_ = svc.Close()
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: service.NewHandler(svc)}
+	srv := &http.Server{Handler: stream.Handler(svc, mgr)}
 	go func() { _ = srv.Serve(ln) }()
 	shutdown = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -217,12 +287,16 @@ func startSelf(workers, queue int, seed int64) (base string, shutdown func(), er
 }
 
 type runConfig struct {
-	duration time.Duration
-	tenants  int
-	maxJobs  int
-	seed     int64
-	fast     bool
-	sample   time.Duration
+	duration     time.Duration
+	tenants      int
+	maxJobs      int
+	seed         int64
+	fast         bool
+	sample       time.Duration
+	openLoop     bool
+	rate         float64
+	streams      int
+	streamPeriod time.Duration
 }
 
 // jobOutcome is one completed submission's measurement.
@@ -294,37 +368,103 @@ func run(base string, cfg runConfig) (*result, error) {
 	}()
 
 	start := time.Now()
-	var wg sync.WaitGroup
-	for t := 0; t < cfg.tenants; t++ {
-		wg.Add(1)
+
+	// Live-dataset tenants ride alongside either traffic model,
+	// exercising the streaming endpoints for the submission window.
+	streamCh := make(chan streamResult, cfg.streams)
+	var streamWG sync.WaitGroup
+	for t := 0; t < cfg.streams; t++ {
+		streamWG.Add(1)
 		go func(t int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.seed + int64(t)*1_000_003))
-			for i := 0; ctx.Err() == nil; i++ {
-				if !takeBudget() {
-					return
-				}
-				class := rollClass(rng)
-				patients := paretoPatients(rng)
-				name := fmt.Sprintf("load-t%d-j%d", t, i)
-				outcome, rej, err := submitAndWait(ctx, client, base, submitSpec{
-					name: name, class: class, patients: patients,
-					seed: cfg.seed + int64(t*1000+i), fast: cfg.fast,
-				})
-				mu.Lock()
-				rejected += rej
-				if err == nil {
-					submitted++
-					outcomes = append(outcomes, outcome)
-				}
-				mu.Unlock()
-				if err != nil {
-					return // ctx expired mid-flight; in-flight job measured by no one
-				}
-			}
+			defer streamWG.Done()
+			streamCh <- streamTenant(ctx, client, base, t, cfg.seed, cfg.streamPeriod)
 		}(t)
 	}
+
+	offered := 0
+	var wg sync.WaitGroup
+	if cfg.openLoop {
+		// One Poisson arrival process per class at its share of the
+		// total rate; arrivals fire without waiting for completions.
+		for ci, c := range classes {
+			classRate := cfg.rate * c.Weight
+			if classRate <= 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(ci int, c jobClass, classRate float64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.seed + int64(ci)*7_368_787))
+				var inflight sync.WaitGroup
+				defer inflight.Wait()
+				for i := 0; ; i++ {
+					wait := time.Duration(rng.ExpFloat64() / classRate * float64(time.Second))
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(wait):
+					}
+					if !takeBudget() {
+						return
+					}
+					patients := paretoPatients(rng)
+					name := fmt.Sprintf("load-%s-a%d", c.Name, i)
+					jobSeed := cfg.seed + int64(ci)*1_000_003 + int64(i)
+					mu.Lock()
+					offered++
+					mu.Unlock()
+					inflight.Add(1)
+					go func() {
+						defer inflight.Done()
+						outcome, rej, err := submitAndWait(ctx, client, base, submitSpec{
+							name: name, class: c, patients: patients,
+							seed: jobSeed, fast: cfg.fast, noRetry: true,
+						})
+						mu.Lock()
+						defer mu.Unlock()
+						rejected += rej
+						if err == nil {
+							submitted++
+							outcomes = append(outcomes, outcome)
+						}
+					}()
+				}
+			}(ci, c, classRate)
+		}
+	} else {
+		for t := 0; t < cfg.tenants; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.seed + int64(t)*1_000_003))
+				for i := 0; ctx.Err() == nil; i++ {
+					if !takeBudget() {
+						return
+					}
+					class := rollClass(rng)
+					patients := paretoPatients(rng)
+					name := fmt.Sprintf("load-t%d-j%d", t, i)
+					outcome, rej, err := submitAndWait(ctx, client, base, submitSpec{
+						name: name, class: class, patients: patients,
+						seed: cfg.seed + int64(t*1000+i), fast: cfg.fast,
+					})
+					mu.Lock()
+					rejected += rej
+					if err == nil {
+						submitted++
+						outcomes = append(outcomes, outcome)
+					}
+					mu.Unlock()
+					if err != nil {
+						return // ctx expired mid-flight; in-flight job measured by no one
+					}
+				}
+			}(t)
+		}
+	}
 	wg.Wait()
+	streamWG.Wait()
+	close(streamCh)
 	stopSampler()
 	elapsed := time.Since(start)
 
@@ -360,9 +500,150 @@ func run(base string, cfg runConfig) (*result, error) {
 	sampleMu.Lock()
 	res.QueueDepth = summarizeGauge(queueSamples)
 	res.Running = summarizeGauge(runSamples)
+	res.QueueGrowthPerSec = growthPerSec(queueSamples, cfg.sample)
 	sampleMu.Unlock()
 	res.Patients = summarizeGauge(patients)
+
+	if cfg.openLoop {
+		res.OpenLoop = true
+		res.OfferedPerSec = float64(offered) / elapsed.Seconds()
+		res.AchievedPerSec = res.JobsPerSec
+		res.SLOAttainment = map[string]float64{}
+		for _, c := range classes {
+			ds := byClass[c.Name]
+			if len(ds) == 0 {
+				continue
+			}
+			within := 0
+			for _, d := range ds {
+				if float64(d)/float64(time.Millisecond) <= c.SLOMS {
+					within++
+				}
+			}
+			res.SLOAttainment[c.Name] = float64(within) / float64(len(ds))
+		}
+	}
+	for s := range streamCh {
+		res.Streams = append(res.Streams, s)
+	}
+	sort.Slice(res.Streams, func(i, j int) bool { return res.Streams[i].Dataset < res.Streams[j].Dataset })
 	return res, nil
+}
+
+// growthPerSec is the least-squares slope of a gauge series sampled on
+// a fixed period, in gauge units per second — positive under an
+// open-loop overload means the queue grows without bound.
+func growthPerSec(xs []int, period time.Duration) float64 {
+	if len(xs) < 2 || period <= 0 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sumT, sumX, sumTT, sumTX float64
+	for i, x := range xs {
+		t := float64(i) * period.Seconds()
+		sumT += t
+		sumX += float64(x)
+		sumTT += t * t
+		sumTX += t * float64(x)
+	}
+	den := n*sumTT - sumT*sumT
+	if den == 0 {
+		return 0
+	}
+	return (n*sumTX - sumT*sumX) / den
+}
+
+// streamTenant registers one live dataset and appends visit batches on
+// a fixed period until the submission window closes: the stream-append
+// slice of the tenant mix, driven entirely through the public
+// /v1/datasets endpoints.
+func streamTenant(ctx context.Context, client *http.Client, base string, t int, seed int64, period time.Duration) streamResult {
+	name := fmt.Sprintf("load-stream-t%d", t)
+	res := streamResult{Dataset: name}
+	synthCfg := synth.SmallConfig()
+	synthCfg.Seed = seed + int64(t)*7919
+	synthCfg.NumPatients = 60
+	synthCfg.TargetRecords = 600
+	log, err := synth.Generate(synthCfg)
+	if err != nil {
+		res.Errors++
+		return res
+	}
+	if err := doJSON(ctx, client, http.MethodPut, base+"/v1/datasets/"+name,
+		stream.RegisterRequest{Log: log}, http.StatusCreated, nil); err != nil {
+		res.Errors++
+		return res
+	}
+	rng := rand.New(rand.NewSource(synthCfg.Seed))
+	day := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; ctx.Err() == nil; i++ {
+		batch := visitBatch(log, rng, t, i, &day)
+		var st stream.DatasetStatus
+		err := doJSON(ctx, client, http.MethodPost, base+"/v1/datasets/"+name+"/visits",
+			batch, http.StatusAccepted, &st)
+		switch {
+		case err != nil && ctx.Err() != nil:
+			// window closed mid-append; not an error
+		case err != nil:
+			res.Errors++
+		default:
+			res.Appends++
+			res.Revision = st.Revision
+			res.Drift = st.Drift
+			if st.ResweepJob != "" {
+				res.Resweep = st.ResweepJob
+			}
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(period):
+		}
+	}
+	return res
+}
+
+// visitBatch fabricates one append: a few new patients plus a visit
+// trail over the dataset's existing exam catalog.
+func visitBatch(log *dataset.Log, rng *rand.Rand, t, i int, day *time.Time) stream.AppendRequest {
+	var req stream.AppendRequest
+	for p := 0; p < 3; p++ {
+		id := fmt.Sprintf("LSP-t%d-%d-%d", t, i, p)
+		req.Patients = append(req.Patients, dataset.Patient{ID: id, Age: 20 + rng.Intn(60)})
+		for r := 0; r < 5; r++ {
+			*day = day.Add(6 * time.Hour)
+			exam := log.Exams[rng.Intn(len(log.Exams))]
+			req.Records = append(req.Records, dataset.Record{
+				PatientID: id, ExamCode: exam.Code, Date: *day,
+			})
+		}
+	}
+	return req
+}
+
+// doJSON performs one JSON request/response round trip, requiring the
+// given status code.
+func doJSON(ctx context.Context, client *http.Client, method, url string, in any, want int, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
 }
 
 // rollClass draws a priority class from the weighted mix.
@@ -398,6 +679,9 @@ type submitSpec struct {
 	patients int
 	seed     int64
 	fast     bool
+	// noRetry drops the arrival on 429/503 instead of retrying — the
+	// open-loop model, where a rejection is lost offered load.
+	noRetry bool
 }
 
 // submitAndWait posts one synthetic-log job and polls it to a terminal
@@ -447,6 +731,9 @@ func submitAndWait(ctx context.Context, client *http.Client, base string, spec s
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 			resp.Body.Close()
 			rejections++
+			if spec.noRetry {
+				return jobOutcome{}, rejections, fmt.Errorf("submit %s: rejected", spec.name)
+			}
 			select {
 			case <-ctx.Done():
 				return jobOutcome{}, rejections, ctx.Err()

@@ -395,6 +395,22 @@ type AnalyzeOptions struct {
 	// (see optimize.Arena) — but an explicitly configured
 	// Config.Sweep.Arena takes precedence.
 	Arena *optimize.Arena
+	// SeedCentroids, with SeedFeatures naming their columns by exam
+	// code, warm-starts the K sweep from caller-provided centroids —
+	// the streaming layer passes its live online model here when a
+	// drift-triggered full re-analysis is scheduled. The rows are
+	// remapped onto the analysis's own (possibly projected) feature
+	// space by exam code and take precedence over recall-stage seeds;
+	// they apply only on the warm-started sweep chain
+	// (Sweep.WarmStart on, the default) and are dropped when fewer
+	// than half of the seed features survive the remap, falling back
+	// to the recall/cold behaviour. Any row count works: the sweep
+	// completes short seed sets by farthest-point splits and
+	// truncates long ones (see optimize.SweepConfig.SeedCentroids).
+	SeedCentroids [][]float64
+	// SeedFeatures are the exam codes labelling SeedCentroids'
+	// columns. Required when SeedCentroids is set.
+	SeedFeatures []string
 }
 
 // AnalyzeWith is the single dispatch path every analysis funnels
@@ -420,7 +436,7 @@ func (e *Engine) AnalyzeWith(ctx context.Context, log *dataset.Log, opts Analyze
 		e.inflight.add(log.Name)
 		defer e.inflight.remove(log.Name)
 	}
-	return be.analyze(ctx, log, opts.Pool, !opts.NoFlush, opts.Observer, opts.Arena)
+	return be.analyze(ctx, log, opts)
 }
 
 // derated returns a copy of the engine whose inner sweep and
@@ -535,13 +551,14 @@ func (e *Engine) AnalyzeMany(ctx context.Context, logs []*dataset.Log) ([]*Repor
 	return reports, firstErr
 }
 
-// analyze runs one log through the stage graph. pool is the shared
-// stage semaphore (nil = private pool sized by Config.Parallelism);
-// flush controls whether the K-DB is flushed here (AnalyzeMany defers
-// to one batch-level flush so concurrent snapshot writes cannot tear);
-// observe, when non-nil, receives stage start/finish events live;
-// arena, when non-nil, backs the sweep stage's worker slabs.
-func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, flush bool, observe StageObserver, arena *optimize.Arena) (*Report, error) {
+// analyze runs one log through the stage graph. opts.Pool is the
+// shared stage semaphore (nil = private pool sized by
+// Config.Parallelism); opts.NoFlush defers the K-DB flush to the
+// caller (AnalyzeMany runs one batch-level flush so concurrent
+// snapshot writes cannot tear); opts.Observer, when non-nil, receives
+// stage start/finish events live; opts.Arena backs the sweep stage's
+// worker slabs; opts.SeedCentroids/SeedFeatures warm-start the sweep.
+func (e *Engine) analyze(ctx context.Context, log *dataset.Log, opts AnalyzeOptions) (*Report, error) {
 	if log.NumPatients() == 0 || log.NumRecords() == 0 {
 		return nil, fmt.Errorf("core: log %q is empty", log.Name)
 	}
@@ -549,7 +566,14 @@ func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, 
 	if err := validateStages(stages); err != nil {
 		return nil, err
 	}
-	s := &pipelineState{log: log, rep: &Report{}, arena: arena}
+	pool, observe := opts.Pool, opts.Observer
+	s := &pipelineState{
+		log:           log,
+		rep:           &Report{},
+		arena:         opts.Arena,
+		seedCentroids: opts.SeedCentroids,
+		seedFeatures:  opts.SeedFeatures,
+	}
 
 	var (
 		sr  *scheduleResult
@@ -586,7 +610,7 @@ func (e *Engine) analyze(ctx context.Context, log *dataset.Log, pool StagePool, 
 	if err := e.kdb.StoreStageTraces(sr.traces); err != nil {
 		s.noteDrop("store stage traces", err)
 	}
-	if flush {
+	if !opts.NoFlush {
 		if err := e.kdb.Flush(); err != nil {
 			s.noteDegraded("flush", err)
 		}

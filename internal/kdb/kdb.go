@@ -64,7 +64,20 @@ const (
 	CollPatternKI   = "knowledge_pattern"
 	CollFeedback    = "feedback"
 	CollStageTraces = "stage_traces"
+	// Live-dataset collections back the streaming subsystem
+	// (internal/stream): one state document per registered live
+	// dataset and one append-only document per accepted visit batch,
+	// so a restarted daemon resumes its streams from the WAL.
+	CollLiveDatasets = "live_datasets"
+	CollLiveAppends  = "live_appends"
 )
+
+// DefaultStageTraceLimit is the default retention cap of stage traces
+// per dataset: a busy daemon otherwise accumulates seven-plus traces
+// per analysis forever in the one collection nothing evicts, which
+// eventually dominates snapshot size and reopen time. 256 traces ≈ the
+// last ~25–35 analyses of one dataset.
+const DefaultStageTraceLimit = 256
 
 // Feedback is one user interaction: a domain expert grading a
 // knowledge item's interestingness for a dataset.
@@ -90,6 +103,12 @@ type KDB struct {
 	// cached with an empty DatasetName and skipped.
 	descMu    sync.Mutex
 	descCache map[string]stats.Descriptor
+
+	// traceMu guards traceLimit, the per-dataset stage-trace
+	// retention cap enforced at flush time (0 or negative disables
+	// eviction).
+	traceMu    sync.Mutex
+	traceLimit int
 }
 
 // Open creates or loads a K-DB. dir == "" keeps it in memory.
@@ -105,7 +124,12 @@ func OpenStore(opts docstore.Options) (*KDB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kdb: %w", err)
 	}
-	k := &KDB{store: s, br: newBreaker(), descCache: map[string]stats.Descriptor{}}
+	k := &KDB{
+		store:      s,
+		br:         newBreaker(),
+		descCache:  map[string]stats.Descriptor{},
+		traceLimit: DefaultStageTraceLimit,
+	}
 	// Stripe every collection by its dataset field: concurrent
 	// analyses of different datasets then write disjoint shards, and a
 	// dataset-scoped FindEq touches a single stripe.
@@ -113,6 +137,7 @@ func OpenStore(opts docstore.Options) (*KDB, error) {
 	for _, name := range []string{
 		CollTransformed, CollDescriptors, CollClusterKI,
 		CollPatternKI, CollFeedback, CollStageTraces,
+		CollLiveDatasets, CollLiveAppends,
 	} {
 		s.Collection(name).ShardBy("dataset")
 	}
@@ -123,7 +148,19 @@ func OpenStore(opts docstore.Options) (*KDB, error) {
 	s.Collection(CollFeedback).CreateIndex("dataset")
 	s.Collection(CollFeedback).CreateIndex("item_id")
 	s.Collection(CollStageTraces).CreateIndex("dataset")
+	s.Collection(CollLiveAppends).CreateIndex("dataset")
 	return k, nil
+}
+
+// SetStageTraceLimit caps how many stage traces the K-DB retains per
+// dataset: the newest n survive, older ones are evicted during Flush
+// (eviction piggybacks on the flush WAL batch, so reopen replays the
+// same bounded set). n <= 0 disables eviction. The default is
+// DefaultStageTraceLimit.
+func (k *KDB) SetStageTraceLimit(n int) {
+	k.traceMu.Lock()
+	k.traceLimit = n
+	k.traceMu.Unlock()
 }
 
 // Close compacts and releases a disk-backed K-DB (no-op in memory).
@@ -221,9 +258,46 @@ func (k *KDB) Flush() error {
 	if err := k.br.beforeFlush(); err != nil {
 		return err
 	}
-	err := k.store.Flush()
+	// Retention runs at flush time so eviction deletes ride the same
+	// WAL the flush is about to compact; a failed eviction counts as
+	// a flush failure for the breaker.
+	err := k.evictStageTraces()
+	if err == nil {
+		err = k.store.Flush()
+	}
 	k.br.afterFlush(err)
 	return err
+}
+
+// evictStageTraces drops, per dataset, all but the newest traceLimit
+// stage traces (by insertion order — traces of one analysis are
+// inserted batch-wise in execution order).
+func (k *KDB) evictStageTraces() error {
+	k.traceMu.Lock()
+	limit := k.traceLimit
+	k.traceMu.Unlock()
+	if limit <= 0 {
+		return nil
+	}
+	coll := k.store.Collection(CollStageTraces)
+	counts := map[string]int{}
+	coll.Scan(func(d docstore.Document) bool {
+		name, _ := d["dataset"].(string)
+		counts[name]++
+		return true
+	})
+	for name, c := range counts {
+		if c <= limit {
+			continue
+		}
+		docs := coll.FindEq("dataset", name)
+		for _, doc := range docs[:len(docs)-limit] {
+			if err := coll.Delete(doc.ID()); err != nil {
+				return fmt.Errorf("kdb: evicting stage trace of %q: %w", name, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Store exposes the underlying document store (read-mostly uses such
@@ -540,6 +614,7 @@ func (k *KDB) Counts() map[string]int {
 	for _, name := range []string{
 		CollRaw, CollTransformed, CollDescriptors,
 		CollClusterKI, CollPatternKI, CollFeedback, CollStageTraces,
+		CollLiveDatasets, CollLiveAppends,
 	} {
 		out[name] = k.store.Collection(name).Count()
 	}

@@ -220,12 +220,14 @@ func TestPersistence(t *testing.T) {
 func TestCountsCoversAllCollections(t *testing.T) {
 	k, _ := Open("")
 	counts := k.Counts()
-	// The paper's six collections plus the engine's stage_traces.
-	if len(counts) != 7 {
-		t.Errorf("counts covers %d collections, want 7", len(counts))
+	// The paper's six collections plus the engine's stage_traces and
+	// the streaming layer's two live collections.
+	if len(counts) != 9 {
+		t.Errorf("counts covers %d collections, want 9", len(counts))
 	}
 	for _, name := range []string{CollRaw, CollTransformed, CollDescriptors,
-		CollClusterKI, CollPatternKI, CollFeedback, CollStageTraces} {
+		CollClusterKI, CollPatternKI, CollFeedback, CollStageTraces,
+		CollLiveDatasets, CollLiveAppends} {
 		if _, ok := counts[name]; !ok {
 			t.Errorf("collection %s missing from Counts", name)
 		}

@@ -1,0 +1,159 @@
+package kdb
+
+import (
+	"fmt"
+	"sort"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/stats"
+)
+
+// LiveDatasetState is the durable control record of one streaming
+// dataset (collection live_datasets, one upserted document per
+// dataset): the applied and modelled revisions, the online model's
+// centroids in their feature space, the drift baseline the detector
+// compares against, and the last completed full analysis. The visit
+// data itself is not here — it is the ordered batch documents of
+// live_appends, which recovery replays; trusting the batches (not
+// this record's Revision) is what makes restart lossless even when a
+// crash lands between an acknowledged append and the state upsert.
+type LiveDatasetState struct {
+	Dataset string `json:"dataset"`
+	// Revision is the last applied append revision at the time the
+	// state was written (the initial registration is revision 1).
+	Revision int `json:"revision"`
+	// ModelRevision is the revision the online model reflects.
+	ModelRevision int `json:"model_revision"`
+	// Centroids/Features are the live mini-batch model, labelled by
+	// exam code so it can be remapped across feature reorderings.
+	Centroids [][]float64 `json:"centroids,omitempty"`
+	Features  []string    `json:"features,omitempty"`
+	// Baseline is the descriptor of the last fully analyzed state —
+	// the drift detector's reference point.
+	Baseline *stats.Descriptor `json:"baseline,omitempty"`
+	// Drift is the last computed drift gauge against Baseline.
+	Drift float64 `json:"drift"`
+	// LastAnalysis is the service job ID of the last completed full
+	// re-analysis ("" before the first).
+	LastAnalysis string `json:"last_analysis,omitempty"`
+}
+
+// LiveBatch is one accepted visit batch (collection live_appends,
+// append-only): the registration batch is revision 1, every accepted
+// append increments the revision by one. Replaying a dataset's batches
+// in revision order reconstructs the accumulated log exactly.
+type LiveBatch struct {
+	Dataset  string             `json:"dataset"`
+	Revision int                `json:"revision"`
+	Exams    []dataset.ExamType `json:"exams,omitempty"`
+	Patients []dataset.Patient  `json:"patients,omitempty"`
+	Records  []dataset.Record   `json:"records,omitempty"`
+}
+
+func liveStateID(name string) string { return "live:" + name }
+
+// StoreLiveDataset upserts the control record of a live dataset.
+func (k *KDB) StoreLiveDataset(st LiveDatasetState) error {
+	if err := k.br.beforeWrite(); err != nil {
+		return err
+	}
+	err := k.storeLiveDataset(st)
+	k.br.afterWrite(err)
+	return err
+}
+
+func (k *KDB) storeLiveDataset(st LiveDatasetState) error {
+	doc, err := toDoc(st)
+	if err != nil {
+		return fmt.Errorf("kdb: encoding live dataset %q: %w", st.Dataset, err)
+	}
+	doc["_id"] = liveStateID(st.Dataset)
+	coll := k.store.Collection(CollLiveDatasets)
+	if _, exists := coll.Get(doc.ID()); exists {
+		if err := coll.Update(doc.ID(), doc); err != nil {
+			return fmt.Errorf("kdb: updating live dataset %q: %w", st.Dataset, err)
+		}
+		return nil
+	}
+	if _, err := coll.Insert(doc); err != nil {
+		return fmt.Errorf("kdb: storing live dataset %q: %w", st.Dataset, err)
+	}
+	return nil
+}
+
+// LiveDataset loads one live dataset's control record; ok is false
+// when the dataset is not registered.
+func (k *KDB) LiveDataset(name string) (LiveDatasetState, bool, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return LiveDatasetState{}, false, err
+	}
+	doc, ok := k.store.Collection(CollLiveDatasets).Get(liveStateID(name))
+	if !ok {
+		return LiveDatasetState{}, false, nil
+	}
+	var st LiveDatasetState
+	if err := fromDoc(doc, &st); err != nil {
+		return LiveDatasetState{}, false, fmt.Errorf("kdb: decoding live dataset %q: %w", name, err)
+	}
+	return st, true, nil
+}
+
+// LiveDatasets returns every registered live dataset's control record,
+// sorted by dataset name.
+func (k *KDB) LiveDatasets() ([]LiveDatasetState, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
+	docs := k.store.Collection(CollLiveDatasets).Find(nil)
+	out := make([]LiveDatasetState, 0, len(docs))
+	for _, doc := range docs {
+		var st LiveDatasetState
+		if err := fromDoc(doc, &st); err != nil {
+			return nil, fmt.Errorf("kdb: decoding live dataset: %w", err)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out, nil
+}
+
+// AppendLiveBatch durably records one accepted visit batch. The write
+// is acknowledged on the WAL before the streaming layer acknowledges
+// the append to the client — the append's durability point.
+func (k *KDB) AppendLiveBatch(b LiveBatch) error {
+	if err := k.br.beforeWrite(); err != nil {
+		return err
+	}
+	err := k.appendLiveBatch(b)
+	k.br.afterWrite(err)
+	return err
+}
+
+func (k *KDB) appendLiveBatch(b LiveBatch) error {
+	doc, err := toDoc(b)
+	if err != nil {
+		return fmt.Errorf("kdb: encoding live batch %s@%d: %w", b.Dataset, b.Revision, err)
+	}
+	if _, err := k.store.Collection(CollLiveAppends).Insert(doc); err != nil {
+		return fmt.Errorf("kdb: storing live batch %s@%d: %w", b.Dataset, b.Revision, err)
+	}
+	return nil
+}
+
+// LiveBatches returns a dataset's accepted batches in revision order.
+func (k *KDB) LiveBatches(name string) ([]LiveBatch, error) {
+	if err := k.br.beforeRead(); err != nil {
+		return nil, err
+	}
+	docs := k.store.Collection(CollLiveAppends).FindEq("dataset", name)
+	out := make([]LiveBatch, 0, len(docs))
+	for _, doc := range docs {
+		var b LiveBatch
+		if err := fromDoc(doc, &b); err != nil {
+			return nil, fmt.Errorf("kdb: decoding live batch of %q: %w", name, err)
+		}
+		out = append(out, b)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Revision < out[j].Revision })
+	return out, nil
+}

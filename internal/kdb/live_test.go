@@ -1,0 +1,206 @@
+package kdb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/stats"
+)
+
+// TestLiveStateRoundTrip: the control record upserts by dataset and
+// survives a close/reopen cycle (WAL recovery of the new collection).
+func TestLiveStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	k, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := LiveDatasetState{
+		Dataset:       "ward-a",
+		Revision:      3,
+		ModelRevision: 3,
+		Centroids:     [][]float64{{1, 0.5}, {0, 2}},
+		Features:      []string{"EX001", "EX002"},
+		Baseline:      &stats.Descriptor{DatasetName: "ward-a", NumPatients: 10},
+		Drift:         0.04,
+		LastAnalysis:  "job-7",
+	}
+	if err := k.StoreLiveDataset(st); err != nil {
+		t.Fatal(err)
+	}
+	st.Revision = 4
+	st.Drift = 0.09
+	if err := k.StoreLiveDataset(st); err != nil { // upsert, not duplicate
+		t.Fatal(err)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok, err := re.LiveDataset("ward-a")
+	if err != nil || !ok {
+		t.Fatalf("LiveDataset after reopen: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Errorf("reloaded state differs:\nwant %+v\ngot  %+v", st, got)
+	}
+	all, err := re.LiveDatasets()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("LiveDatasets = %d records, err %v; want 1", len(all), err)
+	}
+	if _, ok, _ := re.LiveDataset("ward-b"); ok {
+		t.Error("unregistered dataset reported present")
+	}
+}
+
+// TestLiveBatchesOrderedReplay: batches come back in revision order
+// regardless of interleaved inserts across datasets, and survive
+// reopen.
+func TestLiveBatchesOrderedReplay(t *testing.T) {
+	dir := t.TempDir()
+	k, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for rev := 1; rev <= 4; rev++ {
+		for _, name := range []string{"ward-a", "ward-b"} {
+			b := LiveBatch{
+				Dataset:  name,
+				Revision: rev,
+				Records: []dataset.Record{{
+					PatientID: "P1", ExamCode: "EX001", Date: day.AddDate(0, 0, rev),
+				}},
+			}
+			if rev == 1 {
+				b.Exams = []dataset.ExamType{{Code: "EX001"}}
+				b.Patients = []dataset.Patient{{ID: "P1", Age: 30}}
+			}
+			if err := k.AppendLiveBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	batches, err := re.LiveBatches("ward-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 4 {
+		t.Fatalf("replayed %d batches, want 4", len(batches))
+	}
+	for i, b := range batches {
+		if b.Revision != i+1 {
+			t.Errorf("batch %d has revision %d, want %d", i, b.Revision, i+1)
+		}
+		if b.Dataset != "ward-a" {
+			t.Errorf("batch %d leaked from dataset %q", i, b.Dataset)
+		}
+	}
+}
+
+// TestStageTraceEviction: at flush time, only the newest N traces per
+// dataset survive; other datasets and the under-cap dataset are
+// untouched, and the bounded set is what a reopen recovers.
+func TestStageTraceEviction(t *testing.T) {
+	dir := t.TempDir()
+	k, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetStageTraceLimit(5)
+	base := time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+	mktrace := func(ds string, i int) StageTrace {
+		return StageTrace{
+			Dataset: ds, Stage: fmt.Sprintf("stage-%02d", i),
+			Start: base.Add(time.Duration(i) * time.Second),
+			End:   base.Add(time.Duration(i)*time.Second + time.Millisecond),
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if err := k.StoreStageTraces([]StageTrace{mktrace("busy", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := k.StoreStageTraces([]StageTrace{mktrace("quiet", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	busy, err := k.StageTraces("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(busy) != 5 {
+		t.Fatalf("busy retained %d traces, want 5", len(busy))
+	}
+	for i, tr := range busy {
+		if want := fmt.Sprintf("stage-%02d", 7+i); tr.Stage != want {
+			t.Errorf("busy trace %d = %s, want %s (newest-N retention)", i, tr.Stage, want)
+		}
+	}
+	quiet, err := k.StageTraces("quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quiet) != 3 {
+		t.Errorf("quiet retained %d traces, want 3 (under cap, untouched)", len(quiet))
+	}
+
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	busy, err = re.StageTraces("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(busy) != 5 {
+		t.Errorf("reopen recovered %d busy traces, want the bounded 5", len(busy))
+	}
+}
+
+// TestStageTraceEvictionDisabled: a non-positive limit disables
+// eviction entirely.
+func TestStageTraceEvictionDisabled(t *testing.T) {
+	k, _ := Open("")
+	k.SetStageTraceLimit(0)
+	for i := 0; i < 10; i++ {
+		if err := k.StoreStageTraces([]StageTrace{{Dataset: "d", Stage: fmt.Sprintf("s%d", i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := k.StageTraces("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 10 {
+		t.Errorf("retained %d traces with eviction disabled, want 10", len(traces))
+	}
+}

@@ -218,14 +218,23 @@ func (h *httpAPI) events(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ch, cancel := job.Subscribe()
+	defer cancel()
+	ServeSSE(w, r, ch)
+}
+
+// ServeSSE streams a channel of JSON-encodable events as Server-Sent
+// Events (`data: {json}\n\n` per event) until the channel closes or
+// the client disconnects. It is the one SSE loop shared by the job
+// events endpoint here and the live-dataset events endpoint in
+// internal/stream; delivery inherits the channel's semantics (a
+// subscription that replays history first streams that history first).
+func ServeSSE[E any](w http.ResponseWriter, r *http.Request, ch <-chan E) {
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
 		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
 		return
 	}
-	ch, cancel := job.Subscribe()
-	defer cancel()
-
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")

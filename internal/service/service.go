@@ -62,6 +62,14 @@ type Config struct {
 	// KeepJobs bounds how many terminal jobs stay resolvable by ID
 	// (oldest evicted first). <= 0 defaults to 1024.
 	KeepJobs int
+	// FlushDelay is the debounce window of the background K-DB flusher:
+	// after a job completion requests a flush, the flusher waits this
+	// long absorbing further requests, then compacts once for the whole
+	// burst — so N near-simultaneous completions cost one snapshot
+	// write instead of N serialized ones. Durability is unaffected:
+	// every acked write is already on the WAL, the flush is only the
+	// compaction accelerator. <= 0 defaults to 25ms.
+	FlushDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeepJobs <= 0 {
 		c.KeepJobs = 1024
+	}
+	if c.FlushDelay <= 0 {
+		c.FlushDelay = 25 * time.Millisecond
 	}
 	return c
 }
@@ -111,10 +122,20 @@ type Service struct {
 	running int
 	closed  bool
 
-	// flushMu serializes K-DB flushes across workers: jobs analyze
-	// with NoFlush and the service flushes after each completion, so
-	// concurrent snapshot writes cannot tear.
+	// flushMu serializes K-DB flushes between the background flusher
+	// and synchronous Flush callers, so concurrent snapshot writes
+	// cannot tear. Jobs analyze with NoFlush; completions only signal
+	// flushReq.
 	flushMu sync.Mutex
+	// flushReq carries coalesced flush requests to the flusher
+	// goroutine (capacity 1: a pending request absorbs later ones).
+	flushReq chan struct{}
+	// flushStop/flusherDone bracket the flusher's lifetime; Shutdown
+	// closes flushStop (once) after the workers drain and waits for
+	// flusherDone before the final synchronous flush.
+	flushStop     chan struct{}
+	flushStopOnce sync.Once
+	flusherDone   chan struct{}
 	// lastFlushErr is the most recent service-level flush outcome
 	// (guarded by mu, cleared on the next successful flush). A failing
 	// flush never fails the job whose completion triggered it — the
@@ -146,15 +167,18 @@ func NewWithEngine(engine *core.Engine, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		engine:     engine,
-		arena:      optimize.NewArena(),
-		pool:       core.NewStagePool(engine.StageParallelism()),
-		cfg:        cfg,
-		queueSlots: make(chan struct{}, cfg.QueueDepth),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       make(map[string]*Job),
-		logRefs:    make(map[*dataset.Log]int),
+		engine:      engine,
+		arena:       optimize.NewArena(),
+		pool:        core.NewStagePool(engine.StageParallelism()),
+		cfg:         cfg,
+		queueSlots:  make(chan struct{}, cfg.QueueDepth),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		jobs:        make(map[string]*Job),
+		logRefs:     make(map[*dataset.Log]int),
+		flushReq:    make(chan struct{}, 1),
+		flushStop:   make(chan struct{}),
+		flusherDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runJob = s.defaultRun
@@ -162,6 +186,7 @@ func NewWithEngine(engine *core.Engine, cfg Config) *Service {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	go s.flusher()
 	return s
 }
 
@@ -264,18 +289,20 @@ func (s *Service) admit(log *dataset.Log, opts []Option) (*Job, error) {
 	}
 	now := time.Now()
 	j := &Job{
-		priority: o.priority,
-		labels:   o.labels,
-		log:      log,
-		engine:   engine,
-		deadline: o.deadline,
-		ctx:      jctx,
-		cancel:   cancel,
-		heapIdx:  -1,
-		status:   StatusQueued,
-		queuedAt: now,
-		events:   make(chan StageEvent, eventBuffer),
-		done:     make(chan struct{}),
+		priority:      o.priority,
+		labels:        o.labels,
+		log:           log,
+		engine:        engine,
+		deadline:      o.deadline,
+		seedCentroids: o.seedCentroids,
+		seedFeatures:  o.seedFeatures,
+		ctx:           jctx,
+		cancel:        cancel,
+		heapIdx:       -1,
+		status:        StatusQueued,
+		queuedAt:      now,
+		events:        make(chan StageEvent, eventBuffer),
+		done:          make(chan struct{}),
 	}
 
 	s.mu.Lock()
@@ -439,10 +466,12 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopFlusher()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel() // cancel running jobs, reap queued ones
 		<-done
+		s.stopFlusher()
 		return ctx.Err()
 	}
 }
@@ -509,16 +538,75 @@ func (s *Service) run(j *Job) {
 	if err == nil && rep != nil {
 		// The post-job flush is a durability accelerator, not part of
 		// the job's contract: every acked write is already on the WAL,
-		// so a failed compaction degrades Health without failing a job
-		// whose analysis succeeded.
-		s.flushMu.Lock()
-		ferr := s.engine.KDB().Flush()
-		s.flushMu.Unlock()
-		s.mu.Lock()
-		s.lastFlushErr = ferr
-		s.mu.Unlock()
+		// so job completion only signals the background flusher instead
+		// of compacting inline. A burst of completions coalesces into
+		// one snapshot write; a failed compaction degrades Health
+		// without failing any job whose analysis succeeded.
+		s.requestFlush()
 	}
 	j.finish(rep, err)
+}
+
+// requestFlush signals the background flusher; a request already
+// pending absorbs this one (the flusher compacts once for the burst).
+func (s *Service) requestFlush() {
+	select {
+	case s.flushReq <- struct{}{}:
+	default:
+	}
+}
+
+// Flush compacts the K-DB synchronously, recording the outcome in
+// Health like the background flusher does. Tests and shutdown use it
+// to reach a known-compacted state without waiting out the debounce
+// window.
+func (s *Service) Flush() error {
+	s.flushMu.Lock()
+	err := s.engine.KDB().Flush()
+	s.flushMu.Unlock()
+	s.mu.Lock()
+	s.lastFlushErr = err
+	s.mu.Unlock()
+	return err
+}
+
+// flusher is the background flush goroutine: it waits for a request,
+// debounces FlushDelay absorbing the rest of the burst, then compacts
+// once. It exits when flushStop closes, flushing a pending request
+// first so shutdown never strands signalled work.
+func (s *Service) flusher() {
+	defer close(s.flusherDone)
+	for {
+		select {
+		case <-s.flushReq:
+		case <-s.flushStop:
+			return
+		}
+		timer := time.NewTimer(s.cfg.FlushDelay)
+	absorb:
+		for {
+			select {
+			case <-s.flushReq:
+				// Coalesced into the pending compaction.
+			case <-timer.C:
+				break absorb
+			case <-s.flushStop:
+				timer.Stop()
+				_ = s.Flush()
+				return
+			}
+		}
+		_ = s.Flush()
+	}
+}
+
+// stopFlusher ends the background flusher (idempotent) and waits for
+// it, then runs one final synchronous flush so a cleanly shut down
+// service leaves a fully compacted store behind.
+func (s *Service) stopFlusher() {
+	s.flushStopOnce.Do(func() { close(s.flushStop) })
+	<-s.flusherDone
+	_ = s.Flush()
 }
 
 // safeRun isolates a panicking job execution (the runJob seam, or a
@@ -542,11 +630,13 @@ func (s *Service) safeRun(j *Job) (rep *core.Report, err error) {
 // flush in run.
 func (s *Service) defaultRun(j *Job) (*core.Report, error) {
 	return j.engine.AnalyzeWith(j.ctx, j.log, core.AnalyzeOptions{
-		Pool:      s.pool,
-		Observer:  j.observeStage,
-		NoFlush:   true,
-		FairShare: s.cfg.Workers,
-		Arena:     s.arena,
+		Pool:          s.pool,
+		Observer:      j.observeStage,
+		NoFlush:       true,
+		FairShare:     s.cfg.Workers,
+		Arena:         s.arena,
+		SeedCentroids: j.seedCentroids,
+		SeedFeatures:  j.seedFeatures,
 	})
 }
 

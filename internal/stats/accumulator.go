@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adahealth/internal/dataset"
+)
+
+// Accumulator maintains descriptor statistics under append-only growth
+// of an examination log, without rescanning the accumulated records.
+// It mirrors exactly the accumulation orders Characterize uses —
+// records-per-patient and exam-frequency multisets sorted before any
+// floating-point sum, visit sizes in patient-registration-then-day
+// order, ages in patient registration order — so Descriptor() is
+// bit-for-bit equal to Characterize on the equivalent accumulated log
+// at every append boundary (reflect.DeepEqual; property-tested).
+type Accumulator struct {
+	name       string
+	numRecords int
+
+	ages     []float64 // patient registration order
+	patients []*accPatient
+	idIdx    map[string]int
+
+	freq map[string]int // records per exam code (0 at registration)
+
+	nz               int // distinct (patient, exam) pairs
+	minDate, maxDate time.Time
+}
+
+type accPatient struct {
+	count int                        // records
+	days  map[string]map[string]bool // day "2006-01-02" → distinct codes
+	seen  map[string]bool            // distinct exam codes
+}
+
+// NewAccumulator returns an empty accumulator for the named dataset.
+func NewAccumulator(name string) *Accumulator {
+	return &Accumulator{
+		name:  name,
+		idIdx: make(map[string]int),
+		freq:  make(map[string]int),
+	}
+}
+
+// NumPatients reports the number of accumulated patients.
+func (a *Accumulator) NumPatients() int { return len(a.patients) }
+
+// NumRecords reports the number of accumulated records.
+func (a *Accumulator) NumRecords() int { return a.numRecords }
+
+// Add applies one validated batch: new exam types and patients plus
+// records referencing registered ids. The batch is fully validated
+// before any state mutates, mirroring dataset.Log's append semantics.
+func (a *Accumulator) Add(exams []dataset.ExamType, patients []dataset.Patient, records []dataset.Record) error {
+	newCodes := make(map[string]bool, len(exams))
+	for _, e := range exams {
+		if _, dup := a.freq[e.Code]; dup || newCodes[e.Code] {
+			return fmt.Errorf("stats: accumulate: duplicate exam type %q", e.Code)
+		}
+		newCodes[e.Code] = true
+	}
+	newIDs := make(map[string]bool, len(patients))
+	for _, p := range patients {
+		if _, dup := a.idIdx[p.ID]; dup || newIDs[p.ID] {
+			return fmt.Errorf("stats: accumulate: duplicate patient %q", p.ID)
+		}
+		newIDs[p.ID] = true
+	}
+	for _, r := range records {
+		if _, ok := a.idIdx[r.PatientID]; !ok && !newIDs[r.PatientID] {
+			return fmt.Errorf("stats: accumulate: record references unknown patient %q", r.PatientID)
+		}
+		if _, ok := a.freq[r.ExamCode]; !ok && !newCodes[r.ExamCode] {
+			return fmt.Errorf("stats: accumulate: record references unknown exam %q", r.ExamCode)
+		}
+	}
+
+	for _, e := range exams {
+		a.freq[e.Code] = 0
+	}
+	for _, p := range patients {
+		a.idIdx[p.ID] = len(a.patients)
+		a.patients = append(a.patients, &accPatient{
+			days: make(map[string]map[string]bool),
+			seen: make(map[string]bool),
+		})
+		a.ages = append(a.ages, float64(p.Age))
+	}
+	for _, r := range records {
+		p := a.patients[a.idIdx[r.PatientID]]
+		p.count++
+		day := r.Date.Format("2006-01-02")
+		set := p.days[day]
+		if set == nil {
+			set = make(map[string]bool)
+			p.days[day] = set
+		}
+		set[r.ExamCode] = true
+		if !p.seen[r.ExamCode] {
+			p.seen[r.ExamCode] = true
+			a.nz++
+		}
+		a.freq[r.ExamCode]++
+		if a.numRecords == 0 {
+			a.minDate, a.maxDate = r.Date, r.Date
+		} else {
+			if r.Date.Before(a.minDate) {
+				a.minDate = r.Date
+			}
+			if r.Date.After(a.maxDate) {
+				a.maxDate = r.Date
+			}
+		}
+		a.numRecords++
+	}
+	return nil
+}
+
+// Descriptor materializes the descriptor of the accumulated log.
+func (a *Accumulator) Descriptor() Descriptor {
+	d := Descriptor{
+		DatasetName:  a.name,
+		NumPatients:  len(a.patients),
+		NumRecords:   a.numRecords,
+		NumExamTypes: len(a.freq),
+	}
+
+	rp := make([]float64, 0, len(a.patients))
+	for _, p := range a.patients {
+		rp = append(rp, float64(p.count))
+	}
+	sort.Float64s(rp)
+	d.RecordsPerPatient = Summarize(rp)
+
+	// Visit sizes in the order Visits() emits them: patient
+	// registration order, then day (the day keys sort the same
+	// lexicographically as their parsed dates chronologically).
+	var vs []float64
+	for _, p := range a.patients {
+		days := make([]string, 0, len(p.days))
+		for day := range p.days {
+			days = append(days, day)
+		}
+		sort.Strings(days)
+		for _, day := range days {
+			vs = append(vs, float64(len(p.days[day])))
+		}
+	}
+	d.NumVisits = len(vs)
+	d.ExamsPerVisit = Summarize(vs)
+
+	d.Age = Summarize(a.ages)
+
+	counts := make([]int, 0, len(a.freq))
+	for _, c := range a.freq {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	d.FrequencyEntropy = Entropy(counts)
+	d.FrequencyEntropyNorm = NormalizedEntropy(counts)
+	d.FrequencyGini = Gini(counts)
+	d.Top20Coverage = TopShareByCount(counts, (len(counts)+4)/5)
+	d.Top40Coverage = TopShareByCount(counts, (2*len(counts)+4)/5)
+
+	cells := len(a.patients) * len(a.freq)
+	if cells > 0 {
+		d.VSMSparsity = 1 - float64(a.nz)/float64(cells)
+	}
+	if a.numRecords > 0 {
+		d.SpanDays = int(a.maxDate.Sub(a.minDate).Hours()/24) + 1
+	}
+	return d
+}

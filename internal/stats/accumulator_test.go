@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/synth"
+)
+
+type appendBatch struct {
+	exams    []dataset.ExamType
+	patients []dataset.Patient
+	records  []dataset.Record
+}
+
+// splitLog carves a finished log into a randomized append schedule
+// (records in runs, exam types/patients registered at first reference,
+// occasional early zero-record registrations, trailing never-referenced
+// registrations) — the same shape the stream layer feeds Accumulator.
+func splitLog(l *dataset.Log, rng *rand.Rand) []appendBatch {
+	examOf := make(map[string]dataset.ExamType, len(l.Exams))
+	for _, e := range l.Exams {
+		examOf[e.Code] = e
+	}
+	patientOf := make(map[string]dataset.Patient, len(l.Patients))
+	for _, p := range l.Patients {
+		patientOf[p.ID] = p
+	}
+	regE := make(map[string]bool)
+	regP := make(map[string]bool)
+
+	var out []appendBatch
+	n := len(l.Records)
+	nextEarly := 0
+	for i := 0; i < n; {
+		j := i + 1 + rng.Intn(1+n/4)
+		if j > n {
+			j = n
+		}
+		var b appendBatch
+		for rng.Intn(3) == 0 && nextEarly < len(l.Patients) {
+			p := l.Patients[nextEarly]
+			nextEarly++
+			if !regP[p.ID] {
+				regP[p.ID] = true
+				b.patients = append(b.patients, p)
+			}
+		}
+		for _, r := range l.Records[i:j] {
+			if !regE[r.ExamCode] {
+				regE[r.ExamCode] = true
+				b.exams = append(b.exams, examOf[r.ExamCode])
+			}
+			if !regP[r.PatientID] {
+				regP[r.PatientID] = true
+				b.patients = append(b.patients, patientOf[r.PatientID])
+			}
+		}
+		b.records = append(b.records, l.Records[i:j]...)
+		out = append(out, b)
+		i = j
+	}
+	var tail appendBatch
+	for _, e := range l.Exams {
+		if !regE[e.Code] {
+			tail.exams = append(tail.exams, e)
+		}
+	}
+	for _, p := range l.Patients {
+		if !regP[p.ID] {
+			tail.patients = append(tail.patients, p)
+		}
+	}
+	if len(tail.exams) > 0 || len(tail.patients) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// TestAccumulatorEquivalentToCharacterize is the maintenance property:
+// across randomized append schedules, at every append boundary, the
+// incrementally maintained descriptor is bit-for-bit equal
+// (reflect.DeepEqual, floats included) to Characterize on the
+// equivalent accumulated log.
+func TestAccumulatorEquivalentToCharacterize(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := synth.SmallConfig()
+		cfg.Seed = seed
+		cfg.NumPatients = 70
+		cfg.TargetRecords = 700
+		cfg.NumExamTypes = 16
+		full, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := splitLog(full, rand.New(rand.NewSource(seed^0x5eed)))
+
+		acc := dataset.NewLog(full.Name)
+		inc := NewAccumulator(full.Name)
+		for bi, b := range batches {
+			for _, e := range b.exams {
+				if err := acc.AddExam(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, p := range b.patients {
+				if err := acc.AddPatient(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, r := range b.records {
+				if err := acc.AddRecord(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := inc.Add(b.exams, b.patients, b.records); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, bi, err)
+			}
+			want := Characterize(acc)
+			got := inc.Descriptor()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d: descriptor diverged after batch %d/%d:\nwant %+v\ngot  %+v",
+					seed, bi+1, len(batches), want, got)
+			}
+		}
+	}
+}
+
+// TestAccumulatorRejectsInvalidBatch: a rejected batch leaves the
+// descriptor untouched.
+func TestAccumulatorRejectsInvalidBatch(t *testing.T) {
+	cfg := synth.SmallConfig()
+	cfg.NumPatients = 30
+	cfg.TargetRecords = 200
+	cfg.NumExamTypes = 12
+	full, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewAccumulator(full.Name)
+	if err := inc.Add(full.Exams, full.Patients, full.Records); err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Descriptor()
+	cases := []appendBatch{
+		{exams: []dataset.ExamType{full.Exams[0]}},
+		{patients: []dataset.Patient{full.Patients[0]}},
+		{records: []dataset.Record{{PatientID: "nope", ExamCode: full.Exams[0].Code}}},
+		{records: []dataset.Record{{PatientID: full.Patients[0].ID, ExamCode: "nope"}}},
+	}
+	for i, b := range cases {
+		if err := inc.Add(b.exams, b.patients, b.records); err == nil {
+			t.Errorf("case %d: invalid batch accepted", i)
+		}
+		if got := inc.Descriptor(); !reflect.DeepEqual(before, got) {
+			t.Errorf("case %d: descriptor mutated by rejected batch", i)
+		}
+	}
+}

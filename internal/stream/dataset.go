@@ -1,0 +1,465 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adahealth/internal/cluster"
+	"adahealth/internal/core"
+	"adahealth/internal/dataset"
+	"adahealth/internal/kdb"
+	"adahealth/internal/service"
+	"adahealth/internal/stats"
+	"adahealth/internal/vsm"
+
+	"sync"
+)
+
+// Convenience aliases so HTTP request bodies and callers read in the
+// streaming layer's vocabulary without a second set of struct types.
+type (
+	// Exam is a dataset.ExamType catalog entry.
+	Exam = dataset.ExamType
+	// Patient is a dataset.Patient registry entry.
+	Patient = dataset.Patient
+	// Record is one dataset.Record examination event.
+	Record = dataset.Record
+)
+
+// Event types on a live dataset's stream, in the order a typical
+// append produces them.
+const (
+	// EventRegistered: the dataset accepted its revision-1 batch.
+	EventRegistered = "registered"
+	// EventAppended: a visit batch was durably accepted.
+	EventAppended = "appended"
+	// EventModelUpdated: the online model re-clustered over the
+	// appended state.
+	EventModelUpdated = "model-updated"
+	// EventResweepScheduled: descriptor drift crossed the threshold
+	// and a full warm-started re-analysis was submitted.
+	EventResweepScheduled = "resweep-scheduled"
+	// EventResweepComplete: the full re-analysis finished (Err set if
+	// it failed); the drift baseline reset to its report's descriptor.
+	EventResweepComplete = "resweep-complete"
+)
+
+// Event is one notification on a live dataset's stream. The SSE
+// endpoint serves these verbatim, one per message.
+type Event struct {
+	// Dataset is the emitting live dataset.
+	Dataset string `json:"dataset"`
+	// Time is when the transition happened.
+	Time time.Time `json:"time"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Revision is the dataset revision the event refers to.
+	Revision int `json:"revision"`
+	// Drift is the drift gauge at emission time (appended and resweep
+	// events).
+	Drift float64 `json:"drift,omitempty"`
+	// JobID is the service job of a resweep event.
+	JobID string `json:"job_id,omitempty"`
+	// Err carries a resweep failure message.
+	Err string `json:"err,omitempty"`
+}
+
+// eventHistory bounds how many past events replay to a new subscriber
+// (a live dataset's stream never terminates, so unbounded history
+// would grow with every append).
+const eventHistory = 256
+
+// eventBuffer is the per-subscriber channel headroom past the replay.
+const eventBuffer = 64
+
+// Dataset is one live dataset: the accumulated examination log, the
+// incrementally maintained VSM and descriptor statistics, the online
+// mini-batch cluster model, and the drift detector that decides when a
+// full re-analysis pays.
+type Dataset struct {
+	mgr  *Manager
+	name string
+
+	mu   sync.Mutex
+	log  *dataset.Log
+	live *vsm.Live
+	acc  *stats.Accumulator
+
+	revision int // last durably applied batch revision
+	modelRev int // revision the online model reflects
+
+	// centroids/features are the online model, labelled by exam code
+	// (features in the live matrix's current ranking order).
+	centroids [][]float64
+	features  []string
+
+	// baseline is the descriptor of the last fully analyzed state (the
+	// registration descriptor until the first resweep completes);
+	// drift is the current gauge against it.
+	baseline     *stats.Descriptor
+	drift        float64
+	lastAnalysis string // job ID of the last completed full analysis
+
+	resweeping bool   // a full re-analysis is queued or running
+	resweepJob string // its job ID while in flight
+
+	events []Event
+	subs   []chan Event
+}
+
+// newEmptyLog mirrors dataset.NewLog (kept separate so stream.go does
+// not import dataset directly for one call).
+func newEmptyLog(name string) *dataset.Log { return dataset.NewLog(name) }
+
+// Name returns the dataset's registered name.
+func (d *Dataset) Name() string { return d.name }
+
+// DatasetStatus is a point-in-time snapshot of a live dataset: the
+// GET /v1/datasets/{id} body.
+type DatasetStatus struct {
+	Dataset  string `json:"dataset"`
+	Revision int    `json:"revision"`
+	// ModelRevision is the revision the online model reflects (equal
+	// to Revision except in the instants between accept and model
+	// update).
+	ModelRevision int `json:"model_revision"`
+	NumPatients   int `json:"num_patients"`
+	NumExamTypes  int `json:"num_exam_types"`
+	NumRecords    int `json:"num_records"`
+	// OnlineK is the online model's current cluster count (0 while too
+	// few patients to cluster).
+	OnlineK int `json:"online_k"`
+	// Drift is the current drift gauge: 1 − descriptor similarity to
+	// the last fully analyzed state, compared against Threshold.
+	Drift     float64 `json:"drift"`
+	Threshold float64 `json:"threshold"`
+	// Resweeping is true while a drift-triggered full re-analysis is
+	// queued or running as ResweepJob.
+	Resweeping bool   `json:"resweeping"`
+	ResweepJob string `json:"resweep_job,omitempty"`
+	// LastAnalysis is the job ID of the last completed full analysis;
+	// its Report is served by GET /v1/analyses/{id}/report.
+	LastAnalysis string `json:"last_analysis,omitempty"`
+}
+
+// Status snapshots the dataset.
+func (d *Dataset) Status() DatasetStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statusLocked()
+}
+
+func (d *Dataset) statusLocked() DatasetStatus {
+	return DatasetStatus{
+		Dataset:       d.name,
+		Revision:      d.revision,
+		ModelRevision: d.modelRev,
+		NumPatients:   d.log.NumPatients(),
+		NumExamTypes:  d.log.NumExamTypes(),
+		NumRecords:    d.log.NumRecords(),
+		OnlineK:       len(d.centroids),
+		Drift:         d.drift,
+		Threshold:     d.mgr.cfg.DriftThreshold,
+		Resweeping:    d.resweeping,
+		ResweepJob:    d.resweepJob,
+		LastAnalysis:  d.lastAnalysis,
+	}
+}
+
+// Append accepts one visit batch: new exam types, new patients, and
+// records over the union of already-known and batch-new identities.
+// The batch is validated against the accumulated state, durably
+// recorded in the K-DB (the WAL ack is the acknowledgement's
+// durability point — a failure returns ErrDurability and applies
+// nothing), applied to the live VSM and descriptor statistics in
+// place, re-clustered online, and drift-checked. The returned status
+// reflects the post-append state.
+func (d *Dataset) Append(exams []Exam, patients []Patient, records []Record) (DatasetStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.appendLocked(exams, patients, records)
+}
+
+func (d *Dataset) appendLocked(exams []Exam, patients []Patient, records []Record) (DatasetStatus, error) {
+	if len(exams) == 0 && len(patients) == 0 && len(records) == 0 {
+		return DatasetStatus{}, fmt.Errorf("stream: empty batch for %q", d.name)
+	}
+	if err := d.validateBatch(exams, patients, records); err != nil {
+		return DatasetStatus{}, err
+	}
+
+	// Durability first: the batch is recorded (and WAL-acked) before
+	// any in-memory state changes, so a persist failure leaves the
+	// dataset exactly as it was and the client retries the whole
+	// batch.
+	rev := d.revision + 1
+	if err := d.mgr.kdb.AppendLiveBatch(kdb.LiveBatch{
+		Dataset: d.name, Revision: rev,
+		Exams: exams, Patients: patients, Records: records,
+	}); err != nil {
+		return DatasetStatus{}, fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+
+	// validateBatch proved every sub-apply below must succeed; a
+	// failure past this point is a bug, not an input error.
+	if err := d.applyLocked(exams, patients, records); err != nil {
+		return DatasetStatus{}, fmt.Errorf("stream: applying validated batch %s@%d: %v", d.name, rev, err)
+	}
+	d.revision = rev
+
+	evType := EventAppended
+	if rev == 1 {
+		evType = EventRegistered
+	}
+	d.emitLocked(Event{Type: evType, Revision: rev})
+
+	d.reclusterLocked()
+
+	desc := d.acc.Descriptor()
+	if d.baseline == nil {
+		// Registration: the baseline is the initial descriptor until
+		// the first full analysis completes.
+		d.baseline = &desc
+		d.drift = 0
+	} else {
+		d.drift = 1 - kdb.DescriptorSimilarity(*d.baseline, desc)
+		if d.drift >= d.mgr.cfg.DriftThreshold && !d.resweeping {
+			d.scheduleResweepLocked()
+		}
+	}
+
+	d.persistStateLocked()
+	return d.statusLocked(), nil
+}
+
+// validateBatch checks a batch against the accumulated log without
+// mutating anything: duplicate exam codes or patient IDs (within the
+// batch or against history) and records referencing identities that
+// neither history nor this batch registers are rejected. Passing
+// implies the in-memory applies cannot fail.
+func (d *Dataset) validateBatch(exams []Exam, patients []Patient, records []Record) error {
+	newExams := make(map[string]bool, len(exams))
+	for _, e := range exams {
+		if e.Code == "" {
+			return fmt.Errorf("stream: exam with empty code")
+		}
+		if _, dup := d.log.Exam(e.Code); dup || newExams[e.Code] {
+			return fmt.Errorf("stream: duplicate exam code %q", e.Code)
+		}
+		newExams[e.Code] = true
+	}
+	newPatients := make(map[string]bool, len(patients))
+	for _, p := range patients {
+		if p.ID == "" {
+			return fmt.Errorf("stream: patient with empty ID")
+		}
+		if _, dup := d.log.Patient(p.ID); dup || newPatients[p.ID] {
+			return fmt.Errorf("stream: duplicate patient ID %q", p.ID)
+		}
+		newPatients[p.ID] = true
+	}
+	for _, r := range records {
+		if _, ok := d.log.Patient(r.PatientID); !ok && !newPatients[r.PatientID] {
+			return fmt.Errorf("stream: record references unknown patient %q", r.PatientID)
+		}
+		if _, ok := d.log.Exam(r.ExamCode); !ok && !newExams[r.ExamCode] {
+			return fmt.Errorf("stream: record references unknown exam code %q", r.ExamCode)
+		}
+	}
+	return nil
+}
+
+// applyLocked applies one (already validated or replayed) batch to the
+// accumulated log, the live VSM and the descriptor accumulator.
+func (d *Dataset) applyLocked(exams []Exam, patients []Patient, records []Record) error {
+	for _, e := range exams {
+		if err := d.log.AddExam(e); err != nil {
+			return err
+		}
+	}
+	for _, p := range patients {
+		if err := d.log.AddPatient(p); err != nil {
+			return err
+		}
+	}
+	for _, r := range records {
+		if err := d.log.AddRecord(r); err != nil {
+			return err
+		}
+	}
+	if err := d.live.Append(exams, patients, records); err != nil {
+		return err
+	}
+	return d.acc.Add(exams, patients, records)
+}
+
+// reclusterLocked refreshes the online model with one mini-batch
+// K-means pass over the live matrix, warm-started from the previous
+// centroids (remapped by exam code when the feature ranking moved).
+// The seed derives from the revision, so a recovered daemon catching
+// up re-clusters identically to the uncrashed one.
+func (d *Dataset) reclusterLocked() {
+	m := d.live.Matrix()
+	if m == nil || len(m.Rows) < 2 {
+		d.modelRev = d.revision
+		return
+	}
+	cfg := d.mgr.cfg
+	k := cfg.OnlineK
+	if k > len(m.Rows) {
+		k = len(m.Rows)
+	}
+	opts := cluster.Options{
+		K:         k,
+		Algorithm: cluster.AlgorithmMiniBatch,
+		BatchSize: cfg.OnlineBatchSize,
+		MaxIter:   cfg.OnlineMaxIter,
+		Seed:      d.mgr.svc.Engine().Config().Seed + int64(d.revision),
+	}
+	if len(d.centroids) == k {
+		if seeds := core.RemapCentroids(d.centroids, d.features, m.Features); seeds != nil {
+			opts.InitialCentroids = seeds
+		}
+	}
+	res, err := cluster.KMeans(m.Rows, opts)
+	if err != nil {
+		// Online model refresh is best-effort: the durable append
+		// already succeeded, the model just stays at its previous
+		// revision until the next append.
+		return
+	}
+	d.centroids = res.Centroids
+	d.features = append([]string(nil), m.Features...)
+	d.modelRev = d.revision
+	d.emitLocked(Event{Type: EventModelUpdated, Revision: d.revision})
+}
+
+// scheduleResweepLocked submits a full warm-started re-analysis of a
+// snapshot of the accumulated log through the service job path, seeded
+// from the live centroids. Submission failures (queue full, degraded)
+// are soft: the drift persists, so the next append retries.
+func (d *Dataset) scheduleResweepLocked() {
+	snapshot := &dataset.Log{
+		Name:     d.name,
+		Exams:    append([]Exam(nil), d.log.Exams...),
+		Patients: append([]Patient(nil), d.log.Patients...),
+		Records:  append([]Record(nil), d.log.Records...),
+	}
+	opts := []service.Option{
+		service.WithPriority(d.mgr.cfg.ResweepPriority),
+		service.WithLabels(map[string]string{
+			"stream":   "resweep",
+			"dataset":  d.name,
+			"revision": fmt.Sprintf("%d", d.revision),
+		}),
+	}
+	if len(d.centroids) > 0 {
+		opts = append(opts, service.WithSeedCentroids(
+			append([][]float64(nil), d.centroids...),
+			append([]string(nil), d.features...),
+		))
+	}
+	j, err := d.mgr.svc.Submit(context.Background(), snapshot, opts...)
+	if err != nil {
+		return
+	}
+	d.resweeping = true
+	d.resweepJob = j.ID()
+	d.emitLocked(Event{Type: EventResweepScheduled, Revision: d.revision, JobID: j.ID()})
+	go d.watchResweep(j)
+}
+
+// watchResweep waits for a drift-triggered job and folds its outcome
+// back into the live state: the baseline resets to the report's
+// descriptor (so drift re-measures movement since this analysis), the
+// last-analysis pointer updates, and the control record persists.
+func (d *Dataset) watchResweep(j *service.Job) {
+	rep, err := j.Wait(context.Background())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.resweeping = false
+	d.resweepJob = ""
+	ev := Event{Type: EventResweepComplete, Revision: d.revision, JobID: j.ID()}
+	if err != nil {
+		ev.Err = err.Error()
+		d.emitLocked(ev)
+		return
+	}
+	d.baseline = &rep.Descriptor
+	d.lastAnalysis = j.ID()
+	desc := d.acc.Descriptor()
+	d.drift = 1 - kdb.DescriptorSimilarity(*d.baseline, desc)
+	ev.Drift = d.drift
+	d.persistStateLocked()
+	d.emitLocked(ev)
+}
+
+// persistStateLocked upserts the control record. Failure is soft: the
+// batches in live_appends are the durability source; a stale control
+// record only costs a catch-up re-clustering at recovery.
+func (d *Dataset) persistStateLocked() {
+	_ = d.mgr.kdb.StoreLiveDataset(kdb.LiveDatasetState{
+		Dataset:       d.name,
+		Revision:      d.revision,
+		ModelRevision: d.modelRev,
+		Centroids:     d.centroids,
+		Features:      d.features,
+		Baseline:      d.baseline,
+		Drift:         d.drift,
+		LastAnalysis:  d.lastAnalysis,
+	})
+}
+
+// Subscribe returns an independent event stream plus its cancel
+// function: bounded history replays first (newest eventHistory
+// events), live events follow in order. Unlike a Job's stream, a live
+// dataset never terminates — the channel closes only when cancel is
+// called. Delivery is best-effort: a stalled consumer loses events
+// rather than stalling appends.
+func (d *Dataset) Subscribe() (<-chan Event, func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch := make(chan Event, len(d.events)+eventBuffer)
+	for _, ev := range d.events {
+		ch <- ev // fits: sized for the replay
+	}
+	d.subs = append(d.subs, ch)
+	cancel := func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for i, sub := range d.subs {
+			if sub == ch {
+				d.subs = append(d.subs[:i], d.subs[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// Events returns a snapshot of the bounded event history.
+func (d *Dataset) Events() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Event(nil), d.events...)
+}
+
+func (d *Dataset) emitLocked(ev Event) {
+	ev.Dataset = d.name
+	ev.Time = time.Now()
+	if ev.Drift == 0 {
+		ev.Drift = d.drift
+	}
+	d.events = append(d.events, ev)
+	if len(d.events) > eventHistory {
+		d.events = append(d.events[:0], d.events[len(d.events)-eventHistory:]...)
+	}
+	for _, sub := range d.subs {
+		select {
+		case sub <- ev:
+		default:
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"adahealth/internal/dataset"
+	"adahealth/internal/service"
+	"adahealth/internal/synth"
+)
+
+// RegisterRequest is the JSON body of PUT /v1/datasets/{id}: the
+// dataset's initial contents, either inline or generated server-side
+// (mirroring POST /v1/analyses). An absent body registers an empty
+// dataset that exists purely to be appended to.
+type RegisterRequest struct {
+	// Log is the inline initial examination log.
+	Log *dataset.Log `json:"log,omitempty"`
+	// Synthetic generates the initial log server-side.
+	Synthetic *synth.Config `json:"synthetic,omitempty"`
+	// Seed overrides the synthetic generator's seed.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// AppendRequest is the JSON body of POST /v1/datasets/{id}/visits:
+// one visit batch — new exam types, new patients, and examination
+// records over known or batch-new identities.
+type AppendRequest struct {
+	Exams    []Exam    `json:"exams,omitempty"`
+	Patients []Patient `json:"patients,omitempty"`
+	Records  []Record  `json:"records,omitempty"`
+}
+
+// errorResponse is every non-2xx JSON body (same shape as the job
+// API's).
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Mount registers the live-dataset endpoints on mux:
+//
+//	PUT  /v1/datasets/{id}        register a live dataset (201 + status; 409 if taken)
+//	POST /v1/datasets/{id}/visits append a visit batch (202 + revision; 503 when not durable)
+//	GET  /v1/datasets/{id}        live model status + drift gauge + last analysis id
+//	GET  /v1/datasets/{id}/events live event stream (SSE; model-updated, resweep-scheduled, ...)
+//
+// The handlers coexist with the job API's GET /v1/datasets/{id}/similar
+// (Go 1.22 pattern precedence routes the more specific path).
+func Mount(mux *http.ServeMux, mgr *Manager) {
+	h := &httpAPI{mgr: mgr}
+	mux.HandleFunc("PUT /v1/datasets/{id}", h.register)
+	mux.HandleFunc("POST /v1/datasets/{id}/visits", h.append)
+	mux.HandleFunc("GET /v1/datasets/{id}", h.status)
+	mux.HandleFunc("GET /v1/datasets/{id}/events", h.events)
+}
+
+// Handler composes the full daemon API: the job/knowledge endpoints of
+// service.NewHandler plus the live-dataset endpoints of Mount, on one
+// mux.
+func Handler(svc *service.Service, mgr *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(svc))
+	Mount(mux, mgr)
+	return mux
+}
+
+type httpAPI struct {
+	mgr *Manager
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (h *httpAPI) register(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var (
+		log *dataset.Log
+		err error
+	)
+	switch {
+	case req.Log != nil && req.Synthetic != nil:
+		writeError(w, http.StatusBadRequest, errors.New("pass either log or synthetic, not both"))
+		return
+	case req.Log != nil:
+		log = req.Log
+	case req.Synthetic != nil:
+		cfg := *req.Synthetic
+		if req.Seed != nil {
+			cfg.Seed = *req.Seed
+		}
+		log, err = synth.Generate(cfg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("generating synthetic log: %w", err))
+			return
+		}
+	default:
+		log = dataset.NewLog(name)
+	}
+
+	st, err := h.mgr.Register(name, log.Exams, log.Patients, log.Records)
+	switch {
+	case errors.Is(err, ErrExists):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (h *httpAPI) lookup(w http.ResponseWriter, r *http.Request) (*Dataset, bool) {
+	d, ok := h.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknown, r.PathValue("id")))
+		return nil, false
+	}
+	return d, true
+}
+
+func (h *httpAPI) append(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req AppendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	st, err := d.Append(req.Exams, req.Patients, req.Records)
+	switch {
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// 202: the batch is durable and applied to the online model, but
+	// the exact full analysis it may have triggered runs asynchronously.
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (h *httpAPI) status(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, d.Status())
+}
+
+// events streams the live dataset's event feed as Server-Sent Events,
+// reusing the job API's SSE loop. Unlike a job stream it does not
+// terminate on its own: it follows the dataset until the client
+// disconnects.
+func (h *httpAPI) events(w http.ResponseWriter, r *http.Request) {
+	d, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	ch, cancel := d.Subscribe()
+	defer cancel()
+	service.ServeSSE(w, r, ch)
+}

@@ -1,0 +1,246 @@
+// Package stream is the live-dataset subsystem: it accepts visit
+// batches appended to a registered dataset and keeps an analysis of
+// the accumulated log continuously available without re-running the
+// full batch pipeline per append.
+//
+// # Online/approximate versus full/exact
+//
+// The subsystem deliberately runs two models of different contracts:
+//
+//   - The ONLINE model is approximate and cheap: every accepted append
+//     updates the vector-space model and descriptor statistics
+//     incrementally in place (vsm.Live, stats.Accumulator — both
+//     property-tested equivalent to a from-scratch rebuild at every
+//     append boundary) and re-clusters with mini-batch K-means
+//     (cluster.AlgorithmMiniBatch), warm-started from the previous
+//     centroids. It answers "what do the patient groups look like
+//     right now" within one append's latency, but its clustering is a
+//     stochastic approximation, not the paper's exact DOC/sweep
+//     output.
+//
+//   - The FULL model is exact and expensive: when the descriptor
+//     drifts past Config.DriftThreshold from the last fully analyzed
+//     state, a complete warm-started analysis of the accumulated log
+//     is scheduled through the ordinary service job path, seeded from
+//     the live centroids (optimize.SweepConfig.SeedCentroids). Its
+//     Report is bit-for-bit the one core.Engine would produce for the
+//     same accumulated log and seeds — the streaming layer never
+//     dilutes the batch pipeline's exactness, it only decides when
+//     paying for it is worthwhile.
+//
+// Drift is measured on the same descriptor feature vector the K-DB's
+// recall stage ranks dataset similarity with (kdb.DescriptorSimilarity,
+// scale-free): drift = 1 − similarity(baseline, current), so 0 means
+// statistically indistinguishable from the last analyzed state and the
+// default threshold 0.15 means the average descriptor feature moved
+// ~15% relative — the neighbourhood where recall would stop calling
+// the two states "the same dataset".
+//
+// Every accepted batch is durably recorded in the K-DB's live_appends
+// collection before the append is acknowledged (the WAL ack is the
+// durability point), and the control record in live_datasets is
+// updated after; a restarted daemon rebuilds every live dataset by
+// replaying its batches in revision order, so acknowledged appends
+// survive a crash even when the control record lagged behind.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"adahealth/internal/kdb"
+	"adahealth/internal/service"
+	"adahealth/internal/stats"
+	"adahealth/internal/vsm"
+)
+
+var (
+	// ErrExists rejects registering a dataset name twice (HTTP 409).
+	ErrExists = errors.New("stream: dataset already registered")
+	// ErrUnknown reports an unregistered dataset (HTTP 404).
+	ErrUnknown = errors.New("stream: unknown dataset")
+	// ErrDurability marks an append the K-DB could not durably record:
+	// nothing was applied, the client must retry (HTTP 503).
+	ErrDurability = errors.New("stream: append not durable")
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Service is the analysis service drift-triggered full re-analyses
+	// are submitted to (required; its engine also supplies the K-DB
+	// and the VSM options the live matrices maintain).
+	Service *service.Service
+	// DriftThreshold is the descriptor drift (1 − similarity on the
+	// kdb.DescriptorSimilarity feature vector) at which a full
+	// re-analysis is scheduled; <= 0 defaults to 0.15.
+	DriftThreshold float64
+	// OnlineK is the mini-batch model's cluster count (capped at the
+	// current patient count); <= 0 defaults to 8.
+	OnlineK int
+	// OnlineBatchSize is the mini-batch sample size per iteration;
+	// <= 0 uses the cluster package default.
+	OnlineBatchSize int
+	// OnlineMaxIter bounds mini-batch iterations per re-clustering;
+	// <= 0 defaults to 50.
+	OnlineMaxIter int
+	// ResweepPriority is the service priority of drift-triggered jobs
+	// (negative yields to interactive submissions).
+	ResweepPriority int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.15
+	}
+	if c.OnlineK <= 0 {
+		c.OnlineK = 8
+	}
+	if c.OnlineMaxIter <= 0 {
+		c.OnlineMaxIter = 50
+	}
+	return c
+}
+
+// Manager owns every live dataset of one daemon: registration, lookup,
+// and crash recovery from the K-DB's live collections.
+type Manager struct {
+	svc *service.Service
+	kdb *kdb.KDB
+	cfg Config
+
+	mu       sync.Mutex
+	datasets map[string]*Dataset
+}
+
+// NewManager builds a manager over cfg.Service and resumes every live
+// dataset persisted in the service's K-DB: each dataset's accepted
+// batches replay in revision order (rebuilding log, live VSM and
+// descriptor statistics), the online model and drift baseline restore
+// from the control record, and a dataset whose model lagged behind its
+// appends at crash time is re-clustered once to catch up.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Service == nil {
+		return nil, errors.New("stream: Config.Service is required")
+	}
+	m := &Manager{
+		svc:      cfg.Service,
+		kdb:      cfg.Service.Engine().KDB(),
+		cfg:      cfg.withDefaults(),
+		datasets: make(map[string]*Dataset),
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// recover replays persisted live datasets into memory.
+func (m *Manager) recover() error {
+	states, err := m.kdb.LiveDatasets()
+	if err != nil {
+		return fmt.Errorf("stream: reading live datasets: %w", err)
+	}
+	for _, st := range states {
+		batches, err := m.kdb.LiveBatches(st.Dataset)
+		if err != nil {
+			return fmt.Errorf("stream: reading batches of %q: %w", st.Dataset, err)
+		}
+		d := m.newDataset(st.Dataset)
+		for _, b := range batches {
+			if err := d.applyLocked(b.Exams, b.Patients, b.Records); err != nil {
+				return fmt.Errorf("stream: replaying %s@%d: %w", st.Dataset, b.Revision, err)
+			}
+			// Trust the batches, not the control record: the recovered
+			// revision is whatever was durably appended.
+			d.revision = b.Revision
+		}
+		d.baseline = st.Baseline
+		d.drift = st.Drift
+		d.lastAnalysis = st.LastAnalysis
+		d.centroids = st.Centroids
+		d.features = st.Features
+		d.modelRev = st.ModelRevision
+		if d.baseline == nil {
+			desc := d.acc.Descriptor()
+			d.baseline = &desc
+		}
+		if d.modelRev != d.revision {
+			// The crash landed between an acknowledged append and its
+			// model update: one catch-up re-clustering.
+			d.reclusterLocked()
+		}
+		m.datasets[st.Dataset] = d
+	}
+	return nil
+}
+
+// newDataset builds an empty in-memory live dataset (not yet
+// registered in the map or the K-DB).
+func (m *Manager) newDataset(name string) *Dataset {
+	return &Dataset{
+		mgr:  m,
+		name: name,
+		log:  newEmptyLog(name),
+		live: vsm.NewLive(m.vsmOptions()),
+		acc:  stats.NewAccumulator(name),
+	}
+}
+
+func (m *Manager) vsmOptions() vsm.Options {
+	return m.svc.Engine().Config().VSM
+}
+
+// Get resolves a registered live dataset.
+func (m *Manager) Get(name string) (*Dataset, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.datasets[name]
+	return d, ok
+}
+
+// Datasets lists every registered live dataset's status.
+func (m *Manager) Datasets() []DatasetStatus {
+	m.mu.Lock()
+	ds := make([]*Dataset, 0, len(m.datasets))
+	for _, d := range m.datasets {
+		ds = append(ds, d)
+	}
+	m.mu.Unlock()
+	out := make([]DatasetStatus, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.Status())
+	}
+	return out
+}
+
+// Register creates a live dataset named name seeded with the given
+// initial log (which may be empty of records). The initial contents
+// are durably recorded as the dataset's revision-1 batch before
+// Register returns; re-registering a name fails with ErrExists.
+func (m *Manager) Register(name string, exams []Exam, patients []Patient, records []Record) (DatasetStatus, error) {
+	if name == "" {
+		return DatasetStatus{}, errors.New("stream: empty dataset name")
+	}
+	m.mu.Lock()
+	if _, dup := m.datasets[name]; dup {
+		m.mu.Unlock()
+		return DatasetStatus{}, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	// Reserve the name while the initial batch persists; concurrent
+	// registrations of the same name must not interleave.
+	d := m.newDataset(name)
+	m.datasets[name] = d
+	m.mu.Unlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, err := d.appendLocked(exams, patients, records)
+	if err != nil {
+		m.mu.Lock()
+		delete(m.datasets, name)
+		m.mu.Unlock()
+		return DatasetStatus{}, err
+	}
+	return st, nil
+}

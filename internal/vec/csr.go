@@ -83,6 +83,30 @@ func NewCSRFromDense(rows [][]float64) *CSRMatrix {
 	return m
 }
 
+// AppendDenseRows extends the matrix in place with additional dense
+// rows (each of exactly NumCols entries; panics on mismatch, mirroring
+// NewCSRFromDense). The nonzero scan, row-pointer bookkeeping and
+// cached-norm arithmetic are identical to construction, so a matrix
+// grown by appends is bit-for-bit equal to NewCSRFromDense over the
+// concatenated rows.
+func (m *CSRMatrix) AppendDenseRows(rows [][]float64) {
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("vec: AppendDenseRows row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		n2 := 0.0
+		for j, v := range r {
+			if v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Values = append(m.Values, v)
+				n2 += v * v
+			}
+		}
+		m.RowPtr = append(m.RowPtr, len(m.Values))
+		m.rowNorm2 = append(m.rowNorm2, n2)
+	}
+}
+
 // NumRows reports the number of rows.
 func (m *CSRMatrix) NumRows() int { return len(m.RowPtr) - 1 }
 

@@ -179,46 +179,55 @@ func weigh(raw [][]float64, opts Options) [][]float64 {
 	}
 
 	for i, r := range raw {
-		out := rows[i]
-		for j, v := range r {
-			switch opts.Weighting {
-			case Count:
-				out[j] = v
-			case Binary:
-				if v > 0 {
-					out[j] = 1
-				}
-			case LogCount:
-				out[j] = math.Log1p(v)
-			case TFIDF:
-				out[j] = v * idf[j]
+		weighRowInto(rows[i], r, opts, idf)
+	}
+	return rows
+}
+
+// weighRowInto applies weighting + normalization to a single raw row,
+// writing the result into out (len(out) == len(r)). idf is consulted
+// only for TFIDF. The batch transform and the live incremental
+// maintenance path (Live) both run every row through this one
+// function, so per-row arithmetic — including the column order of the
+// norm sums — is bit-for-bit identical by construction.
+func weighRowInto(out, r []float64, opts Options, idf []float64) {
+	for j, v := range r {
+		switch opts.Weighting {
+		case Count:
+			out[j] = v
+		case Binary:
+			if v > 0 {
+				out[j] = 1
+			}
+		case LogCount:
+			out[j] = math.Log1p(v)
+		case TFIDF:
+			out[j] = v * idf[j]
+		}
+	}
+	switch opts.Normalization {
+	case L2:
+		s := 0.0
+		for _, v := range out {
+			s += v * v
+		}
+		if s > 0 {
+			inv := 1 / math.Sqrt(s)
+			for j := range out {
+				out[j] *= inv
 			}
 		}
-		switch opts.Normalization {
-		case L2:
-			s := 0.0
-			for _, v := range out {
-				s += v * v
-			}
-			if s > 0 {
-				inv := 1 / math.Sqrt(s)
-				for j := range out {
-					out[j] *= inv
-				}
-			}
-		case L1:
-			s := 0.0
-			for _, v := range out {
-				s += math.Abs(v)
-			}
-			if s > 0 {
-				for j := range out {
-					out[j] /= s
-				}
+	case L1:
+		s := 0.0
+		for _, v := range out {
+			s += math.Abs(v)
+		}
+		if s > 0 {
+			for j := range out {
+				out[j] /= s
 			}
 		}
 	}
-	return rows
 }
 
 // NumRows reports the number of patients.
