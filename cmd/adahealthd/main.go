@@ -19,12 +19,24 @@
 //	GET    /v1/datasets/{id}         live model status, drift gauge, last full-analysis report id
 //	GET    /v1/datasets/{id}/events  live dataset event stream (SSE: appended, model-updated, resweep-scheduled, ...)
 //	GET    /healthz                  liveness + queue/worker/K-DB gauges
+//	GET    /v1/replication/status    leader WAL position (disk-backed daemons only)
+//	GET    /v1/replication/snapshot  epoch-start snapshot files for follower bootstrap
+//	GET    /v1/replication/wal       raw WAL frame stream (?epoch=&from=)
 //
 // With -kdb-dir the knowledge base is durable: every mutation is
 // group-committed to a write-ahead log, so a killed daemon recovers
 // all collections on restart (WAL replay over the latest snapshots),
 // and accumulated knowledge warm-starts future analyses of similar
 // datasets (the recall stage).
+//
+// With -follow the daemon is a warm-standby replication follower
+// instead: it bootstraps from the leader's snapshots, tails the
+// leader's WAL into its own durable log, and serves only the K-DB read
+// endpoints (GET /v1/knowledge, GET /v1/datasets/{id}/similar) plus a
+// /healthz carrying replication lag gauges. A leader started with
+// -read-fallback <follower-url> routes those same read endpoints to
+// the standby — with an explicit X-Adahealth-Stale header — whenever
+// its own K-DB breaker is degraded.
 //
 // A submission names its data inline ({"log": {...}}) or asks the
 // daemon to generate a synthetic log ({"synthetic": {"NumPatients":
@@ -50,10 +62,27 @@ import (
 
 	"adahealth/internal/cluster"
 	"adahealth/internal/core"
+	"adahealth/internal/kdb"
 	"adahealth/internal/optimize"
+	"adahealth/internal/repl"
 	"adahealth/internal/service"
 	"adahealth/internal/stream"
 )
+
+// newServer wraps handler in an http.Server with the daemon's timeout
+// policy: bounded header/body reads and idle keep-alives against
+// slow-loris and leaked connections, but NO WriteTimeout — the SSE
+// event streams and the replication WAL stream are long-lived
+// responses a write deadline would sever mid-analysis.
+func newServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
 
 func main() {
 	var (
@@ -71,17 +100,24 @@ func main() {
 		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (profile the daemon under cmd/loadgen traffic)")
 		driftTh = flag.Float64("drift-threshold", 0, "live-dataset descriptor drift that triggers a full warm-started re-analysis (0 = default 0.15)")
 		traces  = flag.Int("max-stage-traces", 0, "newest stage traces kept per dataset at flush time (0 = default 256, negative = unbounded)")
+		follow  = flag.String("follow", "", "run as a warm-standby follower of this leader URL (requires -kdb-dir; serves the knowledge read endpoints only)")
+		fallbk  = flag.String("read-fallback", "", "warm-standby URL the knowledge read endpoints route to while the K-DB breaker is degraded")
 	)
 	flag.Parse()
+
+	dir := *kdbDir
+	if dir == "" {
+		dir = *kdbOld
+	}
+	if *follow != "" {
+		runFollower(*addr, dir, *follow, *drain)
+		return
+	}
 
 	alg, err := cluster.ParseAlgorithm(*algo)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
 		os.Exit(2)
-	}
-	dir := *kdbDir
-	if dir == "" {
-		dir = *kdbOld
 	}
 	engineCfg := core.Config{
 		KDBDir:       dir,
@@ -120,7 +156,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	handler := stream.Handler(svc, mgr)
+	handler := stream.HandlerOptions(svc, mgr, service.HandlerOptions{ReadFallback: *fallbk})
+	if dir != "" {
+		// A durable K-DB can lead replication: mount the WAL-shipping
+		// endpoints followers bootstrap from and tail.
+		leaderH, err := repl.NewLeaderHandler(svc.Engine().KDB().Store(), repl.LeaderOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/v1/replication/", leaderH)
+		handler = mux
+	}
 	if *pprofOn {
 		// The profiling surface rides on the API port behind an opt-in
 		// flag: `go tool pprof http://host:port/debug/pprof/profile`
@@ -134,7 +183,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := newServer(*addr, handler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -170,4 +219,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("adahealthd: drained cleanly")
+}
+
+// runFollower is the warm-standby main path: replicate the leader's
+// K-DB into dir and serve the knowledge read endpoints from it.
+func runFollower(addr, dir, leaderURL string, drain time.Duration) {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "adahealthd: -follow requires -kdb-dir (the follower's own durable store)")
+		os.Exit(2)
+	}
+	f, err := repl.OpenFollower(repl.FollowerOptions{LeaderURL: leaderURL, Dir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: %v\n", err)
+		os.Exit(1)
+	}
+	fkb := kdb.Follower(f.Store())
+	srv := newServer(addr, repl.NewFollowerHandler(f, fkb))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	f.Start(ctx)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("adahealthd: follower of %s listening on %s\n", leaderURL, addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "adahealthd: serving: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Println("adahealthd: follower draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "adahealthd: http shutdown: %v\n", err)
+	}
+	// Closing the follower keeps its WAL durable: the next start
+	// resumes streaming at the same offset.
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "adahealthd: closing follower: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("adahealthd: follower drained cleanly")
 }

@@ -41,6 +41,13 @@
 // and -max-p99 turn the run into a gate: exit status 1 when too few
 // jobs completed or the overall p99 exceeds the ceiling.
 //
+// With -follower (requires -self) the self-hosted daemon gets a
+// durable K-DB plus the WAL-shipping leader endpoints, an in-process
+// replication follower tails it, and a reader queries the follower's
+// GET /v1/knowledge throughout the run — the warm-standby smoke: the
+// gate fails when follower queries error or the follower never
+// converges with the leader's log.
+//
 // Profiling under load: start the daemon with -pprof and point pprof
 // at it while loadgen runs, e.g.
 //
@@ -66,8 +73,10 @@ import (
 
 	"adahealth/internal/core"
 	"adahealth/internal/dataset"
+	"adahealth/internal/kdb"
 	"adahealth/internal/optimize"
 	"adahealth/internal/partial"
+	"adahealth/internal/repl"
 	"adahealth/internal/service"
 	"adahealth/internal/stream"
 	"adahealth/internal/synth"
@@ -148,6 +157,21 @@ type result struct {
 
 	// -streams mode only: per-stream append tallies.
 	Streams []streamResult `json:"streams,omitempty"`
+
+	// -follower mode only: the warm-standby reader's tally.
+	Follower *followerResult `json:"follower,omitempty"`
+}
+
+// followerResult tallies the warm-standby smoke: knowledge queries
+// served by the follower during sustained leader traffic, plus the
+// follower's final replication gauges.
+type followerResult struct {
+	Queries      int   `json:"queries"`
+	Errors       int   `json:"errors"`
+	FramesBehind int64 `json:"frames_behind"`
+	Converged    bool  `json:"converged"`
+	Bootstraps   int64 `json:"bootstraps"`
+	Reconnects   int64 `json:"reconnects"`
 }
 
 func main() {
@@ -169,14 +193,29 @@ func main() {
 		rate     = flag.Float64("rate", 2, "open-loop total offered arrival rate in jobs/sec, split across classes by weight")
 		streams  = flag.Int("streams", 0, "live-dataset tenants registering and appending via /v1/datasets")
 		streamMS = flag.Duration("stream-period", 250*time.Millisecond, "interval between a stream tenant's visit-batch appends")
+		follow   = flag.Bool("follower", false, "with -self: replicate the daemon's K-DB to an in-process warm standby and query its /v1/knowledge during the run")
 	)
 	flag.Parse()
 
+	if *follow && !*self {
+		fmt.Fprintln(os.Stderr, "loadgen: -follower requires -self (the smoke needs the leader's store in-process)")
+		os.Exit(2)
+	}
 	base := *addr
 	var shutdown func()
 	if *self {
+		kdbDir := ""
+		if *follow {
+			dir, err := os.MkdirTemp("", "loadgen-leader-kdb-")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			kdbDir = dir
+		}
 		var err error
-		base, shutdown, err = startSelf(*workers, *queue, *seed)
+		base, shutdown, err = startSelf(*workers, *queue, *seed, kdbDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: starting in-process daemon: %v\n", err)
 			os.Exit(1)
@@ -186,6 +225,17 @@ func main() {
 	if base == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: pass -addr or -self")
 		os.Exit(2)
+	}
+
+	var followerRes *followerResult
+	var stopFollower func() *followerResult
+	if *follow {
+		var err error
+		stopFollower, err = startFollowerSmoke(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: starting follower: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	res, err := run(base, runConfig{
@@ -205,6 +255,10 @@ func main() {
 		os.Exit(1)
 	}
 	res.SelfHosted = *self
+	if stopFollower != nil {
+		followerRes = stopFollower()
+		res.Follower = followerRes
+	}
 
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -236,6 +290,11 @@ func main() {
 		fmt.Printf("loadgen: stream %s: %d appends, %d errors, revision %d, drift %.3f\n",
 			s.Dataset, s.Appends, s.Errors, s.Revision, s.Drift)
 	}
+	if followerRes != nil {
+		fmt.Printf("loadgen: follower: %d queries, %d errors, frames behind %d, converged=%v (bootstraps=%d reconnects=%d)\n",
+			followerRes.Queries, followerRes.Errors, followerRes.FramesBehind,
+			followerRes.Converged, followerRes.Bootstraps, followerRes.Reconnects)
+	}
 	if *out != "" {
 		fmt.Printf("loadgen: snapshot written to %s\n", *out)
 	}
@@ -249,16 +308,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: p99 %.0fms > max-p99 %dms\n", res.Latency.P99MS, maxP99.Milliseconds())
 		failed = true
 	}
+	if followerRes != nil {
+		if followerRes.Queries == 0 || followerRes.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: follower served %d queries with %d errors\n",
+				followerRes.Queries, followerRes.Errors)
+			failed = true
+		}
+		if !followerRes.Converged {
+			fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: follower never converged (frames behind %d)\n",
+				followerRes.FramesBehind)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
 // startSelf boots an in-process daemon on a loopback port, serving the
-// full API surface: job endpoints plus the live-dataset routes.
-func startSelf(workers, queue int, seed int64) (base string, shutdown func(), err error) {
+// full API surface: job endpoints plus the live-dataset routes. A
+// non-empty kdbDir makes the K-DB durable and mounts the replication
+// leader endpoints over it (the -follower smoke's leader).
+func startSelf(workers, queue int, seed int64, kdbDir string) (base string, shutdown func(), err error) {
 	svc, err := service.New(service.Config{
-		Engine:     core.Config{Seed: seed},
+		Engine:     core.Config{Seed: seed, KDBDir: kdbDir},
 		Workers:    workers,
 		QueueDepth: queue,
 	})
@@ -270,12 +343,24 @@ func startSelf(workers, queue int, seed int64) (base string, shutdown func(), er
 		_ = svc.Close()
 		return "", nil, err
 	}
+	handler := stream.Handler(svc, mgr)
+	if kdbDir != "" {
+		leaderH, err := repl.NewLeaderHandler(svc.Engine().KDB().Store(), repl.LeaderOptions{})
+		if err != nil {
+			_ = svc.Close()
+			return "", nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/v1/replication/", leaderH)
+		handler = mux
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		_ = svc.Close()
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: stream.Handler(svc, mgr)}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	shutdown = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -284,6 +369,96 @@ func startSelf(workers, queue int, seed int64) (base string, shutdown func(), er
 		_ = svc.Close()
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// startFollowerSmoke attaches an in-process replication follower to
+// the leader at base and starts a reader querying the follower's
+// GET /v1/knowledge every 250ms. The returned stop function ends the
+// reader, waits for the follower to drain its replication backlog,
+// and reports the tally.
+func startFollowerSmoke(base string) (stop func() *followerResult, err error) {
+	dir, err := os.MkdirTemp("", "loadgen-follower-kdb-")
+	if err != nil {
+		return nil, err
+	}
+	f, err := repl.OpenFollower(repl.FollowerOptions{LeaderURL: base, Dir: dir})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.Start(ctx)
+	fkb := kdb.Follower(f.Store())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		_ = f.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	srv := &http.Server{Handler: repl.NewFollowerHandler(f, fkb)}
+	go func() { _ = srv.Serve(ln) }()
+	followerBase := "http://" + ln.Addr().String()
+
+	var (
+		res      followerResult
+		mu       sync.Mutex
+		stopCh   = make(chan struct{})
+		readerWG sync.WaitGroup
+	)
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		client := &http.Client{Timeout: 5 * time.Second}
+		ticker := time.NewTicker(250 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+			}
+			resp, err := client.Get(followerBase + "/v1/knowledge?limit=5")
+			mu.Lock()
+			res.Queries++
+			if err != nil || resp.StatusCode != http.StatusOK {
+				res.Errors++
+			}
+			mu.Unlock()
+			if err == nil {
+				_ = resp.Body.Close()
+			}
+		}
+	}()
+
+	return func() *followerResult {
+		close(stopCh)
+		readerWG.Wait()
+		// Give the follower a moment to drain the tail the run just
+		// committed, then snapshot the gauges.
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if lag := f.Lag(); lag.FramesBehind == 0 && lag.Epoch >= 0 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		lag := f.Lag()
+		mu.Lock()
+		res.FramesBehind = lag.FramesBehind
+		res.Converged = lag.FramesBehind == 0 && lag.Epoch >= 0
+		res.Bootstraps = lag.Bootstraps
+		res.Reconnects = lag.Reconnects
+		out := res
+		mu.Unlock()
+		ctxSh, cancelSh := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelSh()
+		_ = srv.Shutdown(ctxSh)
+		cancel()
+		_ = f.Close()
+		os.RemoveAll(dir)
+		return &out
+	}, nil
 }
 
 type runConfig struct {

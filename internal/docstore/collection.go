@@ -348,6 +348,102 @@ func (c *Collection) Delete(id string) error {
 	return nil
 }
 
+// applyReplicated folds one shipped WAL record into the collection
+// under shard locks: unlike the applyInsert/applyUpdate/applyDelete
+// recovery path (single-threaded, lock-free), a replica applies while
+// concurrent readers serve, so every mutation locks the stripes it
+// touches. The replica is the store's only writer, which is what makes
+// the unlocked findShard scan safe here. Semantics mirror replay:
+// upsert on insert/update (a re-shipped frame after reconnect is a
+// no-op), ignore-missing on delete.
+func (c *Collection) applyReplicated(rec walRecord) {
+	if rec.Op == opDelete {
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			if old, ok := sh.docs[rec.ID]; ok {
+				sh.unindexEntry(old.doc)
+				delete(sh.docs, rec.ID)
+				sh.mu.Unlock()
+				return
+			}
+			sh.mu.Unlock()
+		}
+		return
+	}
+
+	dst := c.shards[c.shardIndex(rec.Doc)]
+	order := rec.Order
+	if src, ok := c.findShard(rec.ID); ok {
+		lockPair(src, dst)
+		if old, live := src.docs[rec.ID]; live {
+			if order == 0 {
+				order = old.order
+			}
+			src.unindexEntry(old.doc)
+			delete(src.docs, rec.ID)
+		}
+		dst.docs[rec.ID] = &entry{doc: rec.Doc, order: order}
+		dst.indexEntry(rec.Doc)
+		unlockPair(src, dst)
+	} else {
+		dst.mu.Lock()
+		if old, live := dst.docs[rec.ID]; live {
+			if order == 0 {
+				order = old.order
+			}
+			dst.unindexEntry(old.doc)
+			delete(dst.docs, rec.ID)
+		}
+		dst.docs[rec.ID] = &entry{doc: rec.Doc, order: order}
+		dst.indexEntry(rec.Doc)
+		dst.mu.Unlock()
+	}
+	if rec.IDSeq > c.idSeq.Load() {
+		c.idSeq.Store(rec.IDSeq)
+	}
+	if order > c.orderSeq.Load() {
+		c.orderSeq.Store(order)
+	}
+}
+
+// installSnapshot replaces the collection's entire contents with a
+// decoded snapshot, under every shard lock, preserving the shard-field
+// and index configuration — the in-memory half of a replica's
+// re-bootstrap, which must not invalidate the *Collection handles a
+// K-DB above the store already holds.
+func (c *Collection) installSnapshot(snap snapshotFile) {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range c.shards {
+		sh.docs = map[string]*entry{}
+		for f := range sh.indexes {
+			sh.indexes[f] = map[any][]string{}
+		}
+	}
+	c.idSeq.Store(snap.IDSeq)
+	var maxOrder int64
+	for i, d := range snap.Docs {
+		order := int64(i + 1)
+		if i < len(snap.Orders) {
+			order = snap.Orders[i]
+		}
+		sh := c.shards[c.shardIndex(d)]
+		sh.docs[d.ID()] = &entry{doc: d, order: order}
+		sh.indexEntry(d)
+		if order > maxOrder {
+			maxOrder = order
+		}
+	}
+	if snap.OrderSeq > maxOrder {
+		maxOrder = snap.OrderSeq
+	}
+	c.orderSeq.Store(maxOrder)
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
 // applyDelete replays one delete during recovery (ignore-missing).
 func (c *Collection) applyDelete(rec walRecord) {
 	for _, sh := range c.shards {

@@ -44,6 +44,39 @@
 // Every disk operation goes through an injectable filesystem
 // (Options.FS, package faultfs), so these contracts are tested under
 // deterministic fault schedules rather than asserted.
+//
+// # Replication contract
+//
+// The WAL's on-disk format doubles as the replication wire format: a
+// leader ships the raw bytes of its durable log and a follower
+// (Replica) re-verifies, persists, and replays them with the same code
+// a reopening store runs. The contract, which both sides and any
+// external tooling may rely on:
+//
+//   - Frame layout: every record is [4-byte little-endian payload
+//     length][4-byte CRC32-IEEE of the payload][JSON payload]. A frame
+//     whose length is zero, runs past the durable prefix, or fails its
+//     CRC is not a frame — on disk it is the torn tail replay truncates;
+//     on the wire it aborts the stream and the follower reconnects.
+//     The 8 zero bytes of KeepaliveFrame (zero length, zero CRC) are a
+//     stream-level heartbeat only and are never persisted.
+//
+//   - Offset semantics: a position is (epoch, byte offset, frame
+//     count) — see ReplPosition. Offsets address the current epoch's
+//     WAL from zero and are only meaningful within that epoch. The
+//     epoch increments exactly when a non-empty log compacts into the
+//     snapshots (persisted in repl.meta next to them), at which point
+//     every prior offset is gone — ErrCompacted — and the snapshot
+//     files become the authoritative epoch-start state.
+//
+//   - Snapshot handoff: SnapshotBootstrap serves the on-disk snapshot
+//     files, which always describe exactly offset zero of the current
+//     epoch (compaction writes them and resets the log under one
+//     exclusive gate). A follower installs them (InstallSnapshot,
+//     crash-safe via a negative epoch marker) and tails the WAL from
+//     offset zero; its own durable WAL size is thereafter its resume
+//     offset, because its log is a byte-identical prefix of the
+//     leader's.
 package docstore
 
 import "encoding/json"

@@ -1,0 +1,549 @@
+package docstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"adahealth/internal/faultfs"
+)
+
+// This file is the replication layer of the store: the leader-side
+// primitives that expose the WAL as a shippable byte stream
+// (ReplPosition, WALReader, SnapshotBootstrap) and the follower-side
+// Replica whose apply path is the same replay logic a reopening store
+// runs. The wire format is the WAL frame format itself — see the
+// package comment's "Replication contract" section.
+
+// replMetaFile persists the store's compaction epoch next to the
+// snapshots and WAL. A missing file means epoch 0 (a store that never
+// compacted); a negative epoch marks a replica whose snapshot install
+// was interrupted and must re-bootstrap.
+const replMetaFile = "repl.meta"
+
+type replMeta struct {
+	Epoch int64 `json:"epoch"`
+}
+
+// readReplMeta loads the persisted epoch; ok is false when the file is
+// missing or unreadable (both mean "no durable epoch claim").
+func readReplMeta(fsys faultfs.FS, dir string) (epoch int64, ok bool) {
+	raw, err := fsys.ReadFile(filepath.Join(dir, replMetaFile))
+	if err != nil {
+		return 0, false
+	}
+	var m replMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, false
+	}
+	return m.Epoch, true
+}
+
+// writeReplMeta durably persists the epoch (tmp + fsync + rename; the
+// caller orders the directory fsync against its other renames).
+func writeReplMeta(fsys faultfs.FS, dir string, epoch int64) error {
+	raw, err := json.Marshal(replMeta{Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, replMetaFile+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, replMetaFile)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReplPosition identifies a point in a store's replication stream:
+// the compaction epoch, the durable byte offset into that epoch's WAL,
+// and the frame count at that offset. Offsets are only comparable
+// within one epoch — a compaction folds the log into the snapshots,
+// resets the offset to zero, and increments the epoch, so a follower
+// holding a position from an older epoch must re-bootstrap from a
+// snapshot.
+type ReplPosition struct {
+	Epoch  int64 `json:"epoch"`
+	Offset int64 `json:"offset"`
+	Frames int64 `json:"frames"`
+}
+
+// ErrCompacted reports a WAL read whose position no longer exists on
+// the leader: the requested epoch was compacted away (or the offset
+// runs past the durable log, meaning the peer's history diverged).
+// The follower's recovery is a fresh snapshot bootstrap.
+var ErrCompacted = errors.New("docstore: replication position compacted away")
+
+// ErrMemoryOnly rejects replication primitives on a store without a
+// persistence directory: there is no WAL to ship.
+var ErrMemoryOnly = errors.New("docstore: memory-only store cannot replicate")
+
+// Epoch returns the store's current compaction epoch.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
+
+// ReplStatus snapshots the durable replication position. It briefly
+// holds the write gate shared so the (epoch, offset) pair cannot tear
+// across a concurrent compaction.
+func (s *Store) ReplStatus() ReplPosition {
+	if s.wal == nil {
+		return ReplPosition{}
+	}
+	s.writeGate.RLock()
+	defer s.writeGate.RUnlock()
+	return ReplPosition{
+		Epoch:  s.epoch.Load(),
+		Offset: s.wal.size.Load(),
+		Frames: s.wal.frames.Load(),
+	}
+}
+
+// KeepaliveFrame returns the 8-byte heartbeat frame a replication
+// stream interleaves when no WAL data is pending: a zero length and
+// zero CRC, which a real log can never contain (replay treats a zero
+// length as the torn tail), so a follower recognizes and discards it
+// without persisting anything.
+func KeepaliveFrame() []byte { return make([]byte, walFrameHeader) }
+
+// DefaultWALReadChunk bounds one WALReader read (and so one streamed
+// chunk on the replication endpoint).
+const DefaultWALReadChunk = 256 << 10
+
+// WALReader reads the durable prefix of a store's WAL as raw frame
+// bytes — the leader side of WAL shipping. It opens a fresh read
+// handle per call (the committer's handle is append-only), reads only
+// bytes the store has acknowledged as durable, and never observes a
+// compaction mid-read: the read holds the write gate shared, which
+// Compact holds exclusively.
+type WALReader struct {
+	s *Store
+}
+
+// WALReader returns a reader over the store's WAL; it fails on
+// memory-only stores.
+func (s *Store) WALReader() (*WALReader, error) {
+	if s.wal == nil {
+		return nil, ErrMemoryOnly
+	}
+	return &WALReader{s: s}, nil
+}
+
+// Read returns up to maxBytes (<= 0 selects DefaultWALReadChunk) of
+// raw frame bytes starting at byte offset `from` of the given epoch's
+// WAL, plus the store's current durable position. An empty slice with
+// a nil error means the follower is caught up. ErrCompacted reports a
+// position that no longer exists (stale epoch, or an offset past the
+// durable log).
+func (r *WALReader) Read(epoch, from int64, maxBytes int) ([]byte, ReplPosition, error) {
+	s := r.s
+	if maxBytes <= 0 {
+		maxBytes = DefaultWALReadChunk
+	}
+	s.writeGate.RLock()
+	defer s.writeGate.RUnlock()
+
+	pos := ReplPosition{
+		Epoch:  s.epoch.Load(),
+		Offset: s.wal.size.Load(),
+		Frames: s.wal.frames.Load(),
+	}
+	if epoch != pos.Epoch || from > pos.Offset || from < 0 {
+		return nil, pos, ErrCompacted
+	}
+	n := pos.Offset - from
+	if n == 0 {
+		return nil, pos, nil
+	}
+	if n > int64(maxBytes) {
+		n = int64(maxBytes)
+	}
+	f, err := s.fs.OpenFile(filepath.Join(s.dir, "wal.log"), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, pos, fmt.Errorf("docstore: opening WAL for replication: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return nil, pos, fmt.Errorf("docstore: seeking WAL for replication: %w", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, pos, fmt.Errorf("docstore: reading WAL for replication: %w", err)
+	}
+	return buf, pos, nil
+}
+
+// SnapshotBootstrap captures the store's epoch-start state for a
+// follower bootstrap: the raw snapshot files on disk (which always
+// describe exactly the state at the current epoch's offset zero — a
+// compaction writes them and resets the log atomically under the
+// write gate) keyed by collection name, plus the current position.
+// A follower installs the files and then tails the epoch's WAL from
+// offset zero.
+func (s *Store) SnapshotBootstrap() (ReplPosition, map[string][]byte, error) {
+	if s.wal == nil {
+		return ReplPosition{}, nil, ErrMemoryOnly
+	}
+	s.writeGate.RLock()
+	defer s.writeGate.RUnlock()
+
+	pos := ReplPosition{
+		Epoch:  s.epoch.Load(),
+		Offset: s.wal.size.Load(),
+		Frames: s.wal.frames.Load(),
+	}
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return pos, nil, fmt.Errorf("docstore: reading snapshot directory: %w", err)
+	}
+	files := map[string][]byte{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := s.fs.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return pos, nil, fmt.Errorf("docstore: reading snapshot %s: %w", name, err)
+		}
+		files[strings.TrimSuffix(name, ".json")] = raw
+	}
+	return pos, files, nil
+}
+
+// Replica is a read-only store maintained by applying a leader's
+// shipped WAL frames. Its apply path is deliberately the reopen path:
+// every received frame is CRC-verified, appended byte-identically to
+// the replica's own WAL (fsynced), and folded into memory with the
+// same upsert/ignore-missing semantics replay uses — so killing and
+// restarting a replica at any byte recovers exactly the applied
+// prefix, and the resume position is simply the local WAL's durable
+// size. The Replica must be the store's only writer.
+type Replica struct {
+	s *Store
+
+	mu    sync.Mutex
+	epoch int64 // -1: needs a snapshot bootstrap before tailing
+}
+
+// OpenReplica opens (or resumes) a follower store in o.Dir. A replica
+// whose last snapshot install was interrupted (negative or missing
+// epoch marker) discards any partial state and reports
+// NeedsBootstrap.
+func OpenReplica(o Options) (*Replica, error) {
+	if o.Dir == "" {
+		return nil, ErrMemoryOnly
+	}
+	fsys := o.FS
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: creating %s: %w", o.Dir, err)
+	}
+	epoch, ok := readReplMeta(fsys, o.Dir)
+	if !ok || epoch < 0 {
+		// No durable epoch claim: whatever files exist are a partial
+		// install (or a directory this replica has never synced), and
+		// loading them could mix two epochs' states. Start empty.
+		if err := wipeReplicaState(fsys, o.Dir); err != nil {
+			return nil, err
+		}
+		epoch = -1
+	}
+	s, err := OpenOptions(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{s: s, epoch: epoch}, nil
+}
+
+// wipeReplicaState removes snapshot files and the WAL so a bootstrap
+// starts from a clean slate.
+func wipeReplicaState(fsys faultfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("docstore: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".json.tmp") || name == "wal.log" {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("docstore: wiping partial replica state: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Store exposes the replica's underlying store for reads (a follower
+// K-DB wraps it). Callers must not write to it.
+func (r *Replica) Store() *Store { return r.s }
+
+// Epoch returns the leader epoch the replica is synced to (-1 before
+// the first bootstrap).
+func (r *Replica) Epoch() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// NeedsBootstrap reports whether the replica must install a snapshot
+// before tailing WAL frames.
+func (r *Replica) NeedsBootstrap() bool { return r.Epoch() < 0 }
+
+// Position returns the replica's durable resume position: the epoch it
+// is synced to and its local WAL's size and frame count, which — the
+// local WAL being a byte-identical prefix of the leader's — is exactly
+// the offset to request next.
+func (r *Replica) Position() ReplPosition {
+	r.mu.Lock()
+	epoch := r.epoch
+	r.mu.Unlock()
+	return ReplPosition{
+		Epoch:  epoch,
+		Offset: r.s.wal.size.Load(),
+		Frames: r.s.wal.frames.Load(),
+	}
+}
+
+// ApplyFrames verifies and applies shipped WAL bytes: every complete
+// frame is CRC-checked, persisted raw to the replica's WAL, and folded
+// into memory; keepalive frames are discarded. It returns how many
+// bytes were consumed (a trailing partial frame stays unconsumed — the
+// caller re-offers it with more bytes once they arrive) and how many
+// data frames were applied. A frame that fails its CRC or does not
+// decode returns an error with the bytes before it consumed: the wire
+// carried a torn or corrupt frame and the caller must reconnect and
+// resume from the durable position.
+func (r *Replica) ApplyFrames(data []byte) (consumed int, applied int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var (
+		persist []byte      // verified non-keepalive frame bytes to append
+		recs    []walRecord // their decoded records, in order
+	)
+	off := 0
+	for {
+		if len(data)-off < walFrameHeader {
+			break
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length == 0 {
+			if sum != 0 {
+				err = fmt.Errorf("docstore: corrupt replicated frame header at %d", off)
+				break
+			}
+			off += walFrameHeader // keepalive: heartbeat only, never persisted
+			continue
+		}
+		total := walFrameHeader + int(length)
+		if len(data)-off < total {
+			break // partial frame: wait for more bytes
+		}
+		payload := data[off+walFrameHeader : off+total]
+		if crc32.ChecksumIEEE(payload) != sum {
+			err = fmt.Errorf("docstore: replicated frame CRC mismatch at %d", off)
+			break
+		}
+		var rec walRecord
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			err = fmt.Errorf("docstore: decoding replicated frame: %w", jerr)
+			break
+		}
+		persist = append(persist, data[off:off+total]...)
+		recs = append(recs, rec)
+		off += total
+	}
+
+	if len(persist) > 0 {
+		// Durability first, then memory: a crash between the two replays
+		// the persisted frames on reopen, converging on the same state.
+		if werr := r.s.wal.appendRaw(persist, int64(len(recs))); werr != nil {
+			return 0, 0, werr
+		}
+		for _, rec := range recs {
+			if aerr := r.applyRecord(rec); aerr != nil {
+				return 0, 0, aerr
+			}
+		}
+	}
+	return off, int64(len(recs)), err
+}
+
+func (r *Replica) applyRecord(rec walRecord) error {
+	if rec.Collection == "" || rec.ID == "" {
+		return fmt.Errorf("docstore: replicated record without collection/id")
+	}
+	r.s.Collection(rec.Collection).applyReplicated(rec)
+	return nil
+}
+
+// InstallSnapshot replaces the replica's entire state with a leader
+// snapshot bootstrap (the files of SnapshotBootstrap) positioned at
+// (epoch, 0). The install is crash-safe: the epoch marker goes
+// negative (durably) before any file changes, so an interrupted
+// install is detected on reopen and re-bootstrapped from scratch, and
+// only flips to the new epoch after every file and the reset WAL are
+// durable. In-memory collections are reloaded in place, preserving
+// shard-field and index configuration.
+func (r *Replica) InstallSnapshot(epoch int64, files map[string][]byte) error {
+	if epoch < 0 {
+		return fmt.Errorf("docstore: snapshot with negative epoch %d", epoch)
+	}
+	// Decode before touching anything: a corrupt snapshot must not
+	// destroy the current state.
+	snaps := make(map[string]snapshotFile, len(files))
+	for name, raw := range files {
+		var snap snapshotFile
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("docstore: decoding snapshot %s: %w", name, err)
+		}
+		if snap.IDSeq == 0 && snap.Seq != 0 {
+			snap.IDSeq = snap.Seq
+		}
+		for _, d := range snap.Docs {
+			if d.ID() == "" {
+				return fmt.Errorf("docstore: snapshot %s holds a document without _id", name)
+			}
+		}
+		snaps[name] = snap
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.s
+	s.writeGate.Lock()
+	defer s.writeGate.Unlock()
+
+	// 1. Durably mark the install in progress: a crash anywhere below
+	// leaves a negative epoch, which OpenReplica treats as "partial
+	// state, wipe and re-bootstrap".
+	if err := writeReplMeta(s.fs, s.dir, -1); err != nil {
+		return fmt.Errorf("docstore: marking snapshot install: %w", err)
+	}
+	if s.wal.sync {
+		if err := syncDir(s.fs, s.dir); err != nil {
+			return fmt.Errorf("docstore: syncing install marker: %w", err)
+		}
+	}
+	// 2. Replace the on-disk snapshot set.
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("docstore: reading %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if _, keep := files[strings.TrimSuffix(name, ".json")]; keep {
+			continue
+		}
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
+			return fmt.Errorf("docstore: removing stale snapshot %s: %w", name, err)
+		}
+	}
+	for name, raw := range files {
+		if err := writeRawFile(s.fs, s.dir, name+".json", raw); err != nil {
+			return fmt.Errorf("docstore: installing snapshot %s: %w", name, err)
+		}
+	}
+	// 3. Reset the WAL: the snapshot IS the epoch-start state, frames
+	// tail from offset zero.
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	// 4. Everything durable, in order, then the epoch claim.
+	if s.wal.sync {
+		if err := syncDir(s.fs, s.dir); err != nil {
+			return fmt.Errorf("docstore: syncing installed snapshot: %w", err)
+		}
+	}
+	if err := writeReplMeta(s.fs, s.dir, epoch); err != nil {
+		return fmt.Errorf("docstore: committing snapshot install: %w", err)
+	}
+	// 5. Reload memory in place (existing *Collection handles stay
+	// valid; collections absent from the snapshot empty out).
+	s.mu.RLock()
+	existing := make([]string, 0, len(s.collections))
+	for name := range s.collections {
+		existing = append(existing, name)
+	}
+	s.mu.RUnlock()
+	for _, name := range existing {
+		if _, ok := snaps[name]; !ok {
+			s.Collection(name).installSnapshot(snapshotFile{})
+		}
+	}
+	for name, snap := range snaps {
+		s.Collection(name).installSnapshot(snap)
+	}
+	s.epoch.Store(epoch)
+	r.epoch = epoch
+	return nil
+}
+
+// writeRawFile writes raw bytes as dir/name via tmp + fsync + rename.
+func writeRawFile(fsys faultfs.FS, dir, name string, raw []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Close releases the replica's WAL. Unlike Store.Close it never
+// compacts: compaction is an epoch-advancing leader operation, and a
+// replica's epoch belongs to its leader.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.wal.close()
+}

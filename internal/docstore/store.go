@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"adahealth/internal/faultfs"
 )
@@ -57,6 +58,12 @@ type Store struct {
 
 	wal *wal // nil for memory-only stores
 
+	// epoch is the compaction generation (see ReplPosition): it
+	// increments every time a non-empty WAL is folded into snapshots
+	// and reset, and persists in repl.meta so a restarted leader and
+	// its followers agree on stream positions across restarts.
+	epoch atomic.Int64
+
 	mu          sync.RWMutex
 	collections map[string]*Collection
 }
@@ -85,6 +92,9 @@ func OpenOptions(o Options) (*Store, error) {
 	}
 	if err := s.fs.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("docstore: creating %s: %w", o.Dir, err)
+	}
+	if ep, ok := readReplMeta(s.fs, o.Dir); ok {
+		s.epoch.Store(ep)
 	}
 	entries, err := s.fs.ReadDir(o.Dir)
 	if err != nil {
@@ -223,6 +233,12 @@ func (s *Store) Compact() error {
 	if err := s.wal.failed(); err != nil {
 		return fmt.Errorf("docstore: refusing to compact after WAL failure: %w", err)
 	}
+	// An empty log means the snapshots already hold the epoch-start
+	// state exactly: rewriting them would only bump the epoch and force
+	// every follower through a pointless re-bootstrap.
+	if s.wal.size.Load() == 0 {
+		return nil
+	}
 
 	s.mu.RLock()
 	colls := make([]*Collection, 0, len(s.collections))
@@ -236,11 +252,19 @@ func (s *Store) Compact() error {
 			return fmt.Errorf("docstore: snapshotting %s: %w", c.name, err)
 		}
 	}
-	// The snapshot renames must be durable in the directory BEFORE the
-	// WAL resets: on a power loss between the two, an un-fsynced
-	// rename could roll back to the old snapshot while the truncated
-	// (fsynced) log no longer holds the commits since — losing
-	// acknowledged writes. One directory fsync orders them.
+	// The new epoch is durable alongside the snapshots it describes: a
+	// follower positioned in the old epoch must find the bump and
+	// re-bootstrap rather than misread post-reset frames as a
+	// continuation of the old stream.
+	next := s.epoch.Load() + 1
+	if err := writeReplMeta(s.fs, s.dir, next); err != nil {
+		return fmt.Errorf("docstore: writing replication meta: %w", err)
+	}
+	// The snapshot and meta renames must be durable in the directory
+	// BEFORE the WAL resets: on a power loss between the two, an
+	// un-fsynced rename could roll back to the old snapshot while the
+	// truncated (fsynced) log no longer holds the commits since —
+	// losing acknowledged writes. One directory fsync orders them.
 	if s.wal.sync {
 		if err := syncDir(s.fs, s.dir); err != nil {
 			return fmt.Errorf("docstore: syncing snapshot directory: %w", err)
@@ -249,7 +273,11 @@ func (s *Store) Compact() error {
 	// The snapshots now hold everything the log held (no writer is in
 	// flight); replay over them is idempotent, so a crash before this
 	// reset re-applies harmlessly.
-	return s.wal.reset()
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.epoch.Store(next)
+	return nil
 }
 
 // syncDir fsyncs a directory so renamed snapshot files are durable.

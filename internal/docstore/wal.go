@@ -82,6 +82,14 @@ type wal struct {
 	exit chan struct{}
 
 	size atomic.Int64 // bytes appended since the last reset
+	// frames counts committed frames since the last reset — the
+	// replication stream's logical clock (a follower's frames-behind
+	// gauge is the leader's count minus its own). Replay restores it,
+	// so the count survives a restart.
+	frames atomic.Int64
+	// bufFrames counts the frames currently in buf (guarded by mu),
+	// folded into frames when their batch commits.
+	bufFrames int64
 }
 
 // openWAL opens (creating if needed) the log at path, replays its
@@ -92,7 +100,11 @@ func openWAL(fsys faultfs.FS, path string, syncWrites bool, apply func(walRecord
 	if err != nil {
 		return nil, fmt.Errorf("docstore: opening WAL %s: %w", path, err)
 	}
-	good, err := replayWAL(f, apply)
+	var replayed int64
+	good, err := replayWAL(f, func(rec walRecord) error {
+		replayed++
+		return apply(rec)
+	})
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -115,6 +127,7 @@ func openWAL(fsys faultfs.FS, path string, syncWrites bool, apply func(walRecord
 		exit: make(chan struct{}),
 	}
 	w.size.Store(good)
+	w.frames.Store(replayed)
 	go w.commitLoop()
 	return w, nil
 }
@@ -213,6 +226,7 @@ func (w *wal) enqueue(rec walRecord) (*walBatch, error) {
 	}
 	w.buf = append(w.buf, header[:]...)
 	w.buf = append(w.buf, payload...)
+	w.bufFrames++
 	if w.cur == nil {
 		w.cur = &walBatch{done: make(chan struct{})}
 	}
@@ -245,8 +259,8 @@ func (w *wal) commitPending() {
 		w.mu.Unlock()
 		return
 	}
-	data, batch := w.buf, w.cur
-	w.buf, w.cur = nil, nil
+	data, batch, nframes := w.buf, w.cur, w.bufFrames
+	w.buf, w.cur, w.bufFrames = nil, nil, 0
 	// A batch enqueued while the failing commit was in flight must not
 	// be written: its frames would land past the hole left by the
 	// unacknowledged batch, and replay (which stops at the hole) would
@@ -273,9 +287,41 @@ func (w *wal) commitPending() {
 		w.mu.Unlock()
 	} else {
 		w.size.Add(int64(len(data)))
+		w.frames.Add(nframes)
 	}
 	batch.err = err
 	close(batch.done)
+}
+
+// appendRaw writes already-framed bytes (whole, CRC-verified frames)
+// directly to the log and fsyncs — the replication follower's apply
+// path, which must persist the leader's frames byte-identically rather
+// than re-encode them. It must not be mixed with enqueue-based writes:
+// the caller (a Replica) is the store's only writer.
+func (w *wal) appendRaw(data []byte, nframes int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return fmt.Errorf("docstore: WAL closed")
+	}
+	if w.failErr != nil {
+		return fmt.Errorf("docstore: WAL failed earlier: %w", w.failErr)
+	}
+	if len(w.buf) != 0 {
+		return fmt.Errorf("docstore: appendRaw with queued writer frames pending")
+	}
+	_, err := w.f.Write(data)
+	if err == nil && w.sync {
+		err = w.f.Sync()
+	}
+	if err != nil {
+		err = fmt.Errorf("%w: %w", ErrStoreBroken, err)
+		w.failErr = err
+		return err
+	}
+	w.size.Add(int64(len(data)))
+	w.frames.Add(nframes)
+	return nil
 }
 
 // failed returns the latched commit failure, if any.
@@ -348,6 +394,7 @@ func (w *wal) reset() error {
 		}
 	}
 	w.size.Store(0)
+	w.frames.Store(0)
 	return nil
 }
 

@@ -25,6 +25,13 @@ const (
 	// log, so both writes and reads are refused; the K-DB must be
 	// reopened to recover. Offline is terminal for this handle.
 	ModeOffline Mode = "offline"
+	// ModeFollower: the K-DB fronts a replication follower's store
+	// (kdb.Follower). Reads serve; writes and flushes are refused with
+	// ErrFollower — the store's only writer is the replication apply
+	// loop, and compaction/epoch management belongs to the leader.
+	// Follower is a configuration, not a trip: the breaker never
+	// enters or leaves it at runtime.
+	ModeFollower Mode = "follower"
 )
 
 var (
@@ -35,6 +42,9 @@ var (
 	// (broken); reads fail too, because the in-memory state may be
 	// ahead of what a recovery would restore.
 	ErrOffline = errors.New("kdb: store is offline (broken)")
+	// ErrFollower rejects writes and flushes on a read-only follower
+	// K-DB (kdb.Follower): mutations belong on the leader.
+	ErrFollower = errors.New("kdb: store is a replication follower (read-only)")
 )
 
 // Health is a snapshot of the breaker for health endpoints and gauges.
@@ -101,6 +111,8 @@ func (b *breaker) beforeWrite() error {
 	case ModeReadOnly:
 		b.dropped++
 		return ErrReadOnly
+	case ModeFollower:
+		return ErrFollower
 	}
 	return nil
 }
@@ -132,6 +144,8 @@ func (b *breaker) beforeFlush() error {
 	switch b.mode {
 	case ModeOffline:
 		return ErrOffline
+	case ModeFollower:
+		return ErrFollower
 	case ModeReadOnly:
 		if b.now().Before(b.retryAt) {
 			return ErrReadOnly
@@ -155,7 +169,7 @@ func (b *breaker) afterFlush(err error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.mode == ModeOffline {
+	if b.mode == ModeOffline || b.mode == ModeFollower {
 		return
 	}
 	if err == nil {

@@ -109,6 +109,11 @@ type KDB struct {
 	// eviction).
 	traceMu    sync.Mutex
 	traceLimit int
+
+	// foldMu guards foldThreshold, the live_appends fold trigger
+	// enforced at flush time (0 or negative disables folding).
+	foldMu        sync.Mutex
+	foldThreshold int
 }
 
 // Open creates or loads a K-DB. dir == "" keeps it in memory.
@@ -125,11 +130,20 @@ func OpenStore(opts docstore.Options) (*KDB, error) {
 		return nil, fmt.Errorf("kdb: %w", err)
 	}
 	k := &KDB{
-		store:      s,
-		br:         newBreaker(),
-		descCache:  map[string]stats.Descriptor{},
-		traceLimit: DefaultStageTraceLimit,
+		store:         s,
+		br:            newBreaker(),
+		descCache:     map[string]stats.Descriptor{},
+		traceLimit:    DefaultStageTraceLimit,
+		foldThreshold: DefaultLiveFoldThreshold,
 	}
+	configureCollections(s)
+	return k, nil
+}
+
+// configureCollections applies the K-DB's striping and index layout —
+// shared by OpenStore and Follower so a replication follower answers
+// the same dataset-scoped queries with the same single-stripe paths.
+func configureCollections(s *docstore.Store) {
 	// Stripe every collection by its dataset field: concurrent
 	// analyses of different datasets then write disjoint shards, and a
 	// dataset-scoped FindEq touches a single stripe.
@@ -149,7 +163,26 @@ func OpenStore(opts docstore.Options) (*KDB, error) {
 	s.Collection(CollFeedback).CreateIndex("item_id")
 	s.Collection(CollStageTraces).CreateIndex("dataset")
 	s.Collection(CollLiveAppends).CreateIndex("dataset")
-	return k, nil
+}
+
+// Follower wraps a replication follower's store (docstore.Replica) in
+// a read-only K-DB: the knowledge read paths — Query, KnowledgeItems,
+// SimilarDatasets, the typed accessors — serve from the replicated
+// collections, while every write and flush is refused with ErrFollower
+// (the store's only writer is the replication apply loop, and
+// compaction belongs to the leader). The replica's lifecycle owns the
+// store: Close on a follower K-DB is a no-op.
+func Follower(s *docstore.Store) *KDB {
+	k := &KDB{
+		store:         s,
+		br:            newBreaker(),
+		descCache:     map[string]stats.Descriptor{},
+		traceLimit:    DefaultStageTraceLimit,
+		foldThreshold: DefaultLiveFoldThreshold,
+	}
+	k.br.mode = ModeFollower
+	configureCollections(s)
+	return k
 }
 
 // SetStageTraceLimit caps how many stage traces the K-DB retains per
@@ -164,8 +197,14 @@ func (k *KDB) SetStageTraceLimit(n int) {
 }
 
 // Close compacts and releases a disk-backed K-DB (no-op in memory).
-// The K-DB must not be used afterwards.
-func (k *KDB) Close() error { return k.store.Close() }
+// The K-DB must not be used afterwards. A follower K-DB's store is
+// owned by its docstore.Replica, so Close leaves it alone.
+func (k *KDB) Close() error {
+	if k.br.health().Mode == ModeFollower {
+		return nil
+	}
+	return k.store.Close()
+}
 
 // StageTrace is the recorded execution of one pipeline stage: what
 // ran, when, for how long, and roughly how much it allocated. The
@@ -260,8 +299,12 @@ func (k *KDB) Flush() error {
 	}
 	// Retention runs at flush time so eviction deletes ride the same
 	// WAL the flush is about to compact; a failed eviction counts as
-	// a flush failure for the breaker.
+	// a flush failure for the breaker. Live-append folding rides the
+	// same batch for the same reason.
 	err := k.evictStageTraces()
+	if err == nil {
+		err = k.foldLiveAppends()
+	}
 	if err == nil {
 		err = k.store.Flush()
 	}

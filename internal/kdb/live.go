@@ -42,12 +42,24 @@ type LiveDatasetState struct {
 // append-only): the registration batch is revision 1, every accepted
 // append increments the revision by one. Replaying a dataset's batches
 // in revision order reconstructs the accumulated log exactly.
+//
+// A batch with FoldedFrom > 0 is a fold: the concatenation, in
+// revision order, of revisions [FoldedFrom..Revision], produced at
+// flush time once enough batches are already reflected in the control
+// record's revision (see Flush). Replaying a fold is equivalent to
+// replaying its constituents one by one — batch contents are disjoint
+// by construction (duplicate exam codes and patient IDs are rejected
+// at append time) and the apply path registers exams, then patients,
+// then records, which concatenation preserves.
 type LiveBatch struct {
 	Dataset  string             `json:"dataset"`
 	Revision int                `json:"revision"`
 	Exams    []dataset.ExamType `json:"exams,omitempty"`
 	Patients []dataset.Patient  `json:"patients,omitempty"`
 	Records  []dataset.Record   `json:"records,omitempty"`
+	// FoldedFrom marks a fold covering revisions [FoldedFrom..Revision]
+	// (0 = an ordinary single-revision batch).
+	FoldedFrom int `json:"folded_from,omitempty"`
 }
 
 func liveStateID(name string) string { return "live:" + name }
@@ -140,20 +152,166 @@ func (k *KDB) appendLiveBatch(b LiveBatch) error {
 	return nil
 }
 
-// LiveBatches returns a dataset's accepted batches in revision order.
+// LiveBatches returns a dataset's accepted batches in revision order,
+// fold-aware: when folds exist (flush-time compaction of the append
+// history), the highest-revision fold replaces everything it covers
+// and only later single-revision batches follow it. Stale documents a
+// crash mid-fold left behind — originals a fold already covers, or a
+// superseded older fold — are skipped, so replay never applies a
+// revision twice.
 func (k *KDB) LiveBatches(name string) ([]LiveBatch, error) {
 	if err := k.br.beforeRead(); err != nil {
 		return nil, err
 	}
 	docs := k.store.Collection(CollLiveAppends).FindEq("dataset", name)
-	out := make([]LiveBatch, 0, len(docs))
+	all := make([]LiveBatch, 0, len(docs))
+	var best *LiveBatch // the fold covering the longest prefix
 	for _, doc := range docs {
 		var b LiveBatch
 		if err := fromDoc(doc, &b); err != nil {
 			return nil, fmt.Errorf("kdb: decoding live batch of %q: %w", name, err)
 		}
+		all = append(all, b)
+		if b.FoldedFrom > 0 && (best == nil || b.Revision > best.Revision) {
+			cp := b
+			best = &cp
+		}
+	}
+	out := make([]LiveBatch, 0, len(all))
+	if best != nil {
+		out = append(out, *best)
+	}
+	for _, b := range all {
+		if b.FoldedFrom > 0 {
+			continue // folds other than best are superseded
+		}
+		if best != nil && b.Revision <= best.Revision {
+			continue // covered by the fold (a crash-leftover original)
+		}
 		out = append(out, b)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Revision < out[j].Revision })
+	return out, nil
+}
+
+// DefaultLiveFoldThreshold is how many fold-eligible live_appends
+// documents a dataset accumulates before Flush folds them into one
+// snapshot batch. Folding every flush would churn the WAL for nothing;
+// waiting forever makes restart replay O(lifetime) — 32 keeps replay
+// cost O(lag) at roughly one fold per few dozen appends.
+const DefaultLiveFoldThreshold = 32
+
+// SetLiveFoldThreshold overrides how many eligible batches trigger a
+// flush-time fold (n <= 0 disables folding).
+func (k *KDB) SetLiveFoldThreshold(n int) {
+	k.foldMu.Lock()
+	k.foldThreshold = n
+	k.foldMu.Unlock()
+}
+
+// foldLiveAppends compacts, per live dataset, every batch the control
+// record's revision already reflects into a single fold document —
+// the live_appends analogue of stage-trace eviction, bounding restart
+// replay to the fold plus the un-reflected tail. Only revisions <= the
+// control revision fold: a batch past it could still be ahead of a
+// control record whose upsert lagged a crash, and recovery must see it
+// individually. The new fold is inserted before the documents it
+// covers are deleted, and LiveBatches tolerates the overlap, so a
+// crash at any point between the writes replays correctly.
+func (k *KDB) foldLiveAppends() error {
+	k.foldMu.Lock()
+	limit := k.foldThreshold
+	k.foldMu.Unlock()
+	if limit <= 0 {
+		return nil
+	}
+	states, err := k.liveStatesUnguarded()
+	if err != nil {
+		return err
+	}
+	coll := k.store.Collection(CollLiveAppends)
+	for _, st := range states {
+		docs := coll.FindEq("dataset", st.Dataset)
+		type stored struct {
+			id string
+			b  LiveBatch
+		}
+		eligible := make([]stored, 0, len(docs))
+		var best *LiveBatch
+		for _, doc := range docs {
+			var b LiveBatch
+			if err := fromDoc(doc, &b); err != nil {
+				return fmt.Errorf("kdb: decoding live batch of %q: %w", st.Dataset, err)
+			}
+			if b.Revision > st.Revision {
+				continue
+			}
+			eligible = append(eligible, stored{id: doc.ID(), b: b})
+			if b.FoldedFrom > 0 && (best == nil || b.Revision > best.Revision) {
+				cp := b
+				best = &cp
+			}
+		}
+		if len(eligible) < limit {
+			continue
+		}
+		// Merge: the longest fold's contents, then every uncovered
+		// single-revision batch in revision order.
+		var tail []LiveBatch
+		for _, e := range eligible {
+			if e.b.FoldedFrom > 0 {
+				continue
+			}
+			if best != nil && e.b.Revision <= best.Revision {
+				continue
+			}
+			tail = append(tail, e.b)
+		}
+		sort.SliceStable(tail, func(i, j int) bool { return tail[i].Revision < tail[j].Revision })
+		merged := LiveBatch{Dataset: st.Dataset}
+		if best != nil {
+			merged = *best
+		} else if len(tail) > 0 {
+			merged.FoldedFrom = tail[0].Revision
+			merged.Revision = tail[0].Revision - 1 // extended below
+		}
+		for _, b := range tail {
+			merged.Exams = append(merged.Exams, b.Exams...)
+			merged.Patients = append(merged.Patients, b.Patients...)
+			merged.Records = append(merged.Records, b.Records...)
+			merged.Revision = b.Revision
+		}
+		if merged.FoldedFrom == 0 || merged.Revision < merged.FoldedFrom {
+			continue // nothing meaningful to fold
+		}
+		doc, err := toDoc(merged)
+		if err != nil {
+			return fmt.Errorf("kdb: encoding live fold %s@%d: %w", st.Dataset, merged.Revision, err)
+		}
+		if _, err := coll.Insert(doc); err != nil {
+			return fmt.Errorf("kdb: storing live fold %s@%d: %w", st.Dataset, merged.Revision, err)
+		}
+		// The fold is durable; now retire what it covers.
+		for _, e := range eligible {
+			if err := coll.Delete(e.id); err != nil {
+				return fmt.Errorf("kdb: retiring folded batch %s@%d: %w", st.Dataset, e.b.Revision, err)
+			}
+		}
+	}
+	return nil
+}
+
+// liveStatesUnguarded reads every control record without the breaker
+// gate — it runs inside Flush, which already passed beforeFlush.
+func (k *KDB) liveStatesUnguarded() ([]LiveDatasetState, error) {
+	docs := k.store.Collection(CollLiveDatasets).Find(nil)
+	out := make([]LiveDatasetState, 0, len(docs))
+	for _, doc := range docs {
+		var st LiveDatasetState
+		if err := fromDoc(doc, &st); err != nil {
+			return nil, fmt.Errorf("kdb: decoding live dataset: %w", err)
+		}
+		out = append(out, st)
+	}
 	return out, nil
 }

@@ -1,0 +1,373 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adahealth/internal/docstore"
+)
+
+// FollowerOptions configures a Follower; zero values select the
+// defaults.
+type FollowerOptions struct {
+	// LeaderURL is the leader daemon's base URL (required).
+	LeaderURL string
+	// Dir is the follower's own durable store directory (required).
+	Dir string
+	// Store passes explicit store options for Dir (fault injection);
+	// when set, its Dir field must equal Dir or be empty.
+	Store *docstore.Options
+	// Client overrides the HTTP client (streaming requests must not
+	// carry a client-level timeout; the stall watchdog bounds them).
+	Client *http.Client
+	// RequestTimeout bounds each control request — status poll and
+	// snapshot fetch (default 10s).
+	RequestTimeout time.Duration
+	// StallTimeout aborts a WAL stream that delivers no bytes, not
+	// even keepalives, for this long (default 15s).
+	StallTimeout time.Duration
+	// MinBackoff / MaxBackoff bound the reconnect backoff: capped
+	// exponential with full jitter, reset only on real progress
+	// (defaults 100ms / 5s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Seed seeds the jitter source (0 = a fixed default; determinism
+	// helps the chaos tests).
+	Seed int64
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 15 * time.Second
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Lag is the follower's replication health, served on its /healthz.
+type Lag struct {
+	// Connected reports an open WAL stream to the leader.
+	Connected bool `json:"connected"`
+	// Epoch is the follower's current epoch (-1 = awaiting bootstrap).
+	Epoch int64 `json:"epoch"`
+	// LastAppliedOffset is the follower's durable WAL offset — the
+	// byte position the next stream resumes from.
+	LastAppliedOffset int64 `json:"last_applied_offset"`
+	// FramesBehind is the leader's frame count minus the follower's,
+	// from the last observed leader position (negative clamps to 0;
+	// an epoch mismatch counts the full leader log).
+	FramesBehind int64 `json:"frames_behind"`
+	// SecondsSinceContact is the age of the last successful leader
+	// response (status, snapshot, or stream bytes; -1 = never).
+	SecondsSinceContact float64 `json:"seconds_since_contact"`
+	// Bootstraps counts snapshot installs; Reconnects counts stream
+	// (re)connect attempts.
+	Bootstraps int64 `json:"bootstraps"`
+	Reconnects int64 `json:"reconnects"`
+}
+
+// Follower replicates a leader's K-DB into a local read-only store.
+// Open it, then Start its sync loop; Store() serves reads throughout.
+type Follower struct {
+	opts FollowerOptions
+	rep  *docstore.Replica
+
+	// Gauges, updated by the sync loop, read by Lag().
+	connected    atomic.Bool
+	leaderOffset atomic.Int64
+	leaderFrames atomic.Int64
+	leaderEpoch  atomic.Int64
+	lastContact  atomic.Int64 // unix nanos; 0 = never
+	bootstraps   atomic.Int64
+	reconnects   atomic.Int64
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// OpenFollower opens (or resumes) the follower's local replica state.
+// The returned follower is not yet syncing — call Start.
+func OpenFollower(opts FollowerOptions) (*Follower, error) {
+	opts = opts.withDefaults()
+	if opts.LeaderURL == "" || opts.Dir == "" {
+		return nil, errors.New("repl: follower needs LeaderURL and Dir")
+	}
+	so := docstore.Options{Dir: opts.Dir}
+	if opts.Store != nil {
+		so = *opts.Store
+		so.Dir = opts.Dir
+	}
+	rep, err := docstore.OpenReplica(so)
+	if err != nil {
+		return nil, fmt.Errorf("repl: opening replica: %w", err)
+	}
+	return &Follower{opts: opts, rep: rep}, nil
+}
+
+// Store is the replicated read-only store (wrap it in kdb.Follower for
+// the knowledge read paths).
+func (f *Follower) Store() *docstore.Store { return f.rep.Store() }
+
+// Replica exposes the underlying replica (tests, diagnostics).
+func (f *Follower) Replica() *docstore.Replica { return f.rep }
+
+// Start launches the sync loop. It returns immediately; the loop runs
+// until ctx is cancelled or Close is called.
+func (f *Follower) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	f.mu.Lock()
+	f.cancel = cancel
+	done := make(chan struct{})
+	f.done = done
+	f.mu.Unlock()
+	go func() {
+		defer close(done)
+		f.run(ctx)
+	}()
+}
+
+// Close stops the sync loop and closes the local store (the follower's
+// WAL stays durable; reopening resumes at the same offset).
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	cancel, done := f.cancel, f.done
+	f.cancel, f.done = nil, nil
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	return f.rep.Close()
+}
+
+// Lag snapshots the replication gauges.
+func (f *Follower) Lag() Lag {
+	pos := f.rep.Position()
+	behind := f.leaderFrames.Load()
+	if f.leaderEpoch.Load() == pos.Epoch {
+		behind -= pos.Frames
+	}
+	if behind < 0 {
+		behind = 0
+	}
+	since := float64(-1)
+	if c := f.lastContact.Load(); c > 0 {
+		since = time.Since(time.Unix(0, c)).Seconds()
+	}
+	return Lag{
+		Connected:           f.connected.Load(),
+		Epoch:               pos.Epoch,
+		LastAppliedOffset:   pos.Offset,
+		FramesBehind:        behind,
+		SecondsSinceContact: since,
+		Bootstraps:          f.bootstraps.Load(),
+		Reconnects:          f.reconnects.Load(),
+	}
+}
+
+// run is the sync loop: resolve the leader's position, bootstrap when
+// the local epoch is gone, stream and apply frames, and back off —
+// capped exponential, full jitter — after any attempt that made no
+// real progress. Progress means applied frames or a completed
+// bootstrap; a successful status poll alone never resets the backoff,
+// so a leader that answers status but keeps failing its log reads is
+// still approached at the capped rate.
+func (f *Follower) run(ctx context.Context) {
+	rng := rand.New(rand.NewSource(f.opts.Seed))
+	backoff := f.opts.MinBackoff
+	for ctx.Err() == nil {
+		progressed, err := f.syncOnce(ctx)
+		if progressed {
+			backoff = f.opts.MinBackoff
+			continue
+		}
+		_ = err // the gauges carry the observable state; errors just back off
+		// Full jitter: sleep uniformly in (0, backoff].
+		sleep := time.Duration(rng.Int63n(int64(backoff))) + 1
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		if backoff *= 2; backoff > f.opts.MaxBackoff {
+			backoff = f.opts.MaxBackoff
+		}
+	}
+}
+
+// syncOnce makes one replication attempt: status, bootstrap if needed,
+// then stream until the connection ends. It reports whether real
+// progress happened (frames applied or snapshot installed).
+func (f *Follower) syncOnce(ctx context.Context) (progressed bool, err error) {
+	status, err := f.fetchStatus(ctx)
+	if err != nil {
+		return false, err
+	}
+	if f.rep.NeedsBootstrap() || f.rep.Epoch() != status.Epoch {
+		if err := f.bootstrap(ctx); err != nil {
+			return false, err
+		}
+		progressed = true
+	}
+	applied, err := f.stream(ctx)
+	return progressed || applied > 0, err
+}
+
+func (f *Follower) fetchStatus(ctx context.Context) (docstore.ReplPosition, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.opts.RequestTimeout)
+	defer cancel()
+	var pos docstore.ReplPosition
+	if err := f.getJSON(ctx, f.opts.LeaderURL+StatusPath, &pos); err != nil {
+		return pos, err
+	}
+	f.leaderEpoch.Store(pos.Epoch)
+	f.leaderOffset.Store(pos.Offset)
+	f.leaderFrames.Store(pos.Frames)
+	f.touchContact()
+	return pos, nil
+}
+
+func (f *Follower) bootstrap(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, f.opts.RequestTimeout)
+	defer cancel()
+	var snap snapshotResponse
+	if err := f.getJSON(ctx, f.opts.LeaderURL+SnapshotPath, &snap); err != nil {
+		return err
+	}
+	if err := f.rep.InstallSnapshot(snap.Epoch, snap.Files); err != nil {
+		return fmt.Errorf("repl: installing snapshot: %w", err)
+	}
+	f.bootstraps.Add(1)
+	f.touchContact()
+	return nil
+}
+
+func (f *Follower) getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("repl: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// stream opens one WAL stream at the replica's durable offset and
+// applies frames until the stream ends (leader fault, compaction,
+// network loss, stall, or shutdown). Every frame's CRC is re-verified
+// and persisted to the local log before it is applied, so a kill at
+// any point resumes exactly at the durable offset; a torn or corrupt
+// frame aborts the stream and the reconnect re-fetches from the last
+// durable frame boundary.
+func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
+	pos := f.rep.Position()
+	url := fmt.Sprintf("%s%s?epoch=%d&from=%d", f.opts.LeaderURL, WALPath, pos.Epoch, pos.Offset)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	f.reconnects.Add(1)
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		// Position compacted away: the next syncOnce bootstraps.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, docstore.ErrCompacted
+	default:
+		return 0, fmt.Errorf("repl: GET %s: %s", WALPath, resp.Status)
+	}
+	f.connected.Store(true)
+	defer f.connected.Store(false)
+	f.touchContact()
+	if frames, err := strconv.ParseInt(resp.Header.Get(FramesHeader), 10, 64); err == nil {
+		f.leaderFrames.Store(frames)
+	}
+
+	// Stall watchdog: no bytes (not even keepalives) within
+	// StallTimeout kills the request; Read then returns and the loop
+	// reconnects with backoff.
+	watchdog := time.AfterFunc(f.opts.StallTimeout, cancel)
+	defer watchdog.Stop()
+
+	var pending []byte
+	buf := make([]byte, 64<<10)
+	for {
+		n, readErr := resp.Body.Read(buf)
+		if n > 0 {
+			watchdog.Reset(f.opts.StallTimeout)
+			f.touchContact()
+			pending = append(pending, buf[:n]...)
+			consumed, nApplied, applyErr := f.rep.ApplyFrames(pending)
+			pending = pending[consumed:]
+			applied += nApplied
+			if nApplied > 0 {
+				f.leaderOffsetFloor()
+			}
+			if applyErr != nil {
+				// Corrupt or torn wire frame: drop the stream; the
+				// durable prefix is intact and the reconnect resumes
+				// from it.
+				return applied, fmt.Errorf("repl: applying frames: %w", applyErr)
+			}
+		}
+		if readErr != nil {
+			if errors.Is(readErr, io.EOF) {
+				return applied, nil
+			}
+			return applied, readErr
+		}
+	}
+}
+
+// leaderOffsetFloor keeps the leader-offset gauge monotone with what
+// we have applied (the stream does not echo per-chunk positions).
+func (f *Follower) leaderOffsetFloor() {
+	pos := f.rep.Position()
+	for {
+		cur := f.leaderOffset.Load()
+		if cur >= pos.Offset || f.leaderOffset.CompareAndSwap(cur, pos.Offset) {
+			return
+		}
+	}
+}
+
+func (f *Follower) touchContact() {
+	f.lastContact.Store(time.Now().UnixNano())
+}

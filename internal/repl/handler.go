@@ -1,0 +1,37 @@
+package repl
+
+import (
+	"net/http"
+
+	"adahealth/internal/kdb"
+	"adahealth/internal/service"
+)
+
+// NewFollowerHandler is the warm standby's HTTP surface: the K-DB read
+// endpoints served from the replicated store — identical in shape to
+// the leader's, so the leader's degraded read routing proxies verbatim
+// — plus a /healthz carrying the replication lag gauges.
+//
+//	GET /v1/knowledge                 knowledge items from the replica
+//	GET /v1/datasets/{id}/similar     descriptor similarity from the replica
+//	GET /healthz                      follower mode + lag gauges
+//
+// kb must wrap f.Store() (kdb.Follower).
+func NewFollowerHandler(f *Follower, kb *kdb.KDB) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewKnowledgeHandler(kb))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Role string     `json:"role"`
+			Mode kdb.Mode   `json:"mode"`
+			Lag  Lag        `json:"replication"`
+			KDB  kdb.Health `json:"kdb"`
+		}{
+			Role: "follower",
+			Mode: kb.Health().Mode,
+			Lag:  f.Lag(),
+			KDB:  kb.Health(),
+		})
+	})
+	return mux
+}

@@ -1,0 +1,205 @@
+// Package repl ships the K-DB's write-ahead log from a leader daemon
+// to warm-standby followers over HTTP. The wire format IS the
+// docstore WAL's on-disk frame format (see the replication contract in
+// package docstore): the leader streams the raw bytes of its durable
+// log, and the follower re-verifies every frame's CRC, persists it to
+// its own log, and applies it with the same code a reopening store
+// runs — so a follower restart is an ordinary recovery, and its
+// durable WAL size is its resume offset.
+//
+// The follower is robustness-first: capped exponential backoff with
+// full jitter between attempts (reset only on real progress — applied
+// frames or a completed bootstrap, never on a mere status poll), a
+// per-request timeout on control calls, a stall watchdog on the WAL
+// stream, torn/corrupt frames aborting the stream for a clean
+// reconnect, and idempotent re-apply after reconnect. Lag gauges
+// (frames behind, last applied offset, seconds since leader contact)
+// feed the follower's /healthz.
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"adahealth/internal/docstore"
+)
+
+// Wire paths and headers of the replication protocol.
+const (
+	// StatusPath serves the leader's current ReplPosition as JSON.
+	StatusPath = "/v1/replication/status"
+	// SnapshotPath serves the epoch-start snapshot files for follower
+	// bootstrap.
+	SnapshotPath = "/v1/replication/snapshot"
+	// WALPath streams raw WAL frames from ?epoch=&from=.
+	WALPath = "/v1/replication/wal"
+
+	// EpochHeader / OffsetHeader / FramesHeader carry the leader's
+	// position at stream start on the WAL response.
+	EpochHeader  = "X-Repl-Epoch"
+	OffsetHeader = "X-Repl-Offset"
+	FramesHeader = "X-Repl-Frames"
+)
+
+// LeaderOptions tunes the leader's replication endpoints; zero values
+// select the defaults.
+type LeaderOptions struct {
+	// PollInterval is how often an idle WAL stream re-checks the log
+	// for new frames (default 100ms).
+	PollInterval time.Duration
+	// KeepaliveInterval is how long an idle stream waits before
+	// emitting a keepalive frame so the follower's stall watchdog and
+	// contact gauge see a live leader (default 5s).
+	KeepaliveInterval time.Duration
+	// MaxChunk caps the bytes served per WAL read (default
+	// docstore.DefaultWALReadChunk).
+	MaxChunk int
+}
+
+func (o LeaderOptions) withDefaults() LeaderOptions {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	if o.KeepaliveInterval <= 0 {
+		o.KeepaliveInterval = 5 * time.Second
+	}
+	if o.MaxChunk <= 0 {
+		o.MaxChunk = docstore.DefaultWALReadChunk
+	}
+	return o
+}
+
+// snapshotResponse is the JSON body of SnapshotPath: the epoch the
+// files begin and the raw snapshot files (base64 via encoding/json).
+type snapshotResponse struct {
+	Epoch int64             `json:"epoch"`
+	Files map[string][]byte `json:"files"`
+}
+
+// NewLeaderHandler serves the replication endpoints over s's durable
+// log. Mount it on the daemon mux (the paths are absolute):
+//
+//	GET /v1/replication/status   leader position (epoch, offset, frames)
+//	GET /v1/replication/snapshot epoch-start snapshot files (bootstrap)
+//	GET /v1/replication/wal      raw frame stream from ?epoch=&from=
+//	                             (409 when the position compacted away)
+//
+// The WAL stream long-polls: caught-up streams stay open, serving new
+// frames as they commit and keepalive frames while idle, until the
+// client disconnects or a compaction retires the epoch.
+func NewLeaderHandler(s *docstore.Store, opts LeaderOptions) (http.Handler, error) {
+	reader, err := s.WALReader()
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	l := &leader{s: s, reader: reader, opts: opts.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+StatusPath, l.status)
+	mux.HandleFunc("GET "+SnapshotPath, l.snapshot)
+	mux.HandleFunc("GET "+WALPath, l.wal)
+	return mux, nil
+}
+
+type leader struct {
+	s      *docstore.Store
+	reader *docstore.WALReader
+	opts   LeaderOptions
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+func (l *leader) status(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, l.s.ReplStatus())
+}
+
+func (l *leader) snapshot(w http.ResponseWriter, r *http.Request) {
+	pos, files, err := l.s.SnapshotBootstrap()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Epoch: pos.Epoch, Files: files})
+}
+
+// wal streams raw frames from the requested position. The first read
+// decides the response: a compacted position is a 409 (bootstrap
+// needed), a fault is a 500; after bytes are on the wire errors can
+// only end the stream, and the follower re-resolves via status.
+func (l *leader) wal(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	epoch, err1 := strconv.ParseInt(q.Get("epoch"), 10, 64)
+	from, err2 := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, errors.New("repl: wal needs integer epoch= and from="))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, errors.New("repl: streaming unsupported by connection"))
+		return
+	}
+
+	data, pos, err := l.reader.Read(epoch, from, l.opts.MaxChunk)
+	switch {
+	case errors.Is(err, docstore.ErrCompacted):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(EpochHeader, strconv.FormatInt(pos.Epoch, 10))
+	w.Header().Set(OffsetHeader, strconv.FormatInt(pos.Offset, 10))
+	w.Header().Set(FramesHeader, strconv.FormatInt(pos.Frames, 10))
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: an idle leader would otherwise buffer them
+	// until the first keepalive, leaving the follower's connect (and its
+	// connected/last-contact gauges) pending for a whole interval.
+	flusher.Flush()
+
+	idleSince := time.Now()
+	for {
+		if len(data) > 0 {
+			if _, err := w.Write(data); err != nil {
+				return
+			}
+			flusher.Flush()
+			from += int64(len(data))
+			idleSince = time.Now()
+		} else {
+			if time.Since(idleSince) >= l.opts.KeepaliveInterval {
+				if _, err := w.Write(docstore.KeepaliveFrame()); err != nil {
+					return
+				}
+				flusher.Flush()
+				idleSince = time.Now()
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(l.opts.PollInterval):
+			}
+		}
+		data, _, err = l.reader.Read(epoch, from, l.opts.MaxChunk)
+		if err != nil {
+			// Compacted mid-stream or a read fault: end the stream;
+			// the follower re-resolves its position via status.
+			return
+		}
+	}
+}

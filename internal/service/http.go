@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"adahealth/internal/core"
@@ -65,7 +67,38 @@ type errorResponse struct {
 // Every response is JSON except the SSE stream. The handler is safe
 // for concurrent use.
 func NewHandler(svc *Service) http.Handler {
-	h := &httpAPI{svc: svc}
+	return NewHandlerOptions(svc, HandlerOptions{})
+}
+
+// HandlerOptions configures the optional behaviours of the daemon API.
+type HandlerOptions struct {
+	// ReadFallback is the base URL of a warm standby (a replication
+	// follower, cmd/adahealthd -follow). When set and the K-DB breaker
+	// is degraded (read-only or offline), the knowledge read endpoints
+	// — GET /v1/knowledge and GET /v1/datasets/{id}/similar — proxy to
+	// the standby instead of failing, with StaleHeader naming the
+	// leader's mode so callers know the answer may trail the leader's
+	// durable state. A proxy failure falls back to the local attempt.
+	ReadFallback string
+}
+
+// StaleHeader marks a knowledge response served via the degraded read
+// fallback; its value is the leader K-DB's breaker mode at proxy time.
+const StaleHeader = "X-Adahealth-Stale"
+
+// NewHandlerOptions is NewHandler with explicit options.
+func NewHandlerOptions(svc *Service, opts HandlerOptions) http.Handler {
+	_, mux := newAPI(svc, opts)
+	return mux
+}
+
+func newAPI(svc *Service, opts HandlerOptions) (*httpAPI, http.Handler) {
+	h := &httpAPI{
+		svc:      svc,
+		fallback: opts.ReadFallback,
+		proxy:    &http.Client{Timeout: 10 * time.Second},
+		mode:     func() kdb.Mode { return svc.Engine().KDB().Health().Mode },
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyses", h.submit)
 	mux.HandleFunc("GET /v1/analyses/{id}", h.status)
@@ -75,11 +108,16 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/knowledge", h.knowledge)
 	mux.HandleFunc("GET /v1/datasets/{id}/similar", h.similar)
 	mux.HandleFunc("GET /healthz", h.health)
-	return mux
+	return h, mux
 }
 
 type httpAPI struct {
-	svc *Service
+	svc      *Service
+	fallback string
+	proxy    *http.Client
+	// mode probes the K-DB breaker; a func so tests can force a
+	// degraded mode without breaking a real store.
+	mode func() kdb.Mode
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -223,12 +261,20 @@ func (h *httpAPI) events(w http.ResponseWriter, r *http.Request) {
 	ServeSSE(w, r, ch)
 }
 
+// sseKeepalive is how long an SSE stream may sit idle before a comment
+// line keeps it alive (a var so tests can tighten it).
+var sseKeepalive = 15 * time.Second
+
 // ServeSSE streams a channel of JSON-encodable events as Server-Sent
 // Events (`data: {json}\n\n` per event) until the channel closes or
 // the client disconnects. It is the one SSE loop shared by the job
 // events endpoint here and the live-dataset events endpoint in
 // internal/stream; delivery inherits the channel's semantics (a
 // subscription that replays history first streams that history first).
+// An idle stream emits a `: ping` comment every sseKeepalive so
+// proxies and load balancers with idle-connection timeouts do not cut
+// a long-running analysis's stream between events (comments are
+// ignored by SSE clients per the EventSource spec).
 func ServeSSE[E any](w http.ResponseWriter, r *http.Request, ch <-chan E) {
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
@@ -240,6 +286,9 @@ func ServeSSE[E any](w http.ResponseWriter, r *http.Request, ch <-chan E) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
 
 	enc := json.NewEncoder(w)
 	for {
@@ -255,6 +304,12 @@ func ServeSSE[E any](w http.ResponseWriter, r *http.Request, ch <-chan E) {
 				return
 			}
 			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			keepalive.Reset(sseKeepalive)
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
 				return
 			}
 			flusher.Flush()
@@ -275,15 +330,22 @@ type knowledgeResponse struct {
 // knowledge serves K-DB knowledge items: all items of ?dataset= (every
 // dataset when omitted), optionally ranked by ?metric= (support,
 // confidence, lift, size, ...; items lacking the metric are excluded)
-// and truncated to ?limit= (default 50).
+// and truncated to ?limit= (default 50). On a degraded K-DB the
+// request routes to the read fallback when one is configured.
 func (h *httpAPI) knowledge(w http.ResponseWriter, r *http.Request) {
+	if h.proxyDegraded(w, r) {
+		return
+	}
+	serveKnowledge(w, r, h.svc.Engine().KDB())
+}
+
+func serveKnowledge(w http.ResponseWriter, r *http.Request, kb *kdb.KDB) {
 	q := r.URL.Query()
 	limit, err := intParam(q.Get("limit"), 50)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	kb := h.svc.Engine().KDB()
 	var items []knowledge.Item
 	if metric := q.Get("metric"); metric != "" {
 		items, err = kb.TopKnowledge(q.Get("dataset"), metric, limit)
@@ -308,6 +370,56 @@ func (h *httpAPI) knowledge(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// proxyDegraded reroutes a knowledge read to the configured fallback
+// when the local K-DB breaker is degraded. It reports whether the
+// response was served; a proxy failure returns false so the caller
+// falls through to the local attempt (the local store may still answer
+// — read-only mode serves reads).
+func (h *httpAPI) proxyDegraded(w http.ResponseWriter, r *http.Request) bool {
+	if h.fallback == "" {
+		return false
+	}
+	mode := h.mode()
+	if mode == kdb.ModeHealthy || mode == kdb.ModeFollower {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		strings.TrimSuffix(h.fallback, "/")+r.URL.RequestURI(), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.proxy.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set(StaleHeader, string(mode))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// NewKnowledgeHandler serves only the K-DB read endpoints — GET
+// /v1/knowledge and GET /v1/datasets/{id}/similar — straight from kb.
+// It is the read surface a replication follower exposes
+// (internal/repl.NewFollowerHandler), identical in shape to the
+// leader's endpoints so the degraded read routing can proxy verbatim.
+func NewKnowledgeHandler(kb *kdb.KDB) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/knowledge", func(w http.ResponseWriter, r *http.Request) {
+		serveKnowledge(w, r, kb)
+	})
+	mux.HandleFunc("GET /v1/datasets/{id}/similar", func(w http.ResponseWriter, r *http.Request) {
+		serveSimilar(w, r, kb)
+	})
+	return mux
+}
+
 // similarResponse is the body of GET /v1/datasets/{id}/similar.
 type similarResponse struct {
 	Dataset string                  `json:"dataset"`
@@ -316,15 +428,23 @@ type similarResponse struct {
 
 // similar ranks the K-DB's other datasets by descriptor similarity to
 // {id} — the recall stage's retrieval path exposed for navigation
-// ("which of our historical cohorts does this one resemble?").
+// ("which of our historical cohorts does this one resemble?"). On a
+// degraded K-DB the request routes to the read fallback when one is
+// configured.
 func (h *httpAPI) similar(w http.ResponseWriter, r *http.Request) {
+	if h.proxyDegraded(w, r) {
+		return
+	}
+	serveSimilar(w, r, h.svc.Engine().KDB())
+}
+
+func serveSimilar(w http.ResponseWriter, r *http.Request, kb *kdb.KDB) {
 	name := r.PathValue("id")
 	limit, err := intParam(r.URL.Query().Get("limit"), 10)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	kb := h.svc.Engine().KDB()
 	desc, _, ok := kb.LatestDescriptor(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no descriptor stored for dataset %q", name))

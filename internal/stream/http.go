@@ -61,8 +61,14 @@ func Mount(mux *http.ServeMux, mgr *Manager) {
 // service.NewHandler plus the live-dataset endpoints of Mount, on one
 // mux.
 func Handler(svc *service.Service, mgr *Manager) http.Handler {
+	return HandlerOptions(svc, mgr, service.HandlerOptions{})
+}
+
+// HandlerOptions is Handler with explicit service handler options
+// (degraded read routing to a warm standby, etc.).
+func HandlerOptions(svc *service.Service, mgr *Manager, opts service.HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/", service.NewHandler(svc))
+	mux.Handle("/", service.NewHandlerOptions(svc, opts))
 	Mount(mux, mgr)
 	return mux
 }
