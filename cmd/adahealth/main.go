@@ -10,6 +10,7 @@
 //	adahealth -synthetic -timeout 90s     # bound the analysis wall-clock
 //	adahealth -synthetic -sequential      # legacy serial stage execution
 //	adahealth -synthetic -trace out.json  # dump the stage schedule as JSON
+//	adahealth -synthetic -trace-html out.html  # render the schedule as an HTML Gantt view
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		sequential = flag.Bool("sequential", false, "run pipeline stages serially (legacy execution)")
 		jobs       = flag.Int("jobs", 0, "max concurrently running stages (0 = all cores)")
 		trace      = flag.String("trace", "", "write the stage schedule (Report.Stages) to this file as JSON")
+		traceHTML  = flag.String("trace-html", "", "render the stage schedule to this file as a self-contained HTML Gantt view (same data as -trace)")
 		algorithm  = flag.String("algorithm", "", "K-means assignment kernel for the sweep and partial mining: lloyd, dense-lloyd, sparse-lloyd, filtering, hamerly, elkan, minibatch or auto (default: lloyd auto-routing)")
 		warmStart  = flag.Bool("warmstart", true, "warm-start the K sweep: seed each K from the previous K's centroids (false = legacy independent seeding)")
 		stageTO    = flag.Duration("stage-timeout", 0, "per-stage attempt deadline; a stage exceeding it fails the analysis with a typed error (0 = none)")
@@ -117,6 +119,13 @@ func main() {
 		}
 		fmt.Printf("stage trace written to %s\n", *trace)
 	}
+	if *traceHTML != "" {
+		if err := writeTraceHTMLFile(*traceHTML, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "adahealth: writing trace html: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stage trace view written to %s\n", *traceHTML)
+	}
 }
 
 // writeTraceFile dumps the stage schedule in the same JSON encoding
@@ -128,6 +137,20 @@ func writeTraceFile(path string, rep *core.Report) error {
 		return err
 	}
 	if err := service.WriteTrace(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraceHTMLFile renders the same TraceDump the daemon's
+// /v1/analyses/{id}/trace.html endpoint serves, for offline viewing.
+func writeTraceHTMLFile(path string, rep *core.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := service.WriteTraceHTML(f, service.NewTraceDump(rep)); err != nil {
 		f.Close()
 		return err
 	}

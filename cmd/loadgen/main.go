@@ -117,7 +117,9 @@ type gaugeStats struct {
 
 // streamResult is one live-dataset tenant's tally: appends accepted
 // through POST /v1/datasets/{id}/visits plus the stream's final status
-// (revision, drift gauge, any resweep observed).
+// (revision, drift gauge, any resweep observed) and per-append SLO
+// accounting — each append's HTTP round trip measured against the
+// -stream-slo objective.
 type streamResult struct {
 	Dataset  string  `json:"dataset"`
 	Appends  int     `json:"appends"`
@@ -125,6 +127,10 @@ type streamResult struct {
 	Revision int     `json:"revision,omitempty"`
 	Drift    float64 `json:"drift,omitempty"`
 	Resweep  string  `json:"resweep_job,omitempty"`
+
+	AppendLatency latencyStats `json:"append_latency"`
+	SLOMS         float64      `json:"append_slo_ms,omitempty"`
+	SLOAttainment float64      `json:"append_slo_attainment,omitempty"`
 }
 
 // result is the BENCH_*_load.json document.
@@ -157,6 +163,10 @@ type result struct {
 
 	// -streams mode only: per-stream append tallies.
 	Streams []streamResult `json:"streams,omitempty"`
+
+	// Metrics folds selected /metrics series (scraped before and after
+	// the run) into the snapshot; nil when the daemon exposed none.
+	Metrics *metricsSummary `json:"metrics,omitempty"`
 
 	// -follower mode only: the warm-standby reader's tally.
 	Follower *followerResult `json:"follower,omitempty"`
@@ -193,7 +203,9 @@ func main() {
 		rate     = flag.Float64("rate", 2, "open-loop total offered arrival rate in jobs/sec, split across classes by weight")
 		streams  = flag.Int("streams", 0, "live-dataset tenants registering and appending via /v1/datasets")
 		streamMS = flag.Duration("stream-period", 250*time.Millisecond, "interval between a stream tenant's visit-batch appends")
+		streamTO = flag.Duration("stream-slo", 500*time.Millisecond, "per-append latency objective for -streams tenants (attainment reported per stream)")
 		follow   = flag.Bool("follower", false, "with -self: replicate the daemon's K-DB to an in-process warm standby and query its /v1/knowledge during the run")
+		reqMet   = flag.Bool("require-metrics", false, "gate: fail when GET /metrics is missing, malformed, or lacks a required cross-layer family")
 	)
 	flag.Parse()
 
@@ -238,6 +250,11 @@ func main() {
 		}
 	}
 
+	// Bracket the run with /metrics scrapes so counter deltas cover
+	// exactly the traffic this run offered.
+	scrapeClient := &http.Client{Timeout: 10 * time.Second}
+	before, beforeErr := scrapeMetrics(scrapeClient, base)
+
 	res, err := run(base, runConfig{
 		duration:     *duration,
 		tenants:      *tenants,
@@ -249,12 +266,23 @@ func main() {
 		rate:         *rate,
 		streams:      *streams,
 		streamPeriod: *streamMS,
+		streamSLO:    *streamTO,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 	res.SelfHosted = *self
+
+	after, afterErr := scrapeMetrics(scrapeClient, base)
+	var missingFamilies []string
+	switch {
+	case beforeErr == nil && afterErr == nil:
+		res.Metrics = foldMetrics(before, after)
+		missingFamilies = checkRequiredMetrics(after)
+	case *reqMet:
+		// fall through to the gate below with the scrape error intact
+	}
 	if stopFollower != nil {
 		followerRes = stopFollower()
 		res.Follower = followerRes
@@ -287,8 +315,17 @@ func main() {
 		}
 	}
 	for _, s := range res.Streams {
-		fmt.Printf("loadgen: stream %s: %d appends, %d errors, revision %d, drift %.3f\n",
-			s.Dataset, s.Appends, s.Errors, s.Revision, s.Drift)
+		fmt.Printf("loadgen: stream %s: %d appends, %d errors, revision %d, drift %.3f, append p99=%.0fms (SLO %.0fms attainment %.1f%%)\n",
+			s.Dataset, s.Appends, s.Errors, s.Revision, s.Drift,
+			s.AppendLatency.P99MS, s.SLOMS, s.SLOAttainment*100)
+	}
+	if m := res.Metrics; m != nil {
+		fmt.Printf("loadgen: metrics: admissions %v; queue depth %.0f; breaker trips %d\n",
+			m.Admissions, m.QueueDepth, m.BreakerTrips)
+		if m.WALCommits > 0 {
+			fmt.Printf("loadgen: metrics: %d WAL group commits, fsync p99=%.1fms\n",
+				m.WALCommits, m.WALFsyncP99MS)
+		}
 	}
 	if followerRes != nil {
 		fmt.Printf("loadgen: follower: %d queries, %d errors, frames behind %d, converged=%v (bootstraps=%d reconnects=%d)\n",
@@ -317,6 +354,19 @@ func main() {
 		if !followerRes.Converged {
 			fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: follower never converged (frames behind %d)\n",
 				followerRes.FramesBehind)
+			failed = true
+		}
+	}
+	if *reqMet {
+		switch {
+		case beforeErr != nil:
+			fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: pre-run metrics scrape: %v\n", beforeErr)
+			failed = true
+		case afterErr != nil:
+			fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: post-run metrics scrape: %v\n", afterErr)
+			failed = true
+		case len(missingFamilies) > 0:
+			fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: /metrics missing families: %v\n", missingFamilies)
 			failed = true
 		}
 	}
@@ -472,6 +522,7 @@ type runConfig struct {
 	rate         float64
 	streams      int
 	streamPeriod time.Duration
+	streamSLO    time.Duration
 }
 
 // jobOutcome is one completed submission's measurement.
@@ -552,7 +603,7 @@ func run(base string, cfg runConfig) (*result, error) {
 		streamWG.Add(1)
 		go func(t int) {
 			defer streamWG.Done()
-			streamCh <- streamTenant(ctx, client, base, t, cfg.seed, cfg.streamPeriod)
+			streamCh <- streamTenant(ctx, client, base, t, cfg.seed, cfg.streamPeriod, cfg.streamSLO)
 		}(t)
 	}
 
@@ -732,9 +783,9 @@ func growthPerSec(xs []int, period time.Duration) float64 {
 // a fixed period until the submission window closes: the stream-append
 // slice of the tenant mix, driven entirely through the public
 // /v1/datasets endpoints.
-func streamTenant(ctx context.Context, client *http.Client, base string, t int, seed int64, period time.Duration) streamResult {
+func streamTenant(ctx context.Context, client *http.Client, base string, t int, seed int64, period, slo time.Duration) streamResult {
 	name := fmt.Sprintf("load-stream-t%d", t)
-	res := streamResult{Dataset: name}
+	res := streamResult{Dataset: name, SLOMS: float64(slo) / float64(time.Millisecond)}
 	synthCfg := synth.SmallConfig()
 	synthCfg.Seed = seed + int64(t)*7919
 	synthCfg.NumPatients = 60
@@ -751,11 +802,15 @@ func streamTenant(ctx context.Context, client *http.Client, base string, t int, 
 	}
 	rng := rand.New(rand.NewSource(synthCfg.Seed))
 	day := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var appendLats []time.Duration
+	withinSLO := 0
 	for i := 0; ctx.Err() == nil; i++ {
 		batch := visitBatch(log, rng, t, i, &day)
 		var st stream.DatasetStatus
+		t0 := time.Now()
 		err := doJSON(ctx, client, http.MethodPost, base+"/v1/datasets/"+name+"/visits",
 			batch, http.StatusAccepted, &st)
+		lat := time.Since(t0)
 		switch {
 		case err != nil && ctx.Err() != nil:
 			// window closed mid-append; not an error
@@ -768,11 +823,22 @@ func streamTenant(ctx context.Context, client *http.Client, base string, t int, 
 			if st.ResweepJob != "" {
 				res.Resweep = st.ResweepJob
 			}
+			// The HTTP round trip covers the whole append→model-updated
+			// path (the stream recluster is synchronous inside the
+			// append), so this latency IS the freshness SLO.
+			appendLats = append(appendLats, lat)
+			if slo <= 0 || lat <= slo {
+				withinSLO++
+			}
 		}
 		select {
 		case <-ctx.Done():
 		case <-time.After(period):
 		}
+	}
+	res.AppendLatency = summarize(appendLats)
+	if res.Appends > 0 {
+		res.SLOAttainment = float64(withinSLO) / float64(res.Appends)
 	}
 	return res
 }

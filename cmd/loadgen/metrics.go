@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promDump is one GET /metrics scrape parsed into series → value,
+// keyed by the exact exposition text left of the value ("name" or
+// `name{label="v",...}`). The daemon's exposition is deterministic
+// (families and children sorted), so keys from two scrapes of the same
+// daemon always line up for delta arithmetic.
+type promDump map[string]float64
+
+// scrapeMetrics fetches and parses the daemon's Prometheus exposition.
+func scrapeMetrics(client *http.Client, base string) (promDump, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	dump := promDump{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("GET /metrics: malformed sample %q", line)
+		}
+		dump[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return dump, nil
+}
+
+// hasFamily reports whether the dump carries any sample of the family:
+// the bare series, a labeled child, or a histogram's _bucket/_count.
+func (d promDump) hasFamily(name string) bool {
+	if _, ok := d[name]; ok {
+		return true
+	}
+	for series := range d {
+		if strings.HasPrefix(series, name+"{") ||
+			strings.HasPrefix(series, name+"_bucket{") ||
+			series == name+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+// counterDelta is the series' increase between two scrapes.
+func counterDelta(before, after promDump, series string) int64 {
+	return int64(after[series] - before[series])
+}
+
+// histQuantile estimates quantile q of histogram name over the window
+// between two scrapes, from the cumulative-bucket deltas: the smallest
+// bucket upper bound whose window count covers q, the same estimator
+// the obs package uses internally. ok is false when the histogram is
+// absent or saw no observations in the window.
+func histQuantile(before, after promDump, name string, q float64) (quantile float64, count int64, ok bool) {
+	prefix := name + `_bucket{le="`
+	type bucket struct{ le, n float64 }
+	var buckets []bucket
+	for series, v := range after {
+		if !strings.HasPrefix(series, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(series, prefix), `"}`)
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			f, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		buckets = append(buckets, bucket{le: le, n: v - before[series]})
+	}
+	if len(buckets) == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].n // +Inf bucket is cumulative over all
+	if total <= 0 {
+		return 0, 0, false
+	}
+	target := math.Ceil(q * total)
+	for _, b := range buckets {
+		if b.n >= target {
+			return b.le, int64(total), true
+		}
+	}
+	return buckets[len(buckets)-1].le, int64(total), true
+}
+
+// admissionOutcomes are the service_admissions_total children folded
+// into the snapshot.
+var admissionOutcomes = []string{"accepted", "queue_full", "degraded", "invalid", "closed"}
+
+// requiredMetricFamilies is the cross-layer coverage the
+// -require-metrics gate asserts: at least one family from every
+// instrumented subsystem. All are registered at package init, so a
+// healthy daemon exposes each even before traffic.
+var requiredMetricFamilies = []string{
+	"service_queue_depth",
+	"service_admissions_total",
+	"service_jobs_total",
+	"core_stage_seconds",
+	"docstore_wal_commit_seconds",
+	"kdb_breaker_mode",
+	"repl_frames_behind",
+	"stream_appends_total",
+}
+
+// metricsSummary folds selected /metrics series into the BENCH
+// snapshot: admission-outcome deltas over the run, the final queue
+// gauges as the daemon itself reports them, and the WAL group-commit
+// fsync latency (p99 over the run's commits; absent for in-memory
+// stores, which never commit).
+type metricsSummary struct {
+	Admissions    map[string]int64 `json:"admissions_by_outcome"`
+	QueueDepth    float64          `json:"queue_depth"`
+	Running       float64          `json:"running"`
+	WALCommits    int64            `json:"wal_commits,omitempty"`
+	WALFsyncP99MS float64          `json:"wal_fsync_p99_ms,omitempty"`
+	BreakerTrips  int64            `json:"breaker_trips,omitempty"`
+}
+
+// foldMetrics condenses a before/after scrape pair into the snapshot's
+// metrics block.
+func foldMetrics(before, after promDump) *metricsSummary {
+	m := &metricsSummary{
+		Admissions: map[string]int64{},
+		QueueDepth: after["service_queue_depth"],
+		Running:    after["service_workers_running"],
+	}
+	for _, outcome := range admissionOutcomes {
+		series := fmt.Sprintf(`service_admissions_total{outcome=%q}`, outcome)
+		if d := counterDelta(before, after, series); d != 0 {
+			m.Admissions[outcome] = d
+		}
+	}
+	if p99, n, ok := histQuantile(before, after, "docstore_wal_commit_seconds", 0.99); ok {
+		m.WALCommits = n
+		m.WALFsyncP99MS = p99 * 1000
+	}
+	m.BreakerTrips = counterDelta(before, after, "kdb_breaker_trips_total")
+	return m
+}
+
+// checkRequiredMetrics returns the required families missing from the
+// dump (empty = pass).
+func checkRequiredMetrics(dump promDump) []string {
+	var missing []string
+	for _, fam := range requiredMetricFamilies {
+		if !dump.hasFamily(fam) {
+			missing = append(missing, fam)
+		}
+	}
+	return missing
+}

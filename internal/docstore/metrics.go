@@ -1,0 +1,31 @@
+package docstore
+
+import "adahealth/internal/obs"
+
+// Package-level instruments on the default registry (see the
+// metric-name reference in package obs). Registration at init means
+// the families appear in /metrics as soon as docstore is linked in,
+// even for in-memory stores that never commit a frame.
+var (
+	walCommitSeconds = obs.Default().Histogram("docstore_wal_commit_seconds",
+		"WAL group-commit write+fsync latency in seconds.", nil)
+	walCommitFrames = obs.Default().Histogram("docstore_wal_commit_frames",
+		"Frames made durable per WAL group commit (batch size).", obs.CountBuckets)
+	walFramesTotal = obs.Default().Counter("docstore_wal_frames_total",
+		"WAL frames made durable (leader group commits and follower raw appends).")
+	flushTotal = obs.Default().CounterVec("docstore_flush_total",
+		"Flush durability barriers by outcome.", "outcome")
+	flushSeconds = obs.Default().Histogram("docstore_flush_seconds",
+		"Flush barrier duration in seconds, including any triggered compaction.", nil)
+	compactionsTotal = obs.Default().CounterVec("docstore_compactions_total",
+		"Snapshot compactions by outcome.", "outcome")
+	compactionSeconds = obs.Default().Histogram("docstore_compaction_seconds",
+		"Snapshot compaction duration in seconds.", nil)
+)
+
+func outcomeOf(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adahealth/internal/faultfs"
 )
@@ -209,6 +210,14 @@ func (s *Store) Flush() error {
 	if s.wal == nil {
 		return nil
 	}
+	t0 := time.Now()
+	err := s.flush()
+	flushSeconds.ObserveSince(t0)
+	flushTotal.With(outcomeOf(err)).Inc()
+	return err
+}
+
+func (s *Store) flush() error {
 	if err := s.wal.flushNow(); err != nil {
 		return err
 	}
@@ -231,6 +240,7 @@ func (s *Store) Compact() error {
 	// snapshotting that state would make acknowledged-as-failed writes
 	// durable. Refuse, so reopening recovers the last durable commit.
 	if err := s.wal.failed(); err != nil {
+		compactionsTotal.With("error").Inc()
 		return fmt.Errorf("docstore: refusing to compact after WAL failure: %w", err)
 	}
 	// An empty log means the snapshots already hold the epoch-start
@@ -239,7 +249,16 @@ func (s *Store) Compact() error {
 	if s.wal.size.Load() == 0 {
 		return nil
 	}
+	t0 := time.Now()
+	err := s.compactLocked()
+	compactionSeconds.ObserveSince(t0)
+	compactionsTotal.With(outcomeOf(err)).Inc()
+	return err
+}
 
+// compactLocked is Compact's body, run under the exclusive writeGate
+// with a healthy, non-empty WAL.
+func (s *Store) compactLocked() error {
 	s.mu.RLock()
 	colls := make([]*Collection, 0, len(s.collections))
 	for _, c := range s.collections {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adahealth/internal/faultfs"
 )
@@ -274,10 +275,13 @@ func (w *wal) commitPending() {
 	}
 	w.mu.Unlock()
 
+	t0 := time.Now()
 	_, err := w.f.Write(data)
 	if err == nil && w.sync {
 		err = w.f.Sync()
 	}
+	walCommitSeconds.ObserveSince(t0)
+	walCommitFrames.Observe(float64(nframes))
 	if err != nil {
 		err = fmt.Errorf("%w: %w", ErrStoreBroken, err)
 		w.mu.Lock()
@@ -288,6 +292,7 @@ func (w *wal) commitPending() {
 	} else {
 		w.size.Add(int64(len(data)))
 		w.frames.Add(nframes)
+		walFramesTotal.Add(nframes)
 	}
 	batch.err = err
 	close(batch.done)
@@ -310,10 +315,12 @@ func (w *wal) appendRaw(data []byte, nframes int64) error {
 	if len(w.buf) != 0 {
 		return fmt.Errorf("docstore: appendRaw with queued writer frames pending")
 	}
+	t0 := time.Now()
 	_, err := w.f.Write(data)
 	if err == nil && w.sync {
 		err = w.f.Sync()
 	}
+	walCommitSeconds.ObserveSince(t0)
 	if err != nil {
 		err = fmt.Errorf("%w: %w", ErrStoreBroken, err)
 		w.failErr = err
@@ -321,6 +328,7 @@ func (w *wal) appendRaw(data []byte, nframes int64) error {
 	}
 	w.size.Add(int64(len(data)))
 	w.frames.Add(nframes)
+	walFramesTotal.Add(nframes)
 	return nil
 }
 

@@ -87,7 +87,10 @@ type breaker struct {
 	now       func() time.Time
 }
 
-func newBreaker() *breaker { return &breaker{mode: ModeHealthy, now: time.Now} }
+func newBreaker() *breaker {
+	setModeGauge(ModeHealthy)
+	return &breaker{mode: ModeHealthy, now: time.Now}
+}
 
 func (b *breaker) limits() (int, time.Duration) {
 	th, cd := b.threshold, b.cooldown
@@ -107,9 +110,11 @@ func (b *breaker) beforeWrite() error {
 	switch b.mode {
 	case ModeOffline:
 		b.dropped++
+		droppedWritesTotal.Inc()
 		return ErrOffline
 	case ModeReadOnly:
 		b.dropped++
+		droppedWritesTotal.Inc()
 		return ErrReadOnly
 	case ModeFollower:
 		return ErrFollower
@@ -163,6 +168,7 @@ func (b *breaker) beforeFlush() error {
 // a broken store goes offline, other failures count toward the
 // read-only threshold.
 func (b *breaker) afterFlush(err error) {
+	flushesTotal.With(flushOutcome(err)).Inc()
 	if err != nil && errors.Is(err, docstore.ErrStoreBroken) {
 		b.tripOffline(err)
 		return
@@ -177,6 +183,7 @@ func (b *breaker) afterFlush(err error) {
 		if b.mode == ModeReadOnly {
 			b.mode = ModeHealthy
 			b.reason = ""
+			setModeGauge(ModeHealthy)
 		}
 		return
 	}
@@ -187,6 +194,8 @@ func (b *breaker) afterFlush(err error) {
 		b.mode = ModeReadOnly
 		b.trips++
 		b.retryAt = b.now().Add(cd)
+		breakerTripsTotal.Inc()
+		setModeGauge(ModeReadOnly)
 	}
 }
 
@@ -198,6 +207,7 @@ func (b *breaker) tripOffline(err error) {
 	}
 	b.mode = ModeOffline
 	b.reason = err.Error()
+	setModeGauge(ModeOffline)
 }
 
 func (b *breaker) health() Health {

@@ -181,6 +181,7 @@ func Follower(s *docstore.Store) *KDB {
 		foldThreshold: DefaultLiveFoldThreshold,
 	}
 	k.br.mode = ModeFollower
+	setModeGauge(ModeFollower)
 	configureCollections(s)
 	return k
 }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format 0.0.4: families sorted by name, children sorted by label
+// values, histograms expanded into cumulative _bucket/_sum/_count
+// series. Values read while writers run: each series is atomically
+// read, but the scrape as a whole is not a snapshot — standard for
+// metric expositions.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		kids := make([]child, len(keys))
+		for i, k := range keys {
+			kids[i] = f.children[k]
+		}
+		f.mu.RUnlock()
+
+		for _, c := range kids {
+			switch c := c.(type) {
+			case *Counter:
+				writeSample(bw, f.name, f.labels, c.labelValues, "", "", c.value())
+			case *Gauge:
+				writeSample(bw, f.name, f.labels, c.labelValues, "", "", c.value())
+			case *Histogram:
+				var cum int64
+				for i, ub := range c.upper {
+					cum += c.counts[i].Load()
+					writeSample(bw, f.name+"_bucket", f.labels, c.labelValues, "le", formatFloat(ub), float64(cum))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, c.labelValues, "le", "+Inf", float64(c.Count()))
+				writeSample(bw, f.name+"_sum", f.labels, c.labelValues, "", "", c.Sum())
+				writeSample(bw, f.name+"_count", f.labels, c.labelValues, "", "", float64(c.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line; extraName/extraVal
+// append a trailing synthetic label (histogram `le`).
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraVal)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler serves the exposition; mount it as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -81,7 +81,8 @@ type Lag struct {
 	// an epoch mismatch counts the full leader log).
 	FramesBehind int64 `json:"frames_behind"`
 	// SecondsSinceContact is the age of the last successful leader
-	// response (status, snapshot, or stream bytes; -1 = never).
+	// response (status, snapshot, or stream bytes; 0 before the first
+	// contact).
 	SecondsSinceContact float64 `json:"seconds_since_contact"`
 	// Bootstraps counts snapshot installs; Reconnects counts stream
 	// (re)connect attempts.
@@ -125,7 +126,10 @@ func OpenFollower(opts FollowerOptions) (*Follower, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repl: opening replica: %w", err)
 	}
-	return &Follower{opts: opts, rep: rep}, nil
+	f := &Follower{opts: opts, rep: rep}
+	framesBehindGauge.Set(0)
+	connectedGauge.Set(0)
+	return f, nil
 }
 
 // Store is the replicated read-only store (wrap it in kdb.Follower for
@@ -174,10 +178,14 @@ func (f *Follower) Lag() Lag {
 	if behind < 0 {
 		behind = 0
 	}
-	since := float64(-1)
+	// Before the first successful leader contact the age is reported
+	// as 0, not a sentinel or clock-epoch garbage: a freshly started
+	// follower has not fallen behind yet.
+	since := float64(0)
 	if c := f.lastContact.Load(); c > 0 {
 		since = time.Since(time.Unix(0, c)).Seconds()
 	}
+	framesBehindGauge.Set(float64(behind))
 	return Lag{
 		Connected:           f.connected.Load(),
 		Epoch:               pos.Epoch,
@@ -202,6 +210,9 @@ func (f *Follower) run(ctx context.Context) {
 	for ctx.Err() == nil {
 		progressed, err := f.syncOnce(ctx)
 		if progressed {
+			if backoff > f.opts.MinBackoff {
+				backoffResetsTotal.Inc()
+			}
 			backoff = f.opts.MinBackoff
 			continue
 		}
@@ -262,6 +273,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 		return fmt.Errorf("repl: installing snapshot: %w", err)
 	}
 	f.bootstraps.Add(1)
+	bootstrapsTotal.Inc()
 	f.touchContact()
 	return nil
 }
@@ -299,6 +311,7 @@ func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
 		return 0, err
 	}
 	f.reconnects.Add(1)
+	reconnectsTotal.Inc()
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
 		return 0, err
@@ -314,7 +327,11 @@ func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
 		return 0, fmt.Errorf("repl: GET %s: %s", WALPath, resp.Status)
 	}
 	f.connected.Store(true)
-	defer f.connected.Store(false)
+	connectedGauge.Set(1)
+	defer func() {
+		f.connected.Store(false)
+		connectedGauge.Set(0)
+	}()
 	f.touchContact()
 	if frames, err := strconv.ParseInt(resp.Header.Get(FramesHeader), 10, 64); err == nil {
 		f.leaderFrames.Store(frames)
@@ -338,6 +355,7 @@ func (f *Follower) stream(ctx context.Context) (applied int64, err error) {
 			pending = pending[consumed:]
 			applied += nApplied
 			if nApplied > 0 {
+				framesAppliedTotal.Add(nApplied)
 				f.leaderOffsetFloor()
 			}
 			if applyErr != nil {

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"adahealth/internal/kdb"
+	"adahealth/internal/obs"
 	"adahealth/internal/service"
 )
 
@@ -14,23 +15,31 @@ import (
 //
 //	GET /v1/knowledge                 knowledge items from the replica
 //	GET /v1/datasets/{id}/similar     descriptor similarity from the replica
-//	GET /healthz                      follower mode + lag gauges
+//	GET /healthz                      follower mode + lag gauges + build info
+//	GET /metrics                      Prometheus exposition (repl_* and kdb_* series)
 //
 // kb must wrap f.Store() (kdb.Follower).
 func NewFollowerHandler(f *Follower, kb *kdb.KDB) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewKnowledgeHandler(kb))
+	mux.Handle("GET /metrics", obs.Default().Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Role string     `json:"role"`
 			Mode kdb.Mode   `json:"mode"`
 			Lag  Lag        `json:"replication"`
 			KDB  kdb.Health `json:"kdb"`
+			// Build identifies the binary; UptimeSeconds its age —
+			// the same pair the leader's /healthz carries.
+			Build         service.BuildInfo `json:"build"`
+			UptimeSeconds float64           `json:"uptime_seconds"`
 		}{
-			Role: "follower",
-			Mode: kb.Health().Mode,
-			Lag:  f.Lag(),
-			KDB:  kb.Health(),
+			Role:          "follower",
+			Mode:          kb.Health().Mode,
+			Lag:           f.Lag(),
+			KDB:           kb.Health(),
+			Build:         service.Build(),
+			UptimeSeconds: service.UptimeSeconds(),
 		})
 	})
 	return mux

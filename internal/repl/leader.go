@@ -173,11 +173,13 @@ func (l *leader) wal(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	idleSince := time.Now()
+	var fc frameCounter
 	for {
 		if len(data) > 0 {
 			if _, err := w.Write(data); err != nil {
 				return
 			}
+			framesShippedTotal.Add(fc.count(data))
 			flusher.Flush()
 			from += int64(len(data))
 			idleSince = time.Now()

@@ -1,0 +1,71 @@
+package repl
+
+import (
+	"encoding/binary"
+
+	"adahealth/internal/obs"
+)
+
+// Replication instruments on the default registry (see the metric-name
+// reference in package obs). The follower's pull gauges bind in
+// OpenFollower — latest follower wins when a process holds several
+// (tests); the counters aggregate across all of them.
+var (
+	framesShippedTotal = obs.Default().Counter("repl_frames_shipped_total",
+		"Leader: data frames shipped to follower WAL streams (keepalives excluded).")
+	framesAppliedTotal = obs.Default().Counter("repl_frames_applied_total",
+		"Follower: frames CRC-verified, persisted, and applied.")
+	reconnectsTotal = obs.Default().Counter("repl_reconnects_total",
+		"Follower: WAL stream connect attempts.")
+	bootstrapsTotal = obs.Default().Counter("repl_bootstraps_total",
+		"Follower: full snapshot re-syncs.")
+	backoffResetsTotal = obs.Default().Counter("repl_backoff_resets_total",
+		"Follower: grown reconnect backoffs reset by real progress.")
+	framesBehindGauge = obs.Default().Gauge("repl_frames_behind",
+		"Follower: leader frames minus applied frames at last contact.")
+	connectedGauge = obs.Default().Gauge("repl_connected",
+		"Follower: 1 while a WAL stream to the leader is open.")
+)
+
+// wireFrameHeader mirrors the docstore WAL frame header — the
+// replication wire format: 4-byte little-endian payload length plus
+// 4-byte CRC32.
+const wireFrameHeader = 8
+
+// frameCounter counts whole data frames crossing one WAL stream,
+// carrying partial header/payload state across chunk boundaries (a
+// stream always starts on a frame boundary — the follower resumes from
+// its durable offset). Zero-length keepalive frames are skipped.
+type frameCounter struct {
+	header [wireFrameHeader]byte
+	nhdr   int
+	remain int
+}
+
+func (c *frameCounter) count(data []byte) (frames int64) {
+	for len(data) > 0 {
+		if c.remain > 0 {
+			n := c.remain
+			if n > len(data) {
+				n = len(data)
+			}
+			c.remain -= n
+			data = data[n:]
+			if c.remain == 0 {
+				frames++
+			}
+			continue
+		}
+		n := copy(c.header[c.nhdr:], data)
+		c.nhdr += n
+		data = data[n:]
+		if c.nhdr < wireFrameHeader {
+			return frames
+		}
+		c.nhdr = 0
+		if length := binary.LittleEndian.Uint32(c.header[:4]); length > 0 {
+			c.remain = int(length)
+		}
+	}
+	return frames
+}

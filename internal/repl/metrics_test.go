@@ -1,0 +1,110 @@
+package repl
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"adahealth/internal/kdb"
+)
+
+// TestLagBeforeFirstContact: a just-opened follower that has never
+// reached its leader reports seconds_since_contact 0 — "no contact
+// yet" — rather than a sentinel or the epoch-relative age of a zero
+// time.
+func TestLagBeforeFirstContact(t *testing.T) {
+	f, err := OpenFollower(FollowerOptions{LeaderURL: "http://127.0.0.1:1", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	lag := f.Lag()
+	if lag.SecondsSinceContact != 0 {
+		t.Errorf("SecondsSinceContact before first contact = %v, want 0", lag.SecondsSinceContact)
+	}
+	if lag.Connected {
+		t.Error("Connected before first contact, want false")
+	}
+	buf, err := json.Marshal(lag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"seconds_since_contact":0`) {
+		t.Errorf("lag JSON = %s, want seconds_since_contact 0", buf)
+	}
+}
+
+// TestFollowerHandlerMetricsAndBuild: the standby's HTTP surface
+// carries the same observability endpoints as the leader — a
+// Prometheus /metrics with the repl_* and kdb_* families, and a
+// /healthz extended with build identity and uptime.
+func TestFollowerHandlerMetricsAndBuild(t *testing.T) {
+	f, err := OpenFollower(FollowerOptions{LeaderURL: "http://127.0.0.1:1", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fkb := kdb.Follower(f.Store())
+	fh := httptest.NewServer(NewFollowerHandler(f, fkb))
+	defer fh.Close()
+
+	resp, err := http.Get(fh.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE repl_frames_behind gauge",
+		"# TYPE repl_frames_applied_total counter",
+		"# TYPE kdb_breaker_mode gauge",
+		"# TYPE docstore_wal_commit_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("follower exposition missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(fh.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Role  string `json:"role"`
+		Lag   Lag    `json:"replication"`
+		Build struct {
+			Go string `json:"go"`
+		} `json:"build"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "follower" {
+		t.Errorf("role = %q", hz.Role)
+	}
+	if hz.Lag.SecondsSinceContact != 0 {
+		t.Errorf("healthz seconds_since_contact = %v before first contact, want 0", hz.Lag.SecondsSinceContact)
+	}
+	if hz.Build.Go == "" {
+		t.Error("healthz build.go is empty")
+	}
+	if hz.UptimeSeconds <= 0 {
+		t.Errorf("healthz uptime_seconds = %v, want > 0", hz.UptimeSeconds)
+	}
+}

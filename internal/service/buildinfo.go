@@ -1,0 +1,48 @@
+package service
+
+import (
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo identifies the running binary on /healthz (leader and
+// follower alike): the module version, the VCS commit the binary was
+// built from, and the Go toolchain. Fields are best-effort — a
+// `go run` or test binary may carry only the Go version.
+type BuildInfo struct {
+	Version  string `json:"version,omitempty"`
+	Commit   string `json:"commit,omitempty"`
+	Modified bool   `json:"dirty,omitempty"`
+	Go       string `json:"go"`
+}
+
+var processStart = time.Now()
+
+var readBuild = sync.OnceValue(func() BuildInfo {
+	var b BuildInfo
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Go = info.GoVersion
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.Version = v
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Commit = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// Build reports the binary's build identity (cached after first read).
+func Build() BuildInfo { return readBuild() }
+
+// UptimeSeconds reports seconds since process start (strictly, since
+// this package was initialized — the same thing for any real daemon).
+func UptimeSeconds() float64 { return time.Since(processStart).Seconds() }

@@ -14,6 +14,7 @@ import (
 	"adahealth/internal/dataset"
 	"adahealth/internal/kdb"
 	"adahealth/internal/knowledge"
+	"adahealth/internal/obs"
 	"adahealth/internal/synth"
 )
 
@@ -104,10 +105,12 @@ func newAPI(svc *Service, opts HandlerOptions) (*httpAPI, http.Handler) {
 	mux.HandleFunc("GET /v1/analyses/{id}", h.status)
 	mux.HandleFunc("GET /v1/analyses/{id}/report", h.report)
 	mux.HandleFunc("GET /v1/analyses/{id}/events", h.events)
+	mux.HandleFunc("GET /v1/analyses/{id}/trace.html", h.traceHTML)
 	mux.HandleFunc("DELETE /v1/analyses/{id}", h.cancel)
 	mux.HandleFunc("GET /v1/knowledge", h.knowledge)
 	mux.HandleFunc("GET /v1/datasets/{id}/similar", h.similar)
 	mux.HandleFunc("GET /healthz", h.health)
+	mux.Handle("GET /metrics", obs.Default().Handler())
 	return h, mux
 }
 
@@ -235,6 +238,30 @@ func (h *httpAPI) report(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// traceHTML renders a finished job's stage schedule as the HTML Gantt
+// view — the same TraceDump the JSON status embeds, drawn instead of
+// dumped. 409 until the report exists, mirroring the report endpoint.
+func (h *httpAPI) traceHTML(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	rep, done := job.Report()
+	if !done {
+		status := job.Status()
+		if status.Terminal() {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("job %s is %s: %v", job.ID(), status, job.Err()))
+			return
+		}
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; trace not ready", job.ID(), status))
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = WriteTraceHTML(w, NewTraceDump(rep))
 }
 
 func (h *httpAPI) cancel(w http.ResponseWriter, r *http.Request) {
@@ -500,5 +527,9 @@ func (h *httpAPI) health(w http.ResponseWriter, r *http.Request) {
 		// persistence layer's health gauges.
 		KDBCounts   map[string]int `json:"kdb_counts"`
 		KDBWALBytes int64          `json:"kdb_wal_bytes"`
-	}{Health: health, Stats: h.svc.Stats(), KDBCounts: kb.Counts(), KDBWALBytes: kb.Store().WALSize()})
+		// Build identifies the binary; UptimeSeconds its age.
+		Build         BuildInfo `json:"build"`
+		UptimeSeconds float64   `json:"uptime_seconds"`
+	}{Health: health, Stats: h.svc.Stats(), KDBCounts: kb.Counts(), KDBWALBytes: kb.Store().WALSize(),
+		Build: Build(), UptimeSeconds: UptimeSeconds()})
 }

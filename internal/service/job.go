@@ -90,6 +90,10 @@ type Job struct {
 	queuedAt     time.Time
 	startedAt    time.Time
 	finishedAt   time.Time
+	// stageStarts holds in-flight stages' start stamps from the
+	// observer seam, matched to their finish events for the stage
+	// latency histogram.
+	stageStarts map[string]time.Time
 
 	events chan StageEvent
 	subs   []chan StageEvent // Subscribe streams (SSE consumers)
@@ -277,6 +281,7 @@ func (j *Job) emitLifecycle(s Status, at time.Time) {
 // observeStage adapts the scheduler's StageObserver callback into the
 // job's event stream.
 func (j *Job) observeStage(ev core.StageEvent) {
+	j.recordStageMetrics(ev)
 	j.emit(StageEvent{
 		JobID: j.id,
 		Time:  ev.Time,
@@ -321,6 +326,7 @@ func (j *Job) finish(rep *core.Report, err error) {
 	status := j.status
 	j.mu.Unlock()
 
+	recordTerminalMetrics(j, status, rep, err, now)
 	j.emitLifecycle(status, now)
 
 	j.mu.Lock()

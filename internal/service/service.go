@@ -182,6 +182,7 @@ func NewWithEngine(engine *core.Engine, cfg Config) *Service {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runJob = s.defaultRun
+	s.bindServiceGauges()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -207,14 +208,17 @@ func (s *Service) Submit(ctx context.Context, log *dataset.Log, opts ...Option) 
 	// terminal condition) rather than ErrQueueFull (retryable
 	// backpressure), even while the queue is still saturated.
 	if s.isClosed() {
+		admissionsTotal.With("closed").Inc()
 		return nil, ErrClosed
 	}
 	if err := s.shedDegraded(); err != nil {
+		admissionsTotal.With("degraded").Inc()
 		return nil, err
 	}
 	select {
 	case s.queueSlots <- struct{}{}:
 	default:
+		admissionsTotal.With("queue_full").Inc()
 		return nil, ErrQueueFull
 	}
 	return s.admit(log, opts)
@@ -252,6 +256,7 @@ func (s *Service) admit(log *dataset.Log, opts []Option) (*Job, error) {
 
 	if log == nil || log.NumPatients() == 0 || log.NumRecords() == 0 {
 		release()
+		admissionsTotal.With("invalid").Inc()
 		return nil, fmt.Errorf("service: empty examination log")
 	}
 	var o jobOptions
@@ -273,6 +278,7 @@ func (s *Service) admit(log *dataset.Log, opts []Option) (*Job, error) {
 		derived, err := s.engine.WithConfig(cfg)
 		if err != nil {
 			release()
+			admissionsTotal.With("invalid").Inc()
 			return nil, err
 		}
 		engine = derived
@@ -310,6 +316,7 @@ func (s *Service) admit(log *dataset.Log, opts []Option) (*Job, error) {
 		s.mu.Unlock()
 		cancel()
 		release()
+		admissionsTotal.With("closed").Inc()
 		return nil, ErrClosed
 	}
 	// Logs arrive from arbitrary construction paths (JSON decoding in
@@ -339,6 +346,7 @@ func (s *Service) admit(log *dataset.Log, opts []Option) (*Job, error) {
 	heap.Push(&s.queue, j)
 	s.cond.Signal()
 	s.mu.Unlock()
+	admissionsTotal.With("accepted").Inc()
 
 	// Reap the job if its context ends while it still sits in the
 	// queue (Cancel, an expired deadline, or service abort): remove it

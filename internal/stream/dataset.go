@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -182,6 +183,23 @@ func (d *Dataset) Append(exams []Exam, patients []Patient, records []Record) (Da
 }
 
 func (d *Dataset) appendLocked(exams []Exam, patients []Patient, records []Record) (DatasetStatus, error) {
+	t0 := time.Now()
+	st, err := d.appendInnerLocked(exams, patients, records)
+	switch {
+	case err == nil:
+		// The model update happens synchronously inside the append, so
+		// this latency IS append→model-updated.
+		appendSeconds.ObserveSince(t0)
+		appendsTotal.With("ok").Inc()
+	case errors.Is(err, ErrDurability):
+		appendsTotal.With("failed").Inc()
+	default:
+		appendsTotal.With("rejected").Inc()
+	}
+	return st, err
+}
+
+func (d *Dataset) appendInnerLocked(exams []Exam, patients []Patient, records []Record) (DatasetStatus, error) {
 	if len(exams) == 0 && len(patients) == 0 && len(records) == 0 {
 		return DatasetStatus{}, fmt.Errorf("stream: empty batch for %q", d.name)
 	}
@@ -228,6 +246,7 @@ func (d *Dataset) appendLocked(exams []Exam, patients []Patient, records []Recor
 			d.scheduleResweepLocked()
 		}
 	}
+	driftGauge.With(d.name).Set(d.drift)
 
 	d.persistStateLocked()
 	return d.statusLocked(), nil
@@ -366,6 +385,7 @@ func (d *Dataset) scheduleResweepLocked() {
 	}
 	d.resweeping = true
 	d.resweepJob = j.ID()
+	resweepsTotal.With("scheduled").Inc()
 	d.emitLocked(Event{Type: EventResweepScheduled, Revision: d.revision, JobID: j.ID()})
 	go d.watchResweep(j)
 }
@@ -383,13 +403,16 @@ func (d *Dataset) watchResweep(j *service.Job) {
 	ev := Event{Type: EventResweepComplete, Revision: d.revision, JobID: j.ID()}
 	if err != nil {
 		ev.Err = err.Error()
+		resweepsTotal.With("failed").Inc()
 		d.emitLocked(ev)
 		return
 	}
+	resweepsTotal.With("completed").Inc()
 	d.baseline = &rep.Descriptor
 	d.lastAnalysis = j.ID()
 	desc := d.acc.Descriptor()
 	d.drift = 1 - kdb.DescriptorSimilarity(*d.baseline, desc)
+	driftGauge.With(d.name).Set(d.drift)
 	ev.Drift = d.drift
 	d.persistStateLocked()
 	d.emitLocked(ev)
